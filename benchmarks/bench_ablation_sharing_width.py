@@ -1,0 +1,58 @@
+"""Ablation — failure-channel packing width (DESIGN.md, Section 4.2 choice).
+
+The paper packs 32 assertions per 32-bit stream. This ablation sweeps the
+packing width to show the tradeoff: narrower words need more collector
+processes and CPU streams (area + Fmax pressure); a single wide word is
+the knee the paper chose.
+"""
+
+from conftest import save_and_print
+
+from repro.apps.loopback import build_loopback
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.platform.resources import estimate_image
+from repro.platform.timing import estimate_fmax
+from repro.utils.tables import render_table
+
+N = 64
+WIDTHS = (1, 4, 8, 16, 32)
+
+
+def sweep():
+    app = build_loopback(N)
+    base = estimate_image(synthesize(app, assertions="none")).total.comb_aluts
+    rows = []
+    for width in WIDTHS:
+        img = synthesize(
+            app,
+            assertions="optimized",
+            options=SynthesisOptions(share=True, share_word_width=width),
+        )
+        res = estimate_image(img)
+        fmax = estimate_fmax(img, resources=res)
+        n_streams = sum(
+            1 for sd in img.app.streams.values()
+            if sd.role == "assert_bitmask"
+        )
+        rows.append([
+            width,
+            n_streams,
+            res.total.comb_aluts - base,
+            f"{fmax.fmax_mhz:.1f}",
+        ])
+    return rows
+
+
+def test_ablation_sharing_width(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["bits/stream", "failure streams", "ALUT overhead", "Fmax MHz"],
+        rows,
+        title=f"ABLATION: FAILURE-CHANNEL PACKING WIDTH ({N} assertions)",
+    )
+    save_and_print("ablation_sharing_width", table)
+    # the paper's choice (32) must dominate 1-bit packing on both axes
+    one_bit, full = rows[0], rows[-1]
+    assert full[1] < one_bit[1]
+    assert full[2] < one_bit[2]
+    assert float(full[3]) > float(one_bit[3])

@@ -1,0 +1,114 @@
+"""Table 3 — non-pipelined single-comparison assertion latency (Section 5.4).
+
+Paper (latency overhead in cycles per assertion execution):
+
+    Assertion data structure   Unoptimized   Optimized
+    Scalar variable                 1            0
+    Array (non-consecutive)         1            0
+    Array (consecutive)             2            1
+
+The numbers here are *measured*: each variant is synthesized at the three
+assertion levels and executed cycle-accurately with two payload sizes; the
+slope gives exact steady-state cycles per loop iteration, so the overhead
+columns are cycle-true, not estimated.
+"""
+
+from conftest import save_and_print
+
+from repro.core.synth import synthesize
+from repro.runtime.hwexec import execute
+from repro.runtime.taskgraph import Application
+from repro.utils.tables import render_table
+
+SCALAR = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 y;
+  while (co_stream_read(input, &x)) {
+    y = x + 3;
+    assert(y > 0);
+    co_stream_write(output, y);
+  }
+  co_stream_close(output);
+}
+"""
+
+# the application touched the array in an *earlier* state: the assertion's
+# extract load finds a free port
+ARRAY_NONCONSECUTIVE = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint16 buf[8];
+  while (co_stream_read(input, &x)) {
+    buf[x & 7] = x;
+    co_stream_write(output, x + 1);
+    assert(buf[x & 7] < 60000);
+    co_stream_write(output, x + 2);
+  }
+  co_stream_close(output);
+}
+"""
+
+# the application accesses the array immediately before the assertion: the
+# accesses collide and serialize
+ARRAY_CONSECUTIVE = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint16 buf[8];
+  while (co_stream_read(input, &x)) {
+    buf[x & 7] = x;
+    assert(buf[x & 7] < 60000);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+ROWS = [
+    ("Scalar variable", SCALAR, 1, 0),
+    ("Array (non-consecutive)", ARRAY_NONCONSECUTIVE, 1, 0),
+    ("Array (consecutive)", ARRAY_CONSECUTIVE, 2, 1),
+]
+
+
+def cycles_per_iteration(src: str, level: str) -> float:
+    def run(n: int) -> int:
+        app = Application("t3")
+        app.add_c_process(src, name="p", filename="t3.c")
+        app.feed("in", "p.input", data=list(range(1, n + 1)))
+        app.sink("out", "p.output")
+        result = execute(synthesize(app, assertions=level), max_cycles=200_000)
+        assert result.completed
+        return result.cycles
+
+    n1, n2 = 32, 96
+    return (run(n2) - run(n1)) / (n2 - n1)
+
+
+def measure():
+    rows = []
+    deltas = []
+    for label, src, paper_unopt, paper_opt in ROWS:
+        base = cycles_per_iteration(src, "none")
+        unopt = cycles_per_iteration(src, "unoptimized")
+        opt = cycles_per_iteration(src, "optimized")
+        d_unopt = round(unopt - base)
+        d_opt = round(opt - base)
+        rows.append([label, d_unopt, d_opt,
+                     f"(paper: {paper_unopt} / {paper_opt})"])
+        deltas.append((label, d_unopt, d_opt, paper_unopt, paper_opt))
+    return rows, deltas
+
+
+def test_table3_nonpipelined_latency(benchmark):
+    rows, deltas = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = render_table(
+        ["Assertion data structure", "Unoptimized", "Optimized", ""],
+        rows,
+        title="TABLE 3: NON-PIPELINED SINGLE-COMPARISON ASSERTION "
+              "(measured latency overhead, cycles)",
+    )
+    save_and_print("table3_nonpipelined", table)
+    for label, d_unopt, d_opt, paper_unopt, paper_opt in deltas:
+        assert d_unopt == paper_unopt, (label, d_unopt)
+        assert d_opt == paper_opt, (label, d_opt)

@@ -1,0 +1,35 @@
+"""Benchmark harness plumbing: results directory + report helper."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+_SESSION_TABLES: list[str] = []
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Write a reproduction table both to stdout and to results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    _SESSION_TABLES.append(text)
+    print()
+    print(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Echo every regenerated paper table into the terminal report, so a
+    plain ``pytest benchmarks/ --benchmark-only`` run records them."""
+    if not _SESSION_TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables and figures")
+    for text in _SESSION_TABLES:
+        terminalreporter.write_line("")
+        for line in text.split("\n"):
+            terminalreporter.write_line(line)

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable for pytest without installation.
+
+The project is normally installed with ``pip install -e .``; this shim
+keeps ``pytest`` working in environments where the editable install is
+unavailable (e.g. offline CI without the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

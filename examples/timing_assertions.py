@@ -1,0 +1,74 @@
+"""Timing assertions: the paper's future work, working end to end.
+
+Section 6 of the paper: "Future work includes adding the ability for
+assertions to check the timing of the lines of code, which would be useful
+for verifying timing properties of an application in terms of clock
+cycles."
+
+This example bounds a data-dependent loop at 12 cycles per input. Software
+simulation cannot check this at all (it has no clock); in hardware a
+latency monitor counts cycles between the markers and reports a violation
+through the standard assertion notification path.
+
+Run:  python examples/timing_assertions.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Application, execute, software_sim, synthesize  # noqa: E402
+
+SRC = """
+#include "co.h"
+
+void bounded_worker(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 i;
+  uint32 acc;
+  while (co_stream_read(input, &x)) {
+    co_latency_start(1);                 /* region 1 begins here */
+    acc = 0;
+    for (i = 0; i < x; i++) { acc += i; }
+    co_latency_end(1, 12);               /* ...and must end within 12 cycles */
+    co_stream_write(output, acc);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def run(data, nabort=False):
+    app = Application("timing")
+    app.add_c_process(SRC, name="bounded_worker", filename="worker.c")
+    app.feed("in", "bounded_worker.input", data=data)
+    app.sink("out", "bounded_worker.output")
+    sim = software_sim(app)
+    hw = execute(synthesize(app, assertions="optimized", nabort=nabort))
+    return sim, hw
+
+
+def main() -> None:
+    print("== inputs small enough to meet the 12-cycle bound ==")
+    sim, hw = run([2, 3])
+    print(f"  software sim: completed={sim.completed} (timing not checkable)")
+    print(f"  hardware:     completed={hw.completed}, outputs={hw.outputs['out']}")
+
+    print("\n== an input that blows the bound (x = 20 -> ~62 cycles) ==")
+    sim, hw = run([2, 20])
+    print(f"  software sim: completed={sim.completed}, failures={len(sim.failures)}")
+    print(f"  hardware:     aborted={hw.aborted}")
+    for line in hw.stderr:
+        print("  stderr:", line)
+
+    print("\n== NABORT: keep running, collect every violation ==")
+    _sim, hw = run([20, 2, 30], nabort=True)
+    print(f"  completed={hw.completed}, violations={len(hw.failures)}, "
+          f"outputs={hw.outputs['out']}")
+    for line in hw.stderr:
+        print("  stderr:", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — high-level synthesis of in-circuit ANSI-C assertions.
+
+An open reproduction of Curreri, Stitt & George, "High-Level Synthesis
+Techniques for In-Circuit Assertion-Based Verification" (IPDPS 2010):
+a complete HLS flow for an Impulse-C-like C dialect (pycparser frontend,
+list/modulo scheduling, FSM+datapath codegen, Verilog emission, cycle-
+accurate simulation), a Stratix-II EP2S180 resource/timing model, and the
+paper's contribution — synthesis of ``assert()`` statements into FPGA
+circuits with parallelization, resource-replication and resource-sharing
+optimizations.
+
+Quick start::
+
+    from repro import Application, software_sim, synthesize, execute
+
+    app = Application("demo")
+    app.add_c_process(C_SOURCE, name="filt")
+    app.feed("in", "filt.input", data=[1, 2, 3])
+    app.sink("out", "filt.output")
+
+    sim = software_sim(app)                       # CPU-side simulation
+    image = synthesize(app, assertions="optimized")
+    result = execute(image)                       # cycle-accurate "in circuit"
+"""
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.hls.constraints import HLSConfig, ScheduleConfig
+from repro.hls.faults import NarrowCompare, ReadForWrite
+from repro.platform.device import EP2S180, XD1000
+from repro.platform.report import overhead_report
+from repro.platform.resources import estimate_image
+from repro.platform.timing import estimate_fmax
+from repro.runtime.hwexec import HardwareImage, HwResult, execute
+from repro.runtime.swsim import SimResult, software_sim
+from repro.runtime.taskgraph import Application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "HardwareImage",
+    "HwResult",
+    "SimResult",
+    "SynthesisOptions",
+    "HLSConfig",
+    "ScheduleConfig",
+    "NarrowCompare",
+    "ReadForWrite",
+    "EP2S180",
+    "XD1000",
+    "ReproError",
+    "execute",
+    "software_sim",
+    "synthesize",
+    "overhead_report",
+    "estimate_image",
+    "estimate_fmax",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Case-study applications: Triple-DES, edge detection, loopback, debugging demos."""
+
+from repro.apps.edge_detect import build_edge_app, edge_source, golden_edge
+from repro.apps.loopback import build_loopback, expected_output, stage_source
+from repro.apps.tripledes import (
+    DEFAULT_KEYS,
+    build_tdes_app,
+    encrypt_text,
+    expected_blocks,
+    tdes_source,
+)
+from repro.apps.verification import (
+    DIVERGENCE_SOURCE,
+    HANG_SOURCE,
+    build_divergence_app,
+    build_hang_app,
+)
+
+__all__ = [
+    "build_edge_app",
+    "edge_source",
+    "golden_edge",
+    "build_loopback",
+    "expected_output",
+    "stage_source",
+    "DEFAULT_KEYS",
+    "build_tdes_app",
+    "encrypt_text",
+    "expected_blocks",
+    "tdes_source",
+    "DIVERGENCE_SOURCE",
+    "HANG_SOURCE",
+    "build_divergence_app",
+    "build_hang_app",
+]

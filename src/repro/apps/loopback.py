@@ -1,0 +1,75 @@
+"""Streaming loopback scalability application (paper Section 5.3).
+
+"The application consists of a simple streaming loopback. The loopback
+also stores the value and retrieves the value at each stage. Each process
+added to the application adds an extra stage in the loopback … The
+assertion in each process ensures the number being passed is greater than
+zero."
+
+``build_loopback(n)`` generates exactly that: ``n`` chained FPGA processes,
+each buffering the word through a small block RAM and asserting
+``value > 0`` (a single greater-than comparison per process, as in the
+paper), fed and drained by the CPU. This is the workload behind Figures 4
+and 5.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.taskgraph import Application
+
+_STAGE_TEMPLATE = """
+void {name}(co_stream input, co_stream output) {{
+  uint32 x;
+  uint32 buf[16];
+  uint32 i;
+  i = 0;
+  while (co_stream_read(input, &x)) {{
+    buf[i & 15] = x;
+    assert(buf[i & 15] > 0);
+    co_stream_write(output, buf[i & 15]);
+    i = i + 1;
+  }}
+  co_stream_close(output);
+}}
+"""
+
+
+def stage_source(name: str) -> str:
+    """The C source of one loopback stage."""
+    return _STAGE_TEMPLATE.format(name=name)
+
+
+def build_loopback(
+    n_processes: int,
+    data: list[int] | None = None,
+    with_assertions: bool = True,
+) -> Application:
+    """Build an ``n_processes``-stage loopback application.
+
+    ``with_assertions=False`` generates the same chain with the assertion
+    compiled out at the source level (for the 'Original' series of
+    Figures 4/5 it is equivalent to synthesizing with ``assertions='none'``
+    — both paths exist so tests can confirm they agree).
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    data = data if data is not None else list(range(1, 33))
+    app = Application(f"loopback{n_processes}")
+    for i in range(n_processes):
+        name = f"stage{i}"
+        src = stage_source(name)
+        if not with_assertions:
+            src = "\n".join(
+                line for line in src.split("\n") if "assert(" not in line
+            )
+        app.add_c_process(src, name=name, filename=f"{name}.c")
+    app.feed("feed", "stage0.input", data=data)
+    for i in range(n_processes - 1):
+        app.connect(f"link{i}", f"stage{i}.output", f"stage{i + 1}.input")
+    app.sink("drain", f"stage{n_processes - 1}.output")
+    return app
+
+
+def expected_output(data: list[int]) -> list[int]:
+    """The loopback is an identity pipe."""
+    return list(data)

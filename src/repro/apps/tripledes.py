@@ -1,0 +1,177 @@
+"""Triple-DES streaming decryption application (paper Section 5.2, Table 1).
+
+"The first application case study shows the area and clock frequency
+overhead associated with adding performance optimized assertion statements
+to a Triple-DES application provided by Impulse-C, which sends encrypted
+text files to the FPGA to be decoded. Two assertion statements were added
+to verify that the decrypted characters are within the normal bounds of an
+ASCII text file."
+
+The FPGA process implements full FIPS 46-3 DES (initial/final permutation,
+16 Feistel rounds with E-expansion, the eight S-boxes as a 512-entry ROM,
+P-permutation) applied three times in EDE-decrypt order. Round keys are
+precomputed by :func:`repro.apps.des_tables.key_schedule` and baked into
+the source as a constant ROM, as the Impulse-C demo does. The two ASCII
+assertions from the paper guard every decrypted byte.
+"""
+
+from __future__ import annotations
+
+from repro.apps import des_tables as T
+from repro.runtime.taskgraph import Application
+
+
+def _fmt_table(values, per_line: int = 16) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        lines.append(", ".join(str(v) for v in values[i:i + per_line]))
+    return ",\n    ".join(lines)
+
+
+def _flat_sbox() -> list[int]:
+    flat = []
+    for box in T.SBOX:
+        flat.extend(box)
+    return flat
+
+
+def round_key_rom(k1: int, k2: int, k3: int) -> list[int]:
+    """48 round keys in application order for EDE decryption:
+    stage 0 = DES-decrypt with k3, stage 1 = DES-encrypt with k2,
+    stage 2 = DES-decrypt with k1."""
+    ks1, ks2, ks3 = (
+        T.key_schedule(k1),
+        T.key_schedule(k2),
+        T.key_schedule(k3),
+    )
+    rom: list[int] = []
+    rom.extend(reversed(ks3))   # decrypt applies round keys in reverse
+    rom.extend(ks2)
+    rom.extend(reversed(ks1))
+    return rom
+
+
+def tdes_source(k1: int, k2: int, k3: int, with_assertions: bool = True) -> str:
+    """Generate the dialect-C source of the Triple-DES decrypt process."""
+    asserts = ""
+    if with_assertions:
+        asserts = """
+      assert(ch < 127);
+      assert((ch >= 32) || (ch == 10) || (ch == 13) || (ch == 9) || (ch == 0));"""
+    return f"""#include "co.h"
+
+void tdes_decrypt(co_stream input, co_stream output) {{
+  uint64 blk;
+  uint64 ip;
+  uint64 preout;
+  uint64 fpv;
+  uint64 xk;
+  uint32 left;
+  uint32 right;
+  uint32 newr;
+  uint32 f;
+  uint32 sout;
+  uint32 six;
+  uint32 row;
+  uint32 col;
+  uint32 r;
+  uint32 i;
+  uint32 stage;
+  uint32 b;
+  uint8 ch;
+  const uint8 iptab[64] = {{
+    {_fmt_table(T.IP)}
+  }};
+  const uint8 fptab[64] = {{
+    {_fmt_table(T.FP)}
+  }};
+  const uint8 etab[48] = {{
+    {_fmt_table(T.E)}
+  }};
+  const uint8 ptab[32] = {{
+    {_fmt_table(T.P)}
+  }};
+  const uint8 sboxes[512] = {{
+    {_fmt_table(_flat_sbox())}
+  }};
+  const uint64 rk[48] = {{
+    {_fmt_table(round_key_rom(k1, k2, k3), per_line=4)}
+  }};
+
+  while (co_stream_read(input, &blk)) {{
+    for (stage = 0; stage < 3; stage = stage + 1) {{
+      ip = 0;
+      for (i = 0; i < 64; i = i + 1) {{
+        ip = (ip << 1) | ((blk >> (64 - iptab[i])) & 1);
+      }}
+      left = (uint32)(ip >> 32);
+      right = (uint32)ip;
+      for (r = 0; r < 16; r = r + 1) {{
+        xk = 0;
+        for (i = 0; i < 48; i = i + 1) {{
+          xk = (xk << 1) | ((right >> (32 - etab[i])) & 1);
+        }}
+        xk = xk ^ rk[stage * 16 + r];
+        sout = 0;
+        for (i = 0; i < 8; i = i + 1) {{
+          six = (uint32)((xk >> (42 - 6 * i)) & 63);
+          row = ((six >> 4) & 2) | (six & 1);
+          col = (six >> 1) & 15;
+          sout = (sout << 4) | sboxes[(i << 6) | (row << 4) | col];
+        }}
+        f = 0;
+        for (i = 0; i < 32; i = i + 1) {{
+          f = (f << 1) | ((sout >> (32 - ptab[i])) & 1);
+        }}
+        newr = left ^ f;
+        left = right;
+        right = newr;
+      }}
+      preout = (((uint64)right) << 32) | ((uint64)left);
+      fpv = 0;
+      for (i = 0; i < 64; i = i + 1) {{
+        fpv = (fpv << 1) | ((preout >> (64 - fptab[i])) & 1);
+      }}
+      blk = fpv;
+    }}
+    for (b = 0; b < 8; b = b + 1) {{
+      ch = (uint8)((blk >> (b << 3)) & 255);{asserts}
+    }}
+    co_stream_write(output, blk);
+  }}
+  co_stream_close(output);
+}}
+"""
+
+
+#: default demo keys (parity bits ignored, as in the Impulse-C demo)
+DEFAULT_KEYS = (0x0123456789ABCDEF, 0x23456789ABCDEF01, 0x456789ABCDEF0123)
+
+
+def encrypt_text(text: bytes, keys: tuple[int, int, int] = DEFAULT_KEYS) -> list[int]:
+    """CPU-side helper: produce the ciphertext blocks the app feeds in."""
+    return [
+        T.tdes_encrypt_block(b, *keys) for b in T.pack_text(text)
+    ]
+
+
+def build_tdes_app(
+    text: bytes = b"Now is the time for all good men to come to the aid!",
+    keys: tuple[int, int, int] = DEFAULT_KEYS,
+    with_assertions: bool = True,
+) -> Application:
+    """The paper's Table 1 workload: encrypted text in, plaintext out."""
+    app = Application("tripledes")
+    app.add_c_process(
+        tdes_source(*keys, with_assertions=with_assertions),
+        name="tdes_decrypt",
+        filename="tdes.c",
+    )
+    app.feed("cipher", "tdes_decrypt.input", data=encrypt_text(text, keys),
+             width=64)
+    app.sink("plain", "tdes_decrypt.output", width=64)
+    return app
+
+
+def expected_blocks(text: bytes) -> list[int]:
+    return T.pack_text(text)

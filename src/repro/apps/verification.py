@@ -1,0 +1,149 @@
+"""Section 5.1 case studies: in-circuit verification and debugging.
+
+Two applications reproduce the paper's Figure 3 scenarios:
+
+* :func:`build_divergence_app` — assertions that pass in software
+  simulation and fail in circuit. Bug 1 is the documented Impulse-C
+  translation defect (a 64-bit comparison emitted as a 5-bit comparison:
+  ``4294967286 > 4294967296`` is false in C but ``22 > 0`` is true in the
+  faulty circuit, driving an array address out of range). Bug 2 is an
+  external HDL function whose hardware behaviour differs from the C model
+  supplied for simulation.
+
+* :func:`build_hang_app` — a process that completes in software simulation
+  but hangs in hardware because a memory *read* was emitted where a *write*
+  belonged (the paper's DES speedup bug). With ``NABORT`` defined,
+  ``assert(0)`` trace points report how far each run got; comparing the
+  failed-assertion line numbers between simulation and circuit locates the
+  hang, exactly as Section 5.1 describes.
+"""
+
+from __future__ import annotations
+
+from repro.hls.faults import NarrowCompare, ReadForWrite
+from repro.runtime.taskgraph import Application
+
+#: line numbers inside DIVERGENCE_SOURCE (kept stable by the literal below)
+DIVERGENCE_COMPARE_LINE = 13
+DIVERGENCE_SOURCE = """#include "co.h"
+
+void checker_demo(co_stream input, co_stream output) {
+  uint64 c1;
+  uint64 c2;
+  uint32 v;
+  uint32 addr;
+  uint32 r;
+  uint32 data[32];
+  c1 = 4294967296;
+  c2 = 4294967286;
+  while (co_stream_read(input, &v)) {
+    if (c2 > c1) { addr = addr + 54; } else { addr = 0; }
+    assert(addr < 32);
+    data[addr & 31] = v;
+    r = ext_hdl(v);
+    assert(r == v + 1);
+    co_stream_write(output, r + data[addr & 31]);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def sw_ext_hdl(v: int) -> int:
+    """The C model the developer supplies for software simulation."""
+    return (v + 1) & 0xFFFFFFFF
+
+
+def hw_ext_hdl(v: int) -> int:
+    """The actual external HDL block: an optimized 8-bit incrementer that
+    silently wraps — correct for the vendor's use case, not for this one."""
+    return (v & ~0xFF) | ((v + 1) & 0xFF)
+
+
+def build_divergence_app(
+    values: list[int] | None = None,
+    inject_compare_bug: bool = True,
+    inject_ext_bug: bool = True,
+) -> tuple[Application, dict]:
+    """Build the Figure 3 application.
+
+    Returns ``(app, faults)`` — pass ``faults`` to
+    :func:`repro.core.synthesize` so the translation bug exists only in the
+    hardware build, as in the paper.
+    """
+    values = values if values is not None else [3, 7, 255, 9]
+    app = Application("divergence")
+    app.add_c_process(
+        DIVERGENCE_SOURCE,
+        name="checker_demo",
+        filename="verify.c",
+        ext_sw={"ext_hdl": sw_ext_hdl},
+        ext_hw={"ext_hdl": hw_ext_hdl if inject_ext_bug else sw_ext_hdl},
+    )
+    app.feed("vals", "checker_demo.input", data=values)
+    app.sink("res", "checker_demo.output")
+    faults = {}
+    if inject_compare_bug:
+        faults["checker_demo"] = (
+            NarrowCompare(width=5, line=DIVERGENCE_COMPARE_LINE),
+        )
+    return app, faults
+
+
+#: line numbers of the trace assertions and of the faulty store below
+HANG_STORE_LINE = 12
+HANG_TRACE_LINES = (8, 14, 19)
+HANG_SOURCE = """#include "co.h"
+
+void des_worker(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 ready;
+  uint32 flags[4];
+  while (co_stream_read(input, &x)) {
+    assert(0);
+    flags[0] = 0;
+    x = (x * 2654435761) ^ (x >> 13);
+    flags[1] = x;
+    flags[0] = 1;
+    ready = 0;
+    assert(0);
+    while (ready == 0) {
+      ready = flags[0];
+    }
+    co_stream_write(output, x ^ flags[1]);
+    assert(0);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def build_hang_app(
+    values: list[int] | None = None,
+    inject_hang_bug: bool = True,
+    with_traces: bool = True,
+) -> tuple[Application, dict]:
+    """Build the hang-debugging application (paper Section 5.1, example 2).
+
+    ``with_traces=False`` removes the ``assert(0)`` trace points (the
+    production configuration). The returned faults dict turns the
+    ``flags[0] = 1`` store into a read in the hardware build only.
+    """
+    values = values if values is not None else [11, 22, 33]
+    src = HANG_SOURCE
+    if not with_traces:
+        src = "\n".join(
+            "" if line.strip() == "assert(0);" else line
+            for line in src.split("\n")
+        )
+    app = Application("hangdemo")
+    app.add_c_process(src, name="des_worker", filename="des_worker.c",
+                      defines={"NABORT": ""} if with_traces else None)
+    app.feed("blocks", "des_worker.input", data=values)
+    app.sink("out", "des_worker.output")
+    faults = {}
+    if inject_hang_bug:
+        faults["des_worker"] = (
+            ReadForWrite(array="flags", line=HANG_STORE_LINE),
+        )
+    return app, faults

@@ -1,0 +1,177 @@
+"""Command-line interface: compile dialect C to Verilog + reports.
+
+    python -m repro compile app.c [--assertions LEVEL] [-o OUTDIR]
+    python -m repro report  app.c [--assertions LEVEL]
+    python -m repro simulate app.c --feed 1,2,3 [--assertions LEVEL]
+
+``compile`` writes one ``.v`` file per process plus ``report.txt`` (area,
+Fmax, pipeline timing). ``report`` prints the original-vs-assert overhead
+table (the paper's Table 1/2 format). ``simulate`` runs the single-process
+application through software simulation and cycle-accurate hardware
+execution and diffs them.
+
+The C file must contain exactly one process whose first stream parameter
+is the input and second the output (the common case); richer task graphs
+use the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.platform.report import overhead_report
+from repro.platform.resources import estimate_image
+from repro.platform.timing import estimate_fmax
+from repro.runtime.hwexec import execute
+from repro.runtime.swsim import software_sim
+from repro.runtime.taskgraph import Application
+
+
+def _build_app(path: str, feed: list[int]) -> Application:
+    with open(path) as fh:
+        source = fh.read()
+    app = Application(os.path.splitext(os.path.basename(path))[0])
+    pd = app.add_c_process(source, filename=os.path.basename(path))
+    params = pd.stream_params
+    if len(params) < 1:
+        raise SystemExit(f"{path}: the process has no stream parameters")
+    if len(params) >= 2:
+        app.feed("cli_in", f"{pd.name}.{params[0]}", data=feed)
+        app.sink("cli_out", f"{pd.name}.{params[1]}")
+        for extra in params[2:]:
+            app.sink(f"cli_{extra}", f"{pd.name}.{extra}")
+    else:
+        app.sink("cli_out", f"{pd.name}.{params[0]}")
+    return app
+
+
+def _options(args) -> SynthesisOptions:
+    return SynthesisOptions(
+        parallelize=not args.no_parallelize,
+        replicate=not args.no_replicate,
+        share=not args.no_share,
+        multichecker=args.multichecker,
+    )
+
+
+def cmd_compile(args) -> int:
+    app = _build_app(args.source, [])
+    image = synthesize(app, assertions=args.assertions,
+                       options=_options(args))
+    os.makedirs(args.outdir, exist_ok=True)
+    for name, cp in image.compiled.items():
+        path = os.path.join(args.outdir, f"{name}.v")
+        with open(path, "w") as fh:
+            fh.write(cp.verilog())
+        print(f"wrote {path}")
+    res = estimate_image(image)
+    fmax = estimate_fmax(image, resources=res)
+    lines = [
+        f"assertion level: {args.assertions}",
+        f"processes: {', '.join(sorted(image.compiled))}",
+        f"comb ALUTs: {res.total.comb_aluts}",
+        f"registers:  {res.total.registers}",
+        f"BRAM bits:  {res.total.bram_bits}",
+        f"interconnect: {res.total.interconnect}",
+        f"Fmax: {fmax.fmax_mhz:.1f} MHz "
+        f"(critical path {fmax.critical_path_ns:.2f} ns)",
+    ]
+    for name, cp in sorted(image.compiled.items()):
+        for header, (latency, rate) in cp.pipeline_report().items():
+            lines.append(
+                f"pipeline {name}/{header}: latency {latency}, rate {rate}"
+            )
+    report_path = os.path.join(args.outdir, "report.txt")
+    with open(report_path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print(f"wrote {report_path}")
+    print("\n".join(lines))
+    return 0
+
+
+def cmd_report(args) -> int:
+    app = _build_app(args.source, [])
+    original = synthesize(app, assertions="none")
+    asserted = synthesize(app, assertions=args.assertions,
+                          options=_options(args))
+    report = overhead_report(original, asserted)
+    print(report.render(
+        f"ASSERTION OVERHEAD ({os.path.basename(args.source)}, "
+        f"{args.assertions})"
+    ))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    feed = [int(v, 0) for v in args.feed.split(",")] if args.feed else []
+    app = _build_app(args.source, feed)
+    sim = software_sim(app)
+    print(f"software simulation: completed={sim.completed} "
+          f"aborted={sim.aborted}")
+    for name, values in sorted(sim.outputs.items()):
+        print(f"  {name}: {values}")
+    for line in sim.stderr:
+        print(f"  stderr: {line}")
+
+    image = synthesize(app, assertions=args.assertions,
+                       options=_options(args))
+    hw = execute(image, max_cycles=args.max_cycles)
+    print(f"hardware execution:  completed={hw.completed} "
+          f"aborted={hw.aborted} hung={hw.hung} cycles={hw.cycles}")
+    for name, values in sorted(hw.outputs.items()):
+        print(f"  {name}: {values}")
+    for line in hw.stderr:
+        print(f"  stderr: {line}")
+    if hw.hung:
+        for trace in hw.traces:
+            print(f"  trace: {trace}")
+
+    data_match = all(
+        hw.outputs.get(k) == v for k, v in sim.outputs.items() if v
+    )
+    print(f"outputs match: {data_match}")
+    return 0 if (hw.completed or hw.aborted) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HLS of in-circuit ANSI-C assertions "
+                    "(Curreri/Stitt/George, IPDPS 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("source", help="dialect C file with one process")
+        p.add_argument("--assertions", default="optimized",
+                       choices=("none", "unoptimized", "optimized"))
+        p.add_argument("--no-parallelize", action="store_true")
+        p.add_argument("--no-replicate", action="store_true")
+        p.add_argument("--no-share", action="store_true")
+        p.add_argument("--multichecker", action="store_true",
+                       help="round-robin shared checker (Sec. 3.3 extension)")
+
+    p = sub.add_parser("compile", help="emit Verilog + report")
+    common(p)
+    p.add_argument("-o", "--outdir", default="build")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("report", help="print the overhead table")
+    common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("simulate", help="software sim + hardware execution")
+    common(p)
+    p.add_argument("--feed", default="", help="comma-separated input words")
+    p.add_argument("--max-cycles", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

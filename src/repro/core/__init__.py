@@ -1,0 +1,37 @@
+"""In-circuit assertion synthesis — the paper's primary contribution."""
+
+from repro.core.instrument import (
+    FAIL_PARAM,
+    find_assert_checks,
+    instrument_unoptimized,
+    strip_assertions,
+)
+from repro.core.parallelize import (
+    CHECK_FAIL_PARAM,
+    CheckerPlan,
+    ParallelizeResult,
+    parallelize_function,
+)
+from repro.core.registry import AssertionRegistry
+from repro.core.replicate import ReplicationResult, replicate_arrays
+from repro.core.share import ShareResult, build_collectors
+from repro.core.synth import LEVELS, SynthesisOptions, synthesize
+
+__all__ = [
+    "FAIL_PARAM",
+    "find_assert_checks",
+    "instrument_unoptimized",
+    "strip_assertions",
+    "CHECK_FAIL_PARAM",
+    "CheckerPlan",
+    "ParallelizeResult",
+    "parallelize_function",
+    "AssertionRegistry",
+    "ReplicationResult",
+    "replicate_arrays",
+    "ShareResult",
+    "build_collectors",
+    "LEVELS",
+    "SynthesisOptions",
+    "synthesize",
+]

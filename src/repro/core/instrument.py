@@ -1,0 +1,96 @@
+"""Unoptimized in-circuit assertion synthesis (paper Sections 3 and 4.1).
+
+"Semantically, an assert is similar to an if statement. Thus, assertions
+could be synthesized by converting each assertion into an if statement,
+where the condition for the if statement is the complemented assertion
+condition and the body of the if statement transfers all failure
+information to the assertion notification function."
+
+This pass performs exactly that conversion on the IR: every
+``assert_check`` becomes a control-flow split whose failure arm writes the
+assertion's error code to the process's dedicated failure stream. The cost
+is what the paper measures: the split adds at least one FSM state per
+assertion execution (more for complex conditions or port conflicts), and
+each instrumented process gains one CPU-bound streaming channel.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ctypes_ import U32
+from repro.ir.function import IRFunction
+from repro.ir.instr import AssertionSite, Branch, Instr, Jump
+from repro.ir.ops import OpKind
+from repro.ir.transform import split_block_at
+from repro.ir.values import Const, StreamParam
+from repro.errors import AssertionSynthesisError
+
+#: stream parameter name added to instrumented processes
+FAIL_PARAM = "__afail"
+
+
+def find_assert_checks(func: IRFunction) -> list[tuple[str, int]]:
+    """(block name, index) of every assert_check, in layout order."""
+    out = []
+    for bname, block in func.blocks.items():
+        for idx, instr in enumerate(block.instrs):
+            if instr.op == OpKind.ASSERT_CHECK:
+                out.append((bname, idx))
+    return out
+
+
+def strip_assertions(func: IRFunction) -> int:
+    """Remove every assert_check (the NDEBUG configuration). Condition
+    computations die with them via DCE (run by the caller)."""
+    removed = 0
+    for block in func.blocks.values():
+        before = len(block.instrs)
+        block.instrs = [i for i in block.instrs if i.op != OpKind.ASSERT_CHECK]
+        removed += before - len(block.instrs)
+    return removed
+
+
+def instrument_unoptimized(
+    func: IRFunction, code_for, fail_param: str = FAIL_PARAM
+) -> int:
+    """Convert every assertion to the if-statement form, in place.
+
+    ``code_for(site) -> int`` supplies the error code. Returns the number of
+    assertions converted. The failure stream parameter is appended to the
+    function's stream list.
+    """
+    if fail_param in func.stream_names():
+        raise AssertionSynthesisError(
+            f"{func.name}: already instrumented ({fail_param} exists)"
+        )
+    converted = 0
+    while True:
+        sites = find_assert_checks(func)
+        if not sites:
+            break
+        bname, idx = sites[0]
+        block = func.blocks[bname]
+        instr = block.instrs[idx]
+        site: AssertionSite = instr.attrs["assertion"]
+        cond = instr.args[0]
+
+        cont = split_block_at(func, bname, idx + 1, cont_hint="acont")
+        # the assert itself is now the last instruction of `block`; drop it
+        assert block.instrs[idx].op == OpKind.ASSERT_CHECK
+        del block.instrs[idx]
+
+        failb = func.new_block("afail")
+        failb.instrs.append(
+            Instr(
+                OpKind.STREAM_WRITE,
+                [],
+                [Const(code_for(site), U32)],
+                {"stream": fail_param, "coord": (site.file, site.line)},
+            )
+        )
+        failb.term = Jump(cont.name)
+        block.term = Branch(cond, cont.name, failb.name)
+        converted += 1
+
+    if converted:
+        func.streams.append(StreamParam(fail_param, 32))
+    return converted

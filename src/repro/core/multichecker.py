@@ -1,0 +1,198 @@
+"""Round-robin multi-assertion checker — the paper's future-work extension.
+
+Section 3.3: "Resource sharing could potentially be extended to support an
+arbitrary number of simultaneous assertions in multiple tasks by
+synthesizing a pipelined assertion checker circuit that implements a group
+of simultaneous assertions. To prevent simultaneous access to shared
+resources, the circuit could buffer data from different assertions using
+FIFOs (e.g., one buffer per assertion) and then process the data from the
+FIFOs in a round-robin manner."
+
+Implementation: the per-assertion data taps keep their dedicated FIFOs; a
+round-robin *arbiter* (HDL-instrumented plumbing, like the paper's
+collectors) moves one record per cycle onto a merged channel, tagged with
+the assertion index. One shared checker process pops the merged channel at
+II=1, evaluates every member condition combinationally on the record's
+value slots, and raises the failure bit selected by the tag. Functional
+units inside the single checker are shared by the ordinary binder, and the
+per-checker FSM/tap-endpoint overhead is paid once per *group* instead of
+once per assertion.
+
+Conditions containing division are excluded (evaluating them on another
+assertion's record could trap); such assertions keep individual checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parallelize import CheckerPlan
+from repro.frontend.ctypes_ import U1, U8, CType
+from repro.ir.function import IRFunction
+from repro.ir.instr import BasicBlock, Branch, Instr, Jump, Return
+from repro.ir.ops import OpKind
+from repro.ir.values import Const, Temp
+
+#: ops that are unsafe to evaluate speculatively on foreign records
+_UNSAFE_OPS = {OpKind.DIV, OpKind.MOD}
+
+
+@dataclass
+class ArbiterSpec:
+    """Round-robin merge of per-assertion tap channels onto one channel.
+
+    ``inputs[i]`` feeds records for assertion index ``i``; each record is
+    re-emitted on ``output`` as ``(i, slot0, slot1, ...)`` with the
+    assertion's values placed at ``offsets[i]`` and other slots zero.
+    """
+
+    inputs: list[str] = field(default_factory=list)
+    arities: list[int] = field(default_factory=list)
+    offsets: list[int] = field(default_factory=list)
+    output: str = ""
+    total_slots: int = 0
+
+
+@dataclass
+class MultiCheckerPlan:
+    checker: IRFunction
+    arbiter: ArbiterSpec
+    members: list[CheckerPlan] = field(default_factory=list)
+
+
+def _plan_is_mergeable(plan: CheckerPlan) -> bool:
+    chk = plan.checker
+    for instr in chk.instructions():
+        if instr.op in _UNSAFE_OPS:
+            return False
+    return plan.fail_mode == "bit"
+
+
+def _member_slice(plan: CheckerPlan) -> tuple[list[Instr], list[Temp], Temp]:
+    """Extract the condition-evaluation instructions, the tapped value
+    temps (v0..vk) and the condition root from a member's checker body."""
+    chk = plan.checker
+    hdr = chk.blocks["hdr"]
+    body = chk.blocks["body"]
+    tap_read = hdr.instrs[0]
+    values = list(tap_read.dests[1:])
+    # the body ends with [slice..., lnot root]; the lnot's operand is the root
+    assert body.instrs and body.instrs[-1].op == OpKind.LNOT
+    root = body.instrs[-1].args[0]
+    slice_instrs = body.instrs[:-1]
+    return slice_instrs, values, root
+
+
+def build_multichecker(
+    name: str,
+    plans: list[CheckerPlan],
+    source_file: str = "<generated>",
+) -> MultiCheckerPlan:
+    """Merge the given (mergeable) checker plans into one shared checker."""
+    if not plans:
+        raise ValueError("need at least one plan")
+    if any(not _plan_is_mergeable(p) for p in plans):
+        raise ValueError("unmergeable plan passed to build_multichecker")
+
+    arbiter = ArbiterSpec(output=f"{name}__merged")
+    chk = IRFunction(name=name, source_file=source_file)
+
+    members: list[tuple[list[Instr], list[Temp], Temp, CheckerPlan]] = []
+    offset = 0
+    slot_types: list[CType] = []
+    for index, plan in enumerate(plans):
+        slice_instrs, values, root = _member_slice(plan)
+        arbiter.inputs.append(plan.tap_channel)
+        arbiter.arities.append(len(values))
+        arbiter.offsets.append(offset)
+        offset += len(values)
+        slot_types.extend(v.ty for v in values)
+        members.append((slice_instrs, values, root, plan))
+        _ = index
+    arbiter.total_slots = offset
+
+    ok = chk.declare_scalar("ok", U1)
+    tag = chk.declare_scalar("tag", U8)
+    slots: list[Temp] = [
+        chk.declare_scalar(f"s{i}", ty) for i, ty in enumerate(slot_types)
+    ]
+
+    entry = BasicBlock("entry")
+    hdr = BasicBlock("hdr", pipeline=True)
+    chk.blocks["entry"] = entry
+    chk.blocks["hdr"] = hdr
+    chk.entry = "entry"
+    entry.term = Jump("hdr")
+    hdr.instrs.append(
+        Instr(OpKind.TAP_READ, [ok, tag, *slots],
+              [], {"channel": arbiter.output})
+    )
+    exitb = BasicBlock("exitb")
+    chk.blocks["exitb"] = exitb
+    exitb.term = Return()
+
+    # body: evaluate every member's condition combinationally, then one
+    # diamond per member raising its failure bit when selected and false
+    body = BasicBlock("body")
+    chk.blocks["body"] = body
+    hdr.term = Branch(ok, "body", "exitb")
+
+    fail_flags: list[tuple[Temp, CheckerPlan]] = []
+    for member_index, (slice_instrs, values, root, plan) in enumerate(members):
+        rename: dict[str, Temp] = {}
+        base = arbiter.offsets[member_index]
+        for i, v in enumerate(values):
+            rename[v.name] = slots[base + i]
+        local: dict[str, Temp] = {}
+        for instr in slice_instrs:
+            copy = instr.copy()
+            copy.args = [
+                local.get(a.name, rename.get(a.name, a))
+                if isinstance(a, Temp) else a
+                for a in copy.args
+            ]
+            new_dests = []
+            for d in copy.dests:
+                nd = chk.new_temp(d.ty, "m")
+                local[d.name] = nd
+                new_dests.append(nd)
+            copy.dests = new_dests
+            body.instrs.append(copy)
+        cond = local.get(root.name, rename.get(root.name))
+        if cond is None:  # condition was a bare tapped value
+            cond = rename[root.name]
+        ln = chk.new_temp(U1, "ln")
+        body.instrs.append(Instr(OpKind.LNOT, [ln], [cond]))
+        sel = chk.new_temp(U1, "sel")
+        body.instrs.append(
+            Instr(OpKind.EQ, [sel], [tag, Const(member_index, U8)])
+        )
+        flag = chk.new_temp(U1, "ff")
+        body.instrs.append(Instr(OpKind.AND, [flag], [sel, ln]))
+        fail_flags.append((flag, plan))
+
+    # one if-diamond per member: raise the member's failure bit
+    current = body
+    for i, (flag, plan) in enumerate(fail_flags):
+        failb = BasicBlock(f"fail{i}")
+        nxt = BasicBlock(f"next{i}")
+        chk.blocks[failb.name] = failb
+        chk.blocks[nxt.name] = nxt
+        failb.instrs.append(
+            Instr(OpKind.TAP, [], [Const(1, U1)], {"channel": plan.fail_tap})
+        )
+        failb.term = Jump(nxt.name)
+        current.term = Branch(flag, failb.name, nxt.name)
+        current = nxt
+    current.term = Jump("hdr")
+
+    return MultiCheckerPlan(checker=chk, arbiter=arbiter, members=plans)
+
+
+def partition_plans(
+    plans: list[CheckerPlan],
+) -> tuple[list[CheckerPlan], list[CheckerPlan]]:
+    """(mergeable, must-stay-individual) split of checker plans."""
+    mergeable = [p for p in plans if _plan_is_mergeable(p)]
+    individual = [p for p in plans if not _plan_is_mergeable(p)]
+    return mergeable, individual

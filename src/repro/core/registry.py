@@ -1,0 +1,46 @@
+"""Assertion registry: unique error codes for every assertion site.
+
+The framework "uses an error code that uniquely identifies the failed
+assertion based on the line number and file name of the assertion"
+(Section 4.1). Codes start at 1 — a zero word on a failure channel is never
+a valid failure, which keeps the shared-channel bitmask encoding
+unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instr import AssertionSite
+
+
+@dataclass
+class AssertionRegistry:
+    """Application-wide error-code assignment."""
+
+    codes: dict[int, tuple[str, AssertionSite]] = field(default_factory=dict)
+    by_site: dict[tuple[str, int], int] = field(default_factory=dict)
+    _next: int = 1
+
+    def register(self, process: str, site: AssertionSite) -> int:
+        key = (process, site.ordinal)
+        if key in self.by_site:
+            return self.by_site[key]
+        code = self._next
+        self._next += 1
+        self.codes[code] = (process, site)
+        self.by_site[key] = code
+        return code
+
+    def lookup(self, code: int) -> tuple[str, AssertionSite] | None:
+        return self.codes.get(code)
+
+    def message(self, code: int) -> str:
+        hit = self.lookup(code)
+        if hit is None:
+            return f"Assertion failed: <unknown error code {code}>"
+        _proc, site = hit
+        return site.message()
+
+    def __len__(self) -> int:
+        return len(self.codes)

@@ -1,0 +1,110 @@
+"""Resource replication (paper Section 3.2).
+
+"High-level synthesis can effectively increase the number of ports by
+replicating the shared block RAMs, such that all replicated instances are
+updated simultaneously by a single task."
+
+After parallelization, an assertion's array operand survives as an
+*extract load* whose only consumer is the tap. Inside a pipelined loop that
+load competes with the application's own accesses for the array's port and
+degrades the initiation interval (Section 5.4's rate 2 → 3). This pass
+gives such loads a private copy: a shadow array receives a duplicate of
+every store to the original (the duplicate store targets a different block
+RAM, so it co-issues for free), and the assertion-dedicated loads are
+retargeted to the shadow. Rate recovers; the paper's measured cost is one
+extra pipeline stage (the extract load must still follow the same-iteration
+store) plus the shadow block RAM — "reduce performance overhead at the
+cost of increased area overhead".
+
+Replication is applied only inside pipelined loops: in sequential code the
+port conflict costs a single state only when accesses are consecutive, and
+the paper's Table 3 keeps that cycle rather than paying a block RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import IRFunction
+from repro.ir.instr import Instr
+from repro.ir.ops import OpKind
+from repro.ir.values import ArrayDecl
+
+
+@dataclass
+class ReplicationResult:
+    shadows: dict[str, str] = field(default_factory=dict)  # original -> shadow
+    loads_retargeted: int = 0
+    stores_duplicated: int = 0
+
+
+def _assertion_dedicated_loads(func: IRFunction) -> dict[tuple[str, int], str]:
+    """{(block, index): array} for loads whose only consumers are taps."""
+    # map temp name -> list of consuming instructions
+    consumers: dict[str, list[Instr]] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            for u in instr.uses():
+                consumers.setdefault(u.name, []).append(instr)
+    out: dict[tuple[str, int], str] = {}
+    for bname, block in func.blocks.items():
+        for idx, instr in enumerate(block.instrs):
+            if instr.op != OpKind.LOAD:
+                continue
+            dest = instr.dest
+            uses = consumers.get(dest.name, [])
+            if uses and all(u.op == OpKind.TAP for u in uses):
+                out[(bname, idx)] = instr.attrs["array"]
+    return out
+
+
+def replicate_arrays(func: IRFunction) -> ReplicationResult:
+    """Apply resource replication to assertion-dedicated loads in pipelined
+    loops. Mutates ``func``; idempotent on a function without such loads."""
+    result = ReplicationResult()
+    cfg = CFG.build(func)
+    pipelined_blocks: set[str] = set()
+    for loop in cfg.pipelined_loops():
+        pipelined_blocks |= set(loop.body)
+
+    dedicated = _assertion_dedicated_loads(func)
+    target_arrays: set[str] = set()
+    retarget: list[tuple[Instr, str]] = []
+    for (bname, idx), array in dedicated.items():
+        if bname not in pipelined_blocks:
+            continue
+        load = func.blocks[bname].instrs[idx]
+        # replication only pays off when the app also touches the array
+        app_accesses = [i for i in func.array_accesses(array) if i is not load]
+        if not app_accesses:
+            continue
+        target_arrays.add(array)
+        retarget.append((load, array))
+
+    for array in sorted(target_arrays):
+        arr = func.arrays[array]
+        shadow_name = f"{array}__shadow"
+        if shadow_name not in func.arrays:
+            func.arrays[shadow_name] = ArrayDecl(
+                shadow_name, arr.elem, arr.size, init=arr.init, const=arr.const
+            )
+        result.shadows[array] = shadow_name
+        # duplicate every store so the shadow mirrors the original
+        for block in func.blocks.values():
+            new_instrs: list[Instr] = []
+            for instr in block.instrs:
+                new_instrs.append(instr)
+                if instr.op == OpKind.STORE and instr.attrs.get("array") == array:
+                    dup = instr.copy()
+                    dup.attrs["array"] = shadow_name
+                    new_instrs.append(dup)
+                    result.stores_duplicated += 1
+            block.instrs = new_instrs
+
+    # retarget the extract loads (held by reference: store duplication above
+    # shifted indices but not identities)
+    for load, array in retarget:
+        load.attrs["array"] = result.shadows[array]
+        result.loads_retargeted += 1
+    return result

@@ -1,0 +1,202 @@
+"""Assertion synthesis orchestration — the toolchain's public entry point.
+
+``synthesize(app, assertions=...)`` clones the application, implements its
+``assert()`` statements as in-circuit checkers at the requested level, and
+hardware-compiles every process:
+
+* ``"none"``     — ``NDEBUG``: assertions are stripped; this is the
+  baseline ("Original") column of the paper's tables.
+* ``"unoptimized"`` — each assertion becomes an inline if-statement plus a
+  per-process failure stream (Section 4.1).
+* ``"optimized"``   — assertion parallelization (separate checker
+  processes, Section 3.1), resource replication for array operands in
+  pipelined loops (Section 3.2), and shared failure channels packing 32
+  assertions per 32-bit stream (Sections 3.3/4.2). Each optimization can be
+  disabled individually for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrument import FAIL_PARAM, instrument_unoptimized, strip_assertions
+from repro.core.parallelize import CHECK_FAIL_PARAM, parallelize_function
+from repro.core.registry import AssertionRegistry
+from repro.core.replicate import replicate_arrays
+from repro.core.share import build_collectors
+from repro.errors import AssertionSynthesisError
+from repro.hls.compiler import compile_process
+from repro.hls.constraints import HLSConfig
+from repro.ir.transform import eliminate_dead_code
+from repro.ir.verify import verify_function
+from repro.runtime.hwexec import FailStreamDecode, HardwareImage
+from repro.runtime.taskgraph import Application
+
+LEVELS = ("none", "unoptimized", "optimized")
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Fine-grained switches for ablation experiments."""
+
+    parallelize: bool = True
+    replicate: bool = True
+    share: bool = True
+    share_word_width: int = 32
+    #: Section 3.3 future-work extension: merge all (division-free) checkers
+    #: into one round-robin pipelined checker fed by per-assertion FIFOs.
+    multichecker: bool = False
+    multichecker_group: int = 32
+
+
+def synthesize(
+    app: Application,
+    assertions: str = "optimized",
+    options: SynthesisOptions | None = None,
+    nabort: bool | None = None,
+    faults: dict[str, tuple] | None = None,
+    configs: dict[str, HLSConfig] | None = None,
+) -> HardwareImage:
+    """Synthesize ``app`` into a :class:`HardwareImage`.
+
+    ``faults`` maps process names to translation-fault tuples
+    (:mod:`repro.hls.faults`), injected into the hardware side only.
+    ``configs`` overrides per-process HLS configuration.
+    """
+    if assertions not in LEVELS:
+        raise AssertionSynthesisError(
+            f"assertions={assertions!r}; expected one of {LEVELS}"
+        )
+    options = options or SynthesisOptions()
+    if assertions == "optimized" and not options.parallelize:
+        # without parallelization the "optimized" level degenerates to the
+        # if-statement conversion; replication/sharing need checker processes
+        assertions = "unoptimized"
+
+    hw_app = app.clone(f"{app.name}@{assertions}")
+    if nabort is not None:
+        hw_app.nabort = nabort
+    registry = AssertionRegistry()
+    decode: dict[str, FailStreamDecode] = {}
+    plans = []
+
+    latency_regions = []
+    for pd in list(hw_app.fpga_processes()):
+        func = pd.func
+        # timing assertions (future-work extension): extract the latency
+        # monitor at any level except 'none'
+        from repro.core.timing_assert import (
+            extract_latency_regions,
+            has_latency_markers,
+            strip_latency_markers,
+        )
+
+        if has_latency_markers(func):
+            if assertions == "none":
+                strip_latency_markers(func)
+            else:
+                spec = extract_latency_regions(func, pd.name)
+                for region in spec.regions:
+                    hw_app.add_tap(region.start_channel, pd.name,
+                                   "__latmon", (1,))
+                    hw_app.add_tap(region.end_channel, pd.name,
+                                   "__latmon", (1,))
+                    latency_regions.append(region)
+        if assertions == "none":
+            strip_assertions(func)
+        elif assertions == "unoptimized":
+            n = instrument_unoptimized(
+                func, lambda site: registry.register(pd.name, site)
+            )
+            if n:
+                stream_name = f"{pd.name}__afail"
+                hw_app.sink(stream_name, f"{pd.name}.{FAIL_PARAM}",
+                            role="assert_code")
+                table = FailStreamDecode(mode="code")
+                for code, (proc, site) in registry.codes.items():
+                    if proc == pd.name:
+                        table.table[code] = (proc, site)
+                decode[stream_name] = table
+        else:  # optimized
+            res = parallelize_function(
+                func,
+                pd.name,
+                lambda site: registry.register(pd.name, site),
+                share=options.share,
+            )
+            # DCE must precede replication: the inline condition logic that
+            # parallelization orphaned still consumes the extract loads, and
+            # replication targets loads whose only consumers are taps
+            eliminate_dead_code(func)
+            if options.replicate:
+                replicate_arrays(func)
+            plans.extend(res.checkers)
+        eliminate_dead_code(func)
+        verify_function(func)
+
+    # wire checker processes into the graph
+    merged_plans: set[str] = set()
+    if plans and options.multichecker and options.share:
+        from repro.core.multichecker import build_multichecker, partition_plans
+        from repro.runtime.taskgraph import ProcessDef
+
+        mergeable, _individual = partition_plans(plans)
+        for gi in range(0, len(mergeable), options.multichecker_group):
+            group = mergeable[gi:gi + options.multichecker_group]
+            if len(group) < 2:
+                continue  # a singleton group gains nothing
+            mc = build_multichecker(f"__mchk{gi // options.multichecker_group}",
+                                    group)
+            arbiter = ProcessDef(name=f"{mc.checker.name}__arb", func=None,
+                                 kind="arbiter", daemon=True,
+                                 collector_spec=mc.arbiter)
+            hw_app.processes[arbiter.name] = arbiter
+            slot_widths = []
+            for plan in group:
+                slot_widths.extend(plan.tap_widths)
+            hw_app.add_tap(mc.arbiter.output, arbiter.name, mc.checker.name,
+                           (8, *slot_widths))
+            hw_app.add_ir_process(mc.checker, daemon=True)
+            for plan in group:
+                hw_app.add_tap(plan.tap_channel, plan.app_process,
+                               arbiter.name, plan.tap_widths)
+                merged_plans.add(plan.checker.name)
+
+    for plan in plans:
+        if plan.checker.name in merged_plans:
+            continue
+        hw_app.add_tap(plan.tap_channel, plan.app_process,
+                       plan.checker.name, plan.tap_widths)
+        hw_app.add_ir_process(plan.checker, daemon=True)
+        if plan.fail_mode == "stream":
+            stream_name = f"{plan.checker.name}_out"
+            hw_app.sink(stream_name, f"{plan.checker.name}.{CHECK_FAIL_PARAM}",
+                        role="assert_code")
+            decode[stream_name] = FailStreamDecode(
+                mode="code", table={plan.code: (plan.app_process, plan.site)}
+            )
+    if plans and options.share:
+        share_res = build_collectors(
+            hw_app, plans, registry.lookup, options.share_word_width
+        )
+        decode.update(share_res.fail_streams)
+
+    # hardware-compile every process
+    compiled = {}
+    for pd in hw_app.fpga_processes():
+        config = (configs or {}).get(pd.name) or pd.config or HLSConfig()
+        if faults and pd.name in faults:
+            config = HLSConfig(schedule=config.schedule,
+                               faults=tuple(faults[pd.name]))
+        compiled[pd.name] = compile_process(pd.func, config)
+
+    image = HardwareImage(
+        app=hw_app,
+        compiled=compiled,
+        assert_decode=decode,
+        nabort=hw_app.nabort,
+        assertion_level=assertions,
+        latency_regions=latency_regions,
+    )
+    image.registry = registry  # type: ignore[attr-defined]
+    return image

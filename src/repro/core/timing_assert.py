@@ -1,0 +1,161 @@
+"""Timing assertions — the paper's second future-work item, implemented.
+
+Section 6: "Future work includes adding the ability for assertions to
+check the timing of the lines of code, which would be useful for verifying
+timing properties of an application in terms of clock cycles."
+
+Dialect extension (two intrinsics, usable anywhere a statement is legal):
+
+``co_latency_start(id)``
+    Marks the start of measured region ``id`` (a compile-time constant).
+``co_latency_end(id, bound)``
+    Marks the end; the elapsed clock cycles from the most recent start of
+    ``id`` must be **at most** ``bound``.
+
+During software simulation the intrinsics are inert (software timing says
+nothing about circuit timing — the whole point of the paper). In hardware
+they lower to 1-bit event taps; a *latency monitor* (HDL-instrumented
+plumbing, like the failure collectors: a counter per region plus a
+comparator) timestamps the events and reports a violation through the
+normal assertion notification path, with a source-accurate message::
+
+    Latency assertion failed: region 2 took 37 cycles (bound 16),
+    file app.c, line 12, function f
+
+Violations honour ``NABORT`` exactly like value assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssertionSynthesisError
+from repro.ir.function import IRFunction
+from repro.ir.instr import AssertionSite, Instr
+from repro.ir.ops import OpKind
+
+
+@dataclass
+class LatencyRegion:
+    """One measured region inside one process."""
+
+    region_id: int
+    bound: int
+    process: str
+    start_channel: str
+    end_channel: str
+    site: AssertionSite
+
+    def message(self, cycles: int) -> str:
+        return (
+            f"Latency assertion failed: region {self.region_id} took "
+            f"{cycles} cycles (bound {self.bound}), file {self.site.file}, "
+            f"line {self.site.line}, function {self.site.function}"
+        )
+
+
+@dataclass
+class LatencyMonitorSpec:
+    """Cycle-level monitor behaviour; executed by the hardware runtime."""
+
+    regions: list[LatencyRegion] = field(default_factory=list)
+
+
+def extract_latency_regions(
+    func: IRFunction, process_name: str
+) -> LatencyMonitorSpec:
+    """Convert latency intrinsic markers into tap events + a monitor spec.
+
+    The lowering phase leaves ``TAP`` instructions whose attrs carry
+    ``latency_role`` ('start'/'end'), ``latency_id`` and (for ends)
+    ``latency_bound``; this pass names their channels uniquely per process
+    and returns the monitor spec. Mutates ``func``.
+    """
+    spec = LatencyMonitorSpec()
+    starts: dict[int, str] = {}
+    ends: dict[int, tuple[str, int, AssertionSite]] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            role = instr.attrs.get("latency_role")
+            if role is None:
+                continue
+            region_id = instr.attrs["latency_id"]
+            channel = f"{process_name}__lat{region_id}_{role}"
+            instr.attrs["channel"] = channel
+            if role == "start":
+                if region_id in starts:
+                    raise AssertionSynthesisError(
+                        f"{process_name}: duplicate co_latency_start({region_id})"
+                    )
+                starts[region_id] = channel
+            else:
+                if region_id in ends:
+                    raise AssertionSynthesisError(
+                        f"{process_name}: duplicate co_latency_end({region_id})"
+                    )
+                ends[region_id] = (
+                    channel,
+                    instr.attrs["latency_bound"],
+                    instr.attrs["latency_site"],
+                )
+    for region_id, (end_channel, bound, site) in sorted(ends.items()):
+        if region_id not in starts:
+            raise AssertionSynthesisError(
+                f"{process_name}: co_latency_end({region_id}) without start"
+            )
+        spec.regions.append(
+            LatencyRegion(
+                region_id=region_id,
+                bound=bound,
+                process=process_name,
+                start_channel=starts[region_id],
+                end_channel=end_channel,
+                site=site,
+            )
+        )
+    for region_id in starts:
+        if region_id not in ends:
+            raise AssertionSynthesisError(
+                f"{process_name}: co_latency_start({region_id}) without end"
+            )
+    return spec
+
+
+def strip_latency_markers(func: IRFunction) -> int:
+    """Remove latency taps (the NDEBUG / assertions='none' configuration)."""
+    removed = 0
+    for block in func.blocks.values():
+        before = len(block.instrs)
+        block.instrs = [
+            i for i in block.instrs if i.attrs.get("latency_role") is None
+        ]
+        removed += before - len(block.instrs)
+    return removed
+
+
+def has_latency_markers(func: IRFunction) -> bool:
+    return any(
+        i.attrs.get("latency_role") is not None for i in func.instructions()
+    )
+
+
+def monitor_tap_channels(spec: LatencyMonitorSpec) -> list[tuple[str, str]]:
+    """(start, end) channel pairs for graph wiring."""
+    return [(r.start_channel, r.end_channel) for r in spec.regions]
+
+
+def make_marker(role: str, region_id: int, bound: int | None,
+                site: AssertionSite | None) -> Instr:
+    """Build the IR marker instruction (used by the frontend lowering)."""
+    from repro.frontend.ctypes_ import U1
+    from repro.ir.values import Const
+
+    attrs: dict = {
+        "latency_role": role,
+        "latency_id": region_id,
+        "channel": f"__lat{region_id}_{role}",  # renamed by extraction
+    }
+    if role == "end":
+        attrs["latency_bound"] = bound
+        attrs["latency_site"] = site
+    return Instr(OpKind.TAP, [], [Const(1, U1)], attrs)

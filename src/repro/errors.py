@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro HLS toolchain.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch toolchain failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all toolchain errors."""
+
+
+class PreprocessorError(ReproError):
+    """Raised for malformed preprocessor directives or unbalanced conditionals."""
+
+    def __init__(self, message: str, filename: str = "<source>", line: int = 0):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+class ParseError(ReproError):
+    """Raised when the C dialect parser rejects the input."""
+
+
+class TypeError_(ReproError):
+    """Raised for C-level type violations (name kept distinct from builtins)."""
+
+
+class LoweringError(ReproError):
+    """Raised when the AST-to-IR lowering encounters unsupported constructs."""
+
+
+class IRError(ReproError):
+    """Raised by the IR verifier for malformed IR."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a legal schedule cannot be constructed."""
+
+
+class BindingError(ReproError):
+    """Raised when resource binding fails (e.g. conflicting lifetimes)."""
+
+
+class CodegenError(ReproError):
+    """Raised when RTL generation encounters an unsupported IR shape."""
+
+
+class SimulationError(ReproError):
+    """Raised by the RTL or software simulators for illegal states."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every process in a simulation is blocked (hang detected).
+
+    Carries a per-process trace so the hang can be located, mirroring the
+    paper's Section 5.1 debugging methodology.
+    """
+
+    def __init__(self, message: str, traces: dict | None = None):
+        super().__init__(message)
+        self.traces = dict(traces or {})
+
+
+class PlatformError(ReproError):
+    """Raised when a design does not fit the target device."""
+
+
+class AssertionSynthesisError(ReproError):
+    """Raised by the assertion instrumentation/optimization passes."""

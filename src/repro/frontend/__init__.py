@@ -1,0 +1,32 @@
+"""C-dialect frontend: preprocessor, parser, type system, lowering.
+
+``lower_source`` is exposed lazily: the lowering module depends on the IR
+package, which itself uses the frontend type system, so importing it at
+package-init time would be circular.
+"""
+
+from repro.frontend.cpp import PreprocessResult, preprocess
+from repro.frontend.ctypes_ import CType, common_type, lookup_type
+from repro.frontend.intrinsics import INTRINSICS, is_intrinsic
+from repro.frontend.parser import ParsedSource, parse_source
+
+__all__ = [
+    "PreprocessResult",
+    "preprocess",
+    "CType",
+    "common_type",
+    "lookup_type",
+    "INTRINSICS",
+    "is_intrinsic",
+    "lower_source",
+    "ParsedSource",
+    "parse_source",
+]
+
+
+def __getattr__(name: str):
+    if name == "lower_source":
+        from repro.frontend.lowering import lower_source
+
+        return lower_source
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,50 @@
+"""Intrinsic functions of the synthesizable C dialect.
+
+These mirror the Impulse-C API the paper targets:
+
+``co_stream_read(stream, &var)``
+    Blocking read. Returns nonzero on success, zero once the stream is
+    closed and drained (end-of-stream) — the idiom
+    ``while (co_stream_read(in, &x)) { ... }`` is the standard process loop.
+``co_stream_write(stream, value)``
+    Blocking write (stalls while the channel FIFO is full in hardware).
+``co_stream_close(stream)``
+    Close the writing end; readers observe end-of-stream after draining.
+``assert(expr)``
+    ANSI-C assertion. The core of the paper: synthesized to an in-circuit
+    checker by :mod:`repro.core`.
+``ext_hdl(value)``
+    Stands in for the paper's "external HDL function" (Section 5.1): a
+    hand-written HDL block with a C model for software simulation. The C
+    model and the hardware implementation may be configured to differ,
+    reproducing the paper's second verification example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    name: str
+    min_args: int
+    max_args: int
+    returns_value: bool
+
+
+INTRINSICS: dict[str, Intrinsic] = {
+    "co_stream_read": Intrinsic("co_stream_read", 2, 2, True),
+    "co_stream_write": Intrinsic("co_stream_write", 2, 2, False),
+    "co_stream_close": Intrinsic("co_stream_close", 1, 1, False),
+    "assert": Intrinsic("assert", 1, 1, False),
+    "ext_hdl": Intrinsic("ext_hdl", 1, 1, True),
+    # timing assertions (the paper's future-work extension): bound the
+    # clock cycles elapsed between two source lines
+    "co_latency_start": Intrinsic("co_latency_start", 1, 1, False),
+    "co_latency_end": Intrinsic("co_latency_end", 2, 2, False),
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS

@@ -1,0 +1,105 @@
+"""pycparser-based parser for the synthesizable C dialect.
+
+Pipeline: :func:`repro.frontend.cpp.preprocess` → prolog injection
+(typedefs for ``intN``/``uintN`` and ``co_stream`` so pycparser's lexer
+classifies them as type names) → ``pycparser.CParser``.
+
+The prolog is followed by a ``#line`` marker resetting coordinates, so all
+AST coordinates refer to the user's original source — assertion error codes
+(file name + line number) must match the unpreprocessed file exactly, as in
+ANSI-C ``assert``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pycparser
+from pycparser import c_ast
+
+from repro.errors import ParseError
+from repro.frontend import ctypes_
+from repro.frontend.cpp import PreprocessResult, preprocess
+
+#: Type name used for stream-typed parameters in dialect sources.
+STREAM_TYPE_NAME = "co_stream"
+
+
+def _build_prolog() -> str:
+    lines = []
+    for name in ctypes_.all_dialect_typedef_names():
+        # The underlying builtin chosen here is irrelevant; only the typedef
+        # *name* matters to the lexer, and our own type table supplies widths.
+        lines.append(f"typedef unsigned int {name};")
+    lines.append(f"typedef int {STREAM_TYPE_NAME};")
+    return "\n".join(lines)
+
+
+_PROLOG = _build_prolog()
+_PARSER = pycparser.CParser()
+
+
+@dataclass
+class ParsedSource:
+    """A parsed translation unit plus preprocessing facts."""
+
+    ast: c_ast.FileAST
+    preprocessed: PreprocessResult
+    filename: str
+    functions: dict[str, c_ast.FuncDef] = field(default_factory=dict)
+
+    @property
+    def ndebug(self) -> bool:
+        return self.preprocessed.ndebug
+
+    @property
+    def nabort(self) -> bool:
+        return self.preprocessed.nabort
+
+
+def parse_source(
+    source: str,
+    filename: str = "<source>",
+    defines: dict[str, str] | None = None,
+) -> ParsedSource:
+    """Parse dialect C ``source`` into a :class:`ParsedSource`.
+
+    ``defines`` seeds preprocessor macros — pass ``{"NDEBUG": ""}`` to
+    compile assertions out, ``{"NABORT": ""}`` for report-and-continue.
+    """
+    pre = preprocess(source, defines=defines, filename=filename)
+    full = f'{_PROLOG}\n#line 1 "{filename}"\n{pre.text}'
+    try:
+        ast = _PARSER.parse(full, filename=filename)
+    except Exception as exc:  # pycparser's ParseError module moved across
+        # releases (plyparser -> c_parser); match by name to stay compatible
+        if type(exc).__name__ != "ParseError":
+            raise
+        raise ParseError(str(exc)) from exc
+
+    parsed = ParsedSource(ast=ast, preprocessed=pre, filename=filename)
+    for ext in ast.ext:
+        if isinstance(ext, c_ast.FuncDef):
+            name = ext.decl.name
+            if name in parsed.functions:
+                raise ParseError(f"duplicate function definition {name!r}")
+            parsed.functions[name] = ext
+    return parsed
+
+
+def declared_type_name(decl: c_ast.Decl) -> str:
+    """Extract the scalar/array element type spelling from a declaration."""
+    node = decl.type
+    while isinstance(node, (c_ast.ArrayDecl, c_ast.PtrDecl)):
+        node = node.type
+    if isinstance(node, c_ast.TypeDecl) and isinstance(node.type, c_ast.IdentifierType):
+        return " ".join(node.type.names)
+    raise ParseError(f"unsupported declaration shape for {decl.name!r}")
+
+
+def coord_of(node: c_ast.Node) -> tuple[str, int]:
+    """(filename, line) for a node; (``"?"``, 0) when pycparser lacks it."""
+    coord = getattr(node, "coord", None)
+    if coord is None:
+        return ("?", 0)
+    return (coord.file or "?", coord.line or 0)

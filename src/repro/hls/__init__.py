@@ -1,0 +1,37 @@
+"""High-level synthesis: scheduling, pipelining, binding, faults, cycle model."""
+
+from repro.hls.binding import BindingReport, FunctionalUnit, bind_function
+from repro.hls.compiler import CompiledProcess, compile_process
+from repro.hls.constraints import HLSConfig, ScheduleConfig
+from repro.hls.cyclemodel import Channel, ProcessExec, ProcessTrace
+from repro.hls.faults import FaultError, NarrowCompare, ReadForWrite, apply_faults
+from repro.hls.pipeline import PipelineSchedule, schedule_pipelined_loop
+from repro.hls.schedule import (
+    BlockSchedule,
+    FunctionSchedule,
+    schedule_block,
+    schedule_function,
+)
+
+__all__ = [
+    "BindingReport",
+    "FunctionalUnit",
+    "bind_function",
+    "CompiledProcess",
+    "compile_process",
+    "HLSConfig",
+    "ScheduleConfig",
+    "Channel",
+    "ProcessExec",
+    "ProcessTrace",
+    "FaultError",
+    "NarrowCompare",
+    "ReadForWrite",
+    "apply_faults",
+    "PipelineSchedule",
+    "schedule_pipelined_loop",
+    "BlockSchedule",
+    "FunctionSchedule",
+    "schedule_block",
+    "schedule_function",
+]

@@ -1,0 +1,153 @@
+"""Functional-unit binding and resource sharing.
+
+Classic high-level synthesis resource sharing [De Micheli 1994], cited by
+the paper as the basis for its assertion resource-sharing optimization:
+operations that can never be active in the same clock cycle share one
+functional unit, at the price of operand multiplexers.
+
+Conflict rules:
+
+* ops of a sequential (non-pipelined) FSM conflict iff they execute in the
+  same block *and* the same control step — distinct states are mutually
+  exclusive in time;
+* ops of a pipelined region conflict iff they occupy the same modulo slot
+  (``step % II``), because every slot is live each initiation;
+* sequential ops never conflict with pipelined ops of the same process
+  (the FSM is either in the pipeline region or outside it).
+
+The binder is also what makes multiple assertions inside one process cheap:
+their comparison/arithmetic ops land in different states or slots and fold
+onto shared units exactly as Section 3.3 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.schedule import FunctionSchedule
+from repro.ir.instr import Instr
+from repro.ir.ops import OpKind
+
+#: resource classes that occupy real functional units (sharable)
+_SHARABLE = {"addsub", "mult", "divide", "compare", "shift", "logic"}
+
+
+@dataclass
+class BoundOp:
+    """One operation with its temporal placement."""
+
+    instr: Instr
+    region: str           # block name or "pipe:<header>"
+    slot: int             # step (sequential) or step % II (pipelined)
+    pipelined: bool
+    width: int
+
+
+@dataclass
+class FunctionalUnit:
+    resource: str
+    width: int
+    ops: list[BoundOp] = field(default_factory=list)
+
+    @property
+    def share_count(self) -> int:
+        return len(self.ops)
+
+    @property
+    def mux_inputs(self) -> int:
+        """Operand mux fan-in added by sharing (0 when unshared)."""
+        return 0 if len(self.ops) <= 1 else len(self.ops)
+
+
+@dataclass
+class BindingReport:
+    """Binding result for one process."""
+
+    fus: list[FunctionalUnit] = field(default_factory=list)
+    #: ops that existed before sharing (for the area-savings report)
+    total_ops: int = 0
+
+    def fu_count(self, resource: str | None = None) -> int:
+        return sum(
+            1 for fu in self.fus if resource is None or fu.resource == resource
+        )
+
+    def mux_bits(self) -> int:
+        """Total multiplexer bits introduced by sharing (2 operands/unit)."""
+        bits = 0
+        for fu in self.fus:
+            if fu.share_count > 1:
+                bits += (fu.share_count - 1) * 2 * fu.width
+        return bits
+
+    def shared_away(self) -> int:
+        """How many functional units sharing eliminated."""
+        return self.total_ops - len(self.fus)
+
+
+def _conflicts(a: BoundOp, b: BoundOp) -> bool:
+    # Different regions (distinct FSM states / pipeline vs. sequential code)
+    # are mutually exclusive in time; within a region, same step or same
+    # modulo slot means simultaneously active.
+    return a.region == b.region and a.slot == b.slot
+
+
+def _op_width(instr: Instr) -> int:
+    widths = [d.ty.width for d in instr.dests]
+    widths += [a.ty.width for a in instr.args if hasattr(a, "ty")]
+    return max(widths) if widths else 1
+
+
+def bind_function(fsched: FunctionSchedule) -> BindingReport:
+    """Greedy width-aware binding over all sharable ops of a process."""
+    ops: list[BoundOp] = []
+    for bname, bs in fsched.blocks.items():
+        block = fsched.func.blocks[bname]
+        for idx, step in bs.instr_step.items():
+            instr = block.instrs[idx]
+            if instr.info.resource in _SHARABLE:
+                ops.append(BoundOp(instr, bname, step, False, _op_width(instr)))
+    for header, ps in fsched.pipelines.items():
+        for idx, step in ps.instr_step.items():  # type: ignore[attr-defined]
+            instr = ps.instrs[idx]  # type: ignore[attr-defined]
+            if instr.info.resource in _SHARABLE:
+                ops.append(
+                    BoundOp(
+                        instr,
+                        f"pipe:{header}",
+                        step % ps.ii,  # type: ignore[attr-defined]
+                        True,
+                        _op_width(instr),
+                    )
+                )
+
+    report = BindingReport(total_ops=len(ops))
+    # Greedy: widest first so narrow ops fold into wide units.
+    by_class: dict[str, list[BoundOp]] = {}
+    for op in ops:
+        by_class.setdefault(op.instr.info.resource, []).append(op)
+    for resource, group in sorted(by_class.items()):
+        group.sort(key=lambda o: -o.width)
+        units: list[FunctionalUnit] = []
+        for op in group:
+            placed = False
+            for fu in units:
+                if all(not _conflicts(op, other) for other in fu.ops):
+                    fu.ops.append(op)
+                    fu.width = max(fu.width, op.width)
+                    placed = True
+                    break
+            if not placed:
+                units.append(FunctionalUnit(resource, op.width, [op]))
+        report.fus.extend(units)
+    return report
+
+
+#: ops that never occupy functional units but still cost area (wires/regs)
+FREE_OPS = {
+    OpKind.MOV,
+    OpKind.TRUNC,
+    OpKind.ZEXT,
+    OpKind.SEXT,
+    OpKind.TAP,
+}

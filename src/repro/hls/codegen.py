@@ -1,0 +1,705 @@
+"""RTL generation: schedules → :class:`repro.rtl.core.Module`.
+
+The generated structure mirrors what Impulse-C emits: one FSMD per process
+— a state machine whose states are the scheduler's control steps, with
+blocking-assignment datapath chains inside each state, flow-through memory
+reads, ready/valid stream endpoints, and (for pipelined loops) a
+stage-registered datapath with valid bits.
+
+Semantics are encoded structurally (explicit zero/sign extensions, signed
+comparison flags), so the RTL simulator evaluates the same integer
+operations as the IR interpreter. Sequential (non-pipelined) modules are
+cross-validated against the cycle model in the test suite; pipelined
+regions are emitted for inspection/synthesis and their timing is owned by
+the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CodegenError
+from repro.frontend.ctypes_ import CType, common_type
+from repro.hls.compiler import CompiledProcess
+from repro.ir.instr import Branch, Instr, Jump, Return
+from repro.ir.ops import OpKind
+from repro.ir.values import Const, Temp, Value
+from repro.rtl import core as R
+from repro.utils.bitops import clog2
+
+_BIN_VERILOG = {
+    OpKind.ADD: "+",
+    OpKind.SUB: "-",
+    OpKind.MUL: "*",
+    OpKind.DIV: "/",
+    OpKind.MOD: "%",
+    OpKind.AND: "&",
+    OpKind.OR: "|",
+    OpKind.XOR: "^",
+    OpKind.EQ: "==",
+    OpKind.NE: "!=",
+    OpKind.LT: "<",
+    OpKind.LE: "<=",
+    OpKind.GT: ">",
+    OpKind.GE: ">=",
+}
+
+
+@dataclass
+class _StreamPorts:
+    """Endpoint signals for one stream parameter."""
+
+    name: str
+    is_reader: bool
+    data: R.Signal
+    flag_a: R.Signal   # reader: empty; writer: full
+    flag_b: R.Signal   # reader: eos;   writer: close (output)
+    strobe: R.Signal   # reader: re;    writer: we
+    #: (state index, extra gate expr or None) pairs that drive the strobe
+    drivers: list[tuple[int, R.Expr | None]] = field(default_factory=list)
+    close_states: list[int] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self, cp: CompiledProcess):
+        self.cp = cp
+        self.func = cp.hw_func
+        self.module = R.Module(name=self.func.name)
+        self.reg_of: dict[str, R.Signal] = {}
+        self.streams: dict[str, _StreamPorts] = {}
+        self.state_index: dict[tuple[str, int], int] = {}
+        self._exthdl_wires = 0
+
+    # ---- signal helpers ----------------------------------------------------
+
+    def _reg(self, name: str, ty: CType) -> R.Signal:
+        if name not in self.reg_of:
+            sig = R.Signal(f"r_{name}", ty.width, ty.signed)
+            self.reg_of[name] = sig
+            self.module.regs.append(sig)
+        return self.reg_of[name]
+
+    def _operand(self, value: Value, ct: CType | None = None) -> R.Expr:
+        if isinstance(value, Const):
+            width = ct.width if ct else value.ty.width
+            from repro.utils.bitops import truncate
+
+            return R.Lit(truncate(value.value, width), width)
+        if isinstance(value, Temp):
+            expr: R.Expr = R.Ref(self._reg(value.name, value.ty))
+            if ct is not None and ct.width != value.ty.width:
+                op = "sext" if value.ty.signed else "zext"
+                if ct.width < value.ty.width:
+                    expr = R.SliceExpr(expr, ct.width - 1, 0)
+                else:
+                    expr = R.UnExpr(op, expr, ct.width)
+            return expr
+        raise CodegenError(f"bad operand {value!r}")
+
+    # ---- interface construction ------------------------------------------------
+
+    def _declare_ports(self) -> None:
+        m = self.module
+        m.ports.append(R.Port(R.Signal("clk", 1), R.PortDir.IN))
+        m.ports.append(R.Port(R.Signal("rst", 1), R.PortDir.IN))
+        reads, writes = _stream_directions(self.func)
+        for sp in self.func.streams:
+            is_reader = sp.name in reads
+            prefix = sp.name
+            if is_reader:
+                ports = _StreamPorts(
+                    name=sp.name,
+                    is_reader=True,
+                    data=R.Signal(f"{prefix}_data", sp.width),
+                    flag_a=R.Signal(f"{prefix}_empty", 1),
+                    flag_b=R.Signal(f"{prefix}_eos", 1),
+                    strobe=R.Signal(f"{prefix}_re", 1),
+                )
+                m.ports.append(R.Port(ports.data, R.PortDir.IN))
+                m.ports.append(R.Port(ports.flag_a, R.PortDir.IN))
+                m.ports.append(R.Port(ports.flag_b, R.PortDir.IN))
+                m.ports.append(R.Port(ports.strobe, R.PortDir.OUT))
+            else:
+                ports = _StreamPorts(
+                    name=sp.name,
+                    is_reader=False,
+                    data=R.Signal(f"{prefix}_data", sp.width),
+                    flag_a=R.Signal(f"{prefix}_full", 1),
+                    flag_b=R.Signal(f"{prefix}_close", 1),
+                    strobe=R.Signal(f"{prefix}_we", 1),
+                )
+                m.ports.append(R.Port(ports.data, R.PortDir.OUT))
+                m.ports.append(R.Port(ports.flag_a, R.PortDir.IN))
+                m.ports.append(R.Port(ports.flag_b, R.PortDir.OUT))
+                m.ports.append(R.Port(ports.strobe, R.PortDir.OUT))
+            self.streams[sp.name] = ports
+        # tap channels become simple valid/data output bundles
+        taps_out: dict[str, int] = {}
+        for instr in self.func.instructions():
+            if instr.op == OpKind.TAP:
+                width = sum(a.ty.width for a in instr.args)
+                taps_out[instr.attrs["channel"]] = width
+        for channel, width in sorted(taps_out.items()):
+            m.ports.append(
+                R.Port(R.Signal(f"tap_{_san(channel)}_data", width), R.PortDir.OUT)
+            )
+            m.ports.append(
+                R.Port(R.Signal(f"tap_{_san(channel)}_valid", 1), R.PortDir.OUT)
+            )
+        # tap_read inputs (checker processes)
+        taps_in: dict[str, int] = {}
+        for instr in self.func.instructions():
+            if instr.op == OpKind.TAP_READ:
+                width = sum(d.ty.width for d in instr.dests[1:]) or 1
+                taps_in[instr.attrs["channel"]] = width
+        for channel, width in sorted(taps_in.items()):
+            base = f"tapin_{_san(channel)}"
+            m.ports.append(R.Port(R.Signal(f"{base}_data", width), R.PortDir.IN))
+            m.ports.append(R.Port(R.Signal(f"{base}_empty", 1), R.PortDir.IN))
+            m.ports.append(R.Port(R.Signal(f"{base}_re", 1), R.PortDir.OUT))
+
+    # ---- instruction lowering -----------------------------------------------------
+
+    def _instr_stmts(self, instr: Instr, state_idx: int) -> list[R.Stmt]:
+        op = instr.op
+        if op in (OpKind.MOV, OpKind.TRUNC, OpKind.ZEXT, OpKind.SEXT):
+            src = instr.args[0]
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            ext = "sext" if (op == OpKind.SEXT) else "zext"
+            expr = self._operand(src)
+            if instr.dest.ty.width > src.ty.width:
+                expr = R.UnExpr(ext, expr, instr.dest.ty.width)
+            elif instr.dest.ty.width < src.ty.width:
+                expr = R.SliceExpr(expr, instr.dest.ty.width - 1, 0)
+            return [R.BlockingAssign(dest, expr)]
+        if op in (OpKind.NEG, OpKind.NOT):
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            vop = "-" if op == OpKind.NEG else "~"
+            return [
+                R.BlockingAssign(
+                    dest,
+                    R.UnExpr(vop, self._operand(instr.args[0]), instr.dest.ty.width),
+                )
+            ]
+        if op == OpKind.LNOT:
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            return [
+                R.BlockingAssign(
+                    dest, R.UnExpr("!", self._operand(instr.args[0]), 1)
+                )
+            ]
+        if op == OpKind.SELECT:
+            cond, a, b = instr.args
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            return [
+                R.BlockingAssign(
+                    dest,
+                    R.CondExpr(
+                        self._operand(cond),
+                        self._operand(a, instr.dest.ty),
+                        self._operand(b, instr.dest.ty),
+                        instr.dest.ty.width,
+                    ),
+                )
+            ]
+        if op in _BIN_VERILOG and op != OpKind.SHL:
+            a, b = instr.args
+            ct = common_type(a.ty, b.ty)
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            from repro.ir.ops import COMPARISONS
+
+            if op in COMPARISONS:
+                force = instr.attrs.get("force_compare_width")
+                if force is not None:
+                    # the paper's narrow-compare translation fault: compare
+                    # only the low ``force`` bits
+                    ea = R.SliceExpr(self._operand(a), force - 1, 0)
+                    eb = R.SliceExpr(self._operand(b), force - 1, 0)
+                    return [
+                        R.BlockingAssign(
+                            dest,
+                            R.BinExpr(_BIN_VERILOG[op], ea, eb, 1),
+                        )
+                    ]
+                return [
+                    R.BlockingAssign(
+                        dest,
+                        R.BinExpr(
+                            _BIN_VERILOG[op],
+                            self._operand(a, ct),
+                            self._operand(b, ct),
+                            1,
+                            signed_cmp=ct.signed,
+                        ),
+                    )
+                ]
+            return [
+                R.BlockingAssign(
+                    dest,
+                    R.BinExpr(
+                        _BIN_VERILOG[op],
+                        self._operand(a, ct),
+                        self._operand(b, ct),
+                        ct.width,
+                        signed_cmp=ct.signed,
+                    ),
+                )
+            ]
+        if op in (OpKind.SHL, OpKind.SHR):
+            a, b = instr.args
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            vop = "<<" if op == OpKind.SHL else (">>>" if a.ty.signed else ">>")
+            return [
+                R.BlockingAssign(
+                    dest,
+                    R.BinExpr(
+                        vop,
+                        self._operand(a, instr.dest.ty if op == OpKind.SHL else None),
+                        self._operand(b),
+                        instr.dest.ty.width,
+                        signed_cmp=a.ty.signed and op == OpKind.SHR,
+                    ),
+                )
+            ]
+        if op == OpKind.LOAD:
+            arr = self.func.arrays[instr.attrs["array"]]
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            idx_w = clog2(max(2, arr.size))
+            idx = self._operand(instr.args[0])
+            if instr.args[0].ty.width > idx_w:
+                idx = R.SliceExpr(idx, idx_w - 1, 0)
+            return [
+                R.BlockingAssign(
+                    dest, R.MemRead(arr.name, idx, arr.elem.width)
+                )
+            ]
+        if op == OpKind.STORE:
+            arr = self.func.arrays[instr.attrs["array"]]
+            idx_w = clog2(max(2, arr.size))
+            idx = self._operand(instr.args[0])
+            if instr.args[0].ty.width > idx_w:
+                idx = R.SliceExpr(idx, idx_w - 1, 0)
+            return [
+                R.MemWrite(
+                    arr.name, idx, self._operand(instr.args[1], arr.elem)
+                )
+            ]
+        if op == OpKind.STREAM_READ:
+            ports = self.streams[instr.attrs["stream"]]
+            ok_t, val_t = instr.dests
+            ok = self._reg(ok_t.name, ok_t.ty)
+            val = self._reg(val_t.name, val_t.ty)
+            not_empty = R.UnExpr("!", R.Ref(ports.flag_a), 1)
+            data = R.Ref(ports.data)
+            if val_t.ty.width < ports.data.width:
+                data = R.SliceExpr(data, val_t.ty.width - 1, 0)
+            elif val_t.ty.width > ports.data.width:
+                data = R.UnExpr("zext", data, val_t.ty.width)
+            ports.drivers.append((state_idx, None))
+            return [
+                R.BlockingAssign(ok, not_empty),
+                R.If(not_empty, [R.BlockingAssign(val, data)],
+                     [R.BlockingAssign(val, R.Lit(0, val_t.ty.width))]),
+            ]
+        if op == OpKind.STREAM_WRITE:
+            ports = self.streams[instr.attrs["stream"]]
+            pred = instr.attrs.get("pred")
+            gate = self._operand(pred) if pred is not None else None
+            ports.drivers.append((state_idx, gate))
+            data_expr = self._operand(
+                instr.args[0], CType(ports.data.width, False)
+            )
+            # blocking: the endpoint samples data in the same cycle the
+            # write-enable fires (Mealy-style output, as Impulse-C emits)
+            stmt: R.Stmt = R.BlockingAssign(
+                R.Signal(f"{ports.name}_data_r", ports.data.width), data_expr
+            )
+            return [stmt if gate is None else R.If(gate, [stmt], [])]
+        if op == OpKind.STREAM_CLOSE:
+            ports = self.streams[instr.attrs["stream"]]
+            ports.close_states.append(state_idx)
+            return []
+        if op == OpKind.TAP:
+            channel = _san(instr.attrs["channel"])
+            width = sum(a.ty.width for a in instr.args)
+            # concatenated capture register; valid strobed from this state
+            parts: list[R.Expr] = [
+                self._operand(a) for a in instr.args
+            ]
+            expr: R.Expr = parts[0]
+            acc_w = parts[0].width
+            for p in parts[1:]:
+                acc_w += p.width
+                expr = R.BinExpr("concat", expr, p, acc_w)
+            self.module.meta.setdefault("tap_states", {}).setdefault(
+                channel, []
+            ).append(state_idx)
+            return [R.BlockingAssign(R.Signal(f"tap_{channel}_r", width), expr)]
+        if op == OpKind.TAP_READ:
+            channel = _san(instr.attrs["channel"])
+            base = f"tapin_{channel}"
+            ok = self._reg(instr.dests[0].name, instr.dests[0].ty)
+            stmts: list[R.Stmt] = [
+                R.BlockingAssign(
+                    ok, R.UnExpr("!", R.Ref(R.Signal(f"{base}_empty", 1)), 1)
+                )
+            ]
+            lsb = 0
+            total = sum(d.ty.width for d in instr.dests[1:]) or 1
+            for dest in instr.dests[1:]:
+                sig = self._reg(dest.name, dest.ty)
+                stmts.append(
+                    R.BlockingAssign(
+                        sig,
+                        R.SliceExpr(
+                            R.Ref(R.Signal(f"{base}_data", total)),
+                            lsb + dest.ty.width - 1,
+                            lsb,
+                        ),
+                    )
+                )
+                lsb += dest.ty.width
+            self.module.meta.setdefault("tapin_states", {}).setdefault(
+                channel, []
+            ).append(state_idx)
+            return stmts
+        if op == OpKind.EXT_HDL:
+            dest = self._reg(instr.dest.name, instr.dest.ty)
+            self._exthdl_wires += 1
+            return [
+                R.BlockingAssign(
+                    dest,
+                    R.MemRead("$ext_hdl", self._operand(instr.args[0]),
+                              instr.dest.ty.width),
+                )
+            ]
+        raise CodegenError(f"{self.func.name}: cannot generate RTL for {instr}")
+
+    def _state_stall(self, instrs: list[Instr]) -> R.Expr | None:
+        terms: list[R.Expr] = []
+        for instr in instrs:
+            if instr.op in (OpKind.STREAM_READ,):
+                p = self.streams[instr.attrs["stream"]]
+                terms.append(
+                    R.BinExpr(
+                        "&&",
+                        R.Ref(p.flag_a),
+                        R.UnExpr("!", R.Ref(p.flag_b), 1),
+                        1,
+                    )
+                )
+            elif instr.op == OpKind.STREAM_WRITE:
+                p = self.streams[instr.attrs["stream"]]
+                terms.append(R.Ref(p.flag_a))
+            elif instr.op == OpKind.TAP_READ:
+                base = f"tapin_{_san(instr.attrs['channel'])}"
+                terms.append(R.Ref(R.Signal(f"{base}_empty", 1)))
+        if not terms:
+            return None
+        expr = terms[0]
+        for t in terms[1:]:
+            expr = R.BinExpr("||", expr, t, 1)
+        return expr
+
+    # ---- top level -----------------------------------------------------------------
+
+    def build(self) -> R.Module:
+        cp, func, m = self.cp, self.func, self.module
+        self._declare_ports()
+        for arr in func.arrays.values():
+            m.memories.append(
+                R.Memory(arr.name, arr.elem.width, arr.size, arr.init)
+            )
+
+        # enumerate sequential states
+        order: list[tuple[str, int]] = []
+        for bname, bs in cp.schedule.blocks.items():
+            for step in range(bs.length):
+                order.append((bname, step))
+        # pipeline placeholder states (one per pipelined region)
+        for header in cp.schedule.pipelines:
+            order.append((header, -1))
+        done_index = len(order)
+        for idx, key in enumerate(order):
+            self.state_index[key] = idx
+        m.state_width = clog2(max(2, done_index + 1))
+
+        def first_state(block: str) -> int:
+            if block in cp.schedule.pipelines:
+                return self.state_index[(block, -1)]
+            return self.state_index[(block, 0)]
+
+        for bname, bs in cp.schedule.blocks.items():
+            block = func.blocks[bname]
+            for step in range(bs.length):
+                idx = self.state_index[(bname, step)]
+                instrs = [block.instrs[i] for i in bs.steps[step]] \
+                    if step < len(bs.steps) else []
+                body: list[R.Stmt] = []
+                for instr in instrs:
+                    body.extend(self._instr_stmts(instr, idx))
+                stall = self._state_stall(instrs)
+                if step + 1 < bs.length:
+                    nxt: R.Expr = R.Lit(idx + 1, m.state_width)
+                else:
+                    term = block.term
+                    if isinstance(term, Jump):
+                        nxt = R.Lit(first_state(term.target), m.state_width)
+                    elif isinstance(term, Branch):
+                        nxt = R.CondExpr(
+                            self._operand(term.cond),
+                            R.Lit(first_state(term.iftrue), m.state_width),
+                            R.Lit(first_state(term.iffalse), m.state_width),
+                            m.state_width,
+                        )
+                    elif isinstance(term, Return):
+                        nxt = R.Lit(done_index, m.state_width)
+                    else:  # pragma: no cover
+                        raise CodegenError(f"bad terminator {term!r}")
+                m.states.append(
+                    R.StateCase(idx, f"{bname}_{step}", stall, body, nxt)
+                )
+
+        # pipelined regions: a stage-registered datapath with valid bits;
+        # the FSM treats each as one state that exits when the pipeline
+        # drains (executable timing semantics live in the cycle model)
+        for header, ps in cp.schedule.pipelines.items():
+            idx = self.state_index[(header, -1)]
+            m.meta.setdefault("pipelines", {})[header] = {
+                "state": idx,
+                "ii": ps.ii,
+                "latency": ps.latency,
+                "exit_state": first_state(ps.exit_block),
+                "schedule": ps,
+                "stages": self._build_pipeline_stages(header, ps, idx),
+            }
+            m.states.append(
+                R.StateCase(idx, f"pipe_{header}", None, [],
+                            R.Lit(first_state(ps.exit_block), m.state_width))
+            )
+
+        # stream strobes / close / tap valids as continuous assigns
+        self._finalize_interface()
+        m.meta["done_state"] = done_index
+        return m
+
+    def _build_pipeline_stages(self, header: str, ps, state_idx: int):
+        """Lower a modulo schedule to per-stage statements over
+        stage-suffixed registers.
+
+        A value defined at stage ``d`` and used at stage ``u`` travels
+        through pipeline registers ``p_<t>_s{d}..p_<t>_s{u}``; an
+        upward-exposed use (loop-carried) reads the architectural register,
+        which the defining stage also commits to. This is the conventional
+        stage-register structure — the emitted Verilog is synthesizable in
+        shape, while its cycle-exact semantics are owned by the cycle model.
+        """
+        m = self.module
+        def_stage: dict[str, int] = {}
+        last_use: dict[str, int] = {}
+        arch_names: set[str] = set()  # loop-carried: read architecturally
+        for i, instr in enumerate(ps.instrs):
+            stage = ps.instr_step[i]
+            for u in instr.uses():
+                if u.name not in def_stage:  # upward-exposed: architectural
+                    arch_names.add(u.name)
+                    continue
+                last_use[u.name] = max(last_use.get(u.name, 0), stage)
+            pred = instr.attrs.get("pred")
+            if pred is not None and pred.name in def_stage:
+                last_use[pred.name] = max(last_use.get(pred.name, 0), stage)
+            for d in instr.defs():
+                if d.name not in def_stage:
+                    def_stage[d.name] = stage
+                # later redefinitions (diamond arms) extend the register chain
+                last_use[d.name] = max(last_use.get(d.name, stage), stage)
+
+        pipe_regs: list[R.Signal] = []
+        for name, d in def_stage.items():
+            ty = self.func.scalars[name]
+            for k in range(d, last_use.get(name, d) + 1):
+                pipe_regs.append(R.Signal(f"p_{name}_s{k}", ty.width,
+                                          ty.signed))
+        m.regs.extend(pipe_regs)
+
+        defined_so_far: set[str] = set()
+
+        def staged_name(name: str, width: int, signed: bool,
+                        stage: int) -> R.Signal:
+            # an upward-exposed use (no def earlier in this iteration's
+            # program order) reads the architectural register committed by
+            # the previous iteration
+            if (name in defined_so_far
+                    and def_stage.get(name, 99) <= stage
+                    <= last_use.get(name, def_stage.get(name, -1))):
+                return R.Signal(f"p_{name}_s{stage}", width, signed)
+            return R.Signal(f"r_{name}", width, signed)
+
+        def rename_expr(expr: R.Expr, stage: int) -> R.Expr:
+            if isinstance(expr, R.Ref):
+                n = expr.signal.name
+                if n.startswith("r_"):
+                    return R.Ref(staged_name(n[2:], expr.signal.width,
+                                             expr.signal.signed, stage))
+                return expr
+            if isinstance(expr, R.UnExpr):
+                return R.UnExpr(expr.op, rename_expr(expr.operand, stage),
+                                expr.width)
+            if isinstance(expr, R.BinExpr):
+                return R.BinExpr(expr.op, rename_expr(expr.left, stage),
+                                 rename_expr(expr.right, stage), expr.width,
+                                 expr.signed_cmp)
+            if isinstance(expr, R.CondExpr):
+                return R.CondExpr(rename_expr(expr.cond, stage),
+                                  rename_expr(expr.iftrue, stage),
+                                  rename_expr(expr.iffalse, stage),
+                                  expr.width)
+            if isinstance(expr, R.SliceExpr):
+                return R.SliceExpr(rename_expr(expr.operand, stage),
+                                   expr.msb, expr.lsb)
+            if isinstance(expr, R.MemRead):
+                return R.MemRead(expr.memory, rename_expr(expr.index, stage),
+                                 expr.width)
+            return expr
+
+        def rename_stmt(stmt: R.Stmt, stage: int) -> R.Stmt:
+            if isinstance(stmt, (R.BlockingAssign, R.RegAssign)):
+                target = stmt.target
+                if target.name.startswith("r_") and target.name[2:] in def_stage:
+                    # defs always write their stage register (never the
+                    # architectural one; carried values get an explicit
+                    # commit below)
+                    target = R.Signal(f"p_{target.name[2:]}_s{stage}",
+                                      target.width, target.signed)
+                new = type(stmt)(target, rename_expr(stmt.expr, stage))
+                return new
+            if isinstance(stmt, R.MemWrite):
+                return R.MemWrite(stmt.memory,
+                                  rename_expr(stmt.index, stage),
+                                  rename_expr(stmt.value, stage))
+            if isinstance(stmt, R.If):
+                return R.If(rename_expr(stmt.cond, stage),
+                            [rename_stmt(s, stage) for s in stmt.then],
+                            [rename_stmt(s, stage) for s in stmt.otherwise])
+            return stmt
+
+        stages: list[list[R.Stmt]] = [[] for _ in range(ps.latency)]
+        for i, instr in enumerate(ps.instrs):
+            stage = ps.instr_step[i]
+            # lower with the sequential path, then rename operands/dests to
+            # their stage-registered versions
+            stmts = self._instr_stmts(instr, state_idx)
+            renamed = [rename_stmt(s, stage) for s in stmts]
+            pred = instr.attrs.get("pred")
+            if pred is not None and instr.op != OpKind.STREAM_WRITE:
+                guard = R.Ref(staged_name(pred.name, pred.ty.width,
+                                          pred.ty.signed, stage))
+                renamed = [R.If(guard, renamed, [])]
+            defined_so_far.update(d.name for d in instr.defs())
+            stages[stage].extend(renamed)
+        # shift chains
+        for name, d in def_stage.items():
+            ty = self.func.scalars[name]
+            for k in range(d, last_use.get(name, d)):
+                stages[k + 1 if k + 1 < ps.latency else ps.latency - 1].append(
+                    R.RegAssign(
+                        R.Signal(f"p_{name}_s{k + 1}", ty.width, ty.signed),
+                        R.Ref(R.Signal(f"p_{name}_s{k}", ty.width, ty.signed)),
+                    )
+                )
+        # loop-carried values commit to the architectural register at their
+        # defining stage, so the next initiation's upward-exposed read works
+        for name in sorted(arch_names & set(def_stage)):
+            ty = self.func.scalars[name]
+            d = def_stage[name]
+            stages[d].append(
+                R.RegAssign(
+                    self._reg(name, ty),
+                    R.Ref(R.Signal(f"p_{name}_s{d}", ty.width, ty.signed)),
+                )
+            )
+        return stages
+
+    def _finalize_interface(self) -> None:
+        m = self.module
+
+        def state_eq(idx: int) -> R.Expr:
+            return R.BinExpr(
+                "==",
+                R.Ref(R.Signal("state", m.state_width)),
+                R.Lit(idx, m.state_width),
+                1,
+            )
+
+        for ports in self.streams.values():
+            terms: list[R.Expr] = []
+            for idx, gate in ports.drivers:
+                sc = next(s for s in m.states if s.index == idx)
+                e: R.Expr = state_eq(idx)
+                if sc.stall is not None:
+                    e = R.BinExpr("&&", e, R.UnExpr("!", sc.stall, 1), 1)
+                if gate is not None:
+                    e = R.BinExpr("&&", e, gate, 1)
+                terms.append(e)
+            expr: R.Expr = R.Lit(0, 1)
+            for t in terms:
+                expr = t if expr == R.Lit(0, 1) else R.BinExpr("||", expr, t, 1)
+            m.assigns.append((ports.strobe, expr))
+            if not ports.is_reader:
+                close_terms = [state_eq(i) for i in ports.close_states]
+                cexpr: R.Expr = R.Lit(0, 1)
+                for t in close_terms:
+                    cexpr = t if cexpr == R.Lit(0, 1) else R.BinExpr(
+                        "||", cexpr, t, 1
+                    )
+                m.assigns.append((ports.flag_b, cexpr))
+                m.assigns.append(
+                    (ports.data,
+                     R.Ref(R.Signal(f"{ports.name}_data_r", ports.data.width)))
+                )
+                m.regs.append(R.Signal(f"{ports.name}_data_r", ports.data.width))
+        for channel, states in m.meta.get("tap_states", {}).items():
+            terms = [state_eq(i) for i in states]
+            expr = terms[0]
+            for t in terms[1:]:
+                expr = R.BinExpr("||", expr, t, 1)
+            width = next(
+                p.signal.width for p in m.ports
+                if p.signal.name == f"tap_{channel}_data"
+            )
+            m.assigns.append(
+                (R.Signal(f"tap_{channel}_valid", 1), expr)
+            )
+            m.assigns.append(
+                (R.Signal(f"tap_{channel}_data", width),
+                 R.Ref(R.Signal(f"tap_{channel}_r", width)))
+            )
+            m.regs.append(R.Signal(f"tap_{channel}_r", width))
+        for channel, states in m.meta.get("tapin_states", {}).items():
+            terms = [state_eq(i) for i in states]
+            expr = terms[0]
+            for t in terms[1:]:
+                expr = R.BinExpr("||", expr, t, 1)
+            m.assigns.append(
+                (R.Signal(f"tapin_{channel}_re", 1), expr)
+            )
+
+
+def _san(name: str) -> str:
+    return name.replace("-", "_").replace(".", "_")
+
+
+def _stream_directions(func) -> tuple[set[str], set[str]]:
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for instr in func.instructions():
+        if instr.op == OpKind.STREAM_READ:
+            reads.add(instr.attrs["stream"])
+        elif instr.op in (OpKind.STREAM_WRITE, OpKind.STREAM_CLOSE):
+            writes.add(instr.attrs["stream"])
+    return reads, writes
+
+
+def generate_rtl(cp: CompiledProcess) -> R.Module:
+    """Generate the RTL module for one compiled process."""
+    return _Builder(cp).build()

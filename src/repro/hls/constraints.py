@@ -1,0 +1,42 @@
+"""Scheduling constraints and HLS configuration.
+
+The defaults model the Impulse-C / Stratix-II behaviour the paper measures:
+
+* ``max_chain_levels`` — LUT levels of combinational logic allowed in one
+  control step before the scheduler breaks the chain into a new state.
+* ``array_ports`` — simultaneous accesses per block RAM per cycle available
+  to the process datapath. Impulse-C's wrapper reserves the second physical
+  port of the M4K/M-RAM blocks, so the default is 1: this is the port
+  contention that produces the paper's "Array (consecutive)" overhead row
+  and the pipelined-array rate degradation (Sections 3.2 and 5.4).
+* ``stream_ops_per_step`` — a stream endpoint performs one handshake per
+  cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    max_chain_levels: int = 4
+    array_ports: int = 1
+    stream_ops_per_step: int = 1
+    #: Extra read ports granted per array by the resource-replication pass
+    #: (array name -> additional ports). A replicated (shadow) array arrives
+    #: here as a real second array instead, so this stays empty in the
+    #: standard flow; it exists for ablation experiments.
+    extra_array_ports: dict = field(default_factory=dict)
+
+    def ports_for(self, array: str) -> int:
+        return self.array_ports + self.extra_array_ports.get(array, 0)
+
+
+@dataclass(frozen=True)
+class HLSConfig:
+    """Top-level knobs for one process compilation."""
+
+    schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
+    #: Translation faults to inject (see :mod:`repro.hls.faults`).
+    faults: tuple = ()

@@ -1,0 +1,184 @@
+"""Intra-block dependency graph construction for scheduling.
+
+Edges carry a minimum latency:
+
+* data (RAW through temps): producer latency (0 = chainable same step)
+* anti/output (WAR/WAW on temps): 0 — same step is fine because registers
+  commit at the clock edge; a later step is implied only transitively
+* memory, per array: store→load and store→store must be strictly ordered
+  across steps (delay 1); load→load unordered (subject to ports)
+* streams, per stream: totally ordered, strictly increasing steps (delay 1)
+* taps, per channel: ordered among themselves (delay 0; a tap is wiring)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instr import BasicBlock, Instr
+from repro.ir.ops import OpKind
+
+
+def _addr_form(
+    def_of: dict[str, "Instr"], value
+) -> tuple[str | None, int, int | None]:
+    """Reduce an address expression to (base temp, offset, mask).
+
+    Recognizes chains of ``base + const`` and ``expr & const-mask`` (the
+    canonical circular-buffer indexing idiom). ``base`` is None for a fully
+    constant address. Unrecognized shapes return a unique opaque base so
+    the caller stays conservative.
+    """
+    from repro.ir.values import Const, Temp
+
+    offset = 0
+    mask: int | None = None
+    for _ in range(32):
+        if isinstance(value, Const):
+            return (None, offset + value.value, mask)
+        if not isinstance(value, Temp):
+            break
+        instr = def_of.get(value.name)
+        if instr is None:
+            return (value.name, offset, mask)
+        if instr.op == OpKind.MOV:
+            value = instr.args[0]
+            continue
+        if instr.op == OpKind.ADD:
+            a, b = instr.args
+            if isinstance(b, Const):
+                offset += b.value
+                value = a
+                continue
+            if isinstance(a, Const):
+                offset += a.value
+                value = b
+                continue
+        if instr.op == OpKind.AND and mask is None:
+            a, b = instr.args
+            const = b if isinstance(b, Const) else (a if isinstance(a, Const) else None)
+            other = a if const is b else b
+            if const is not None and (const.value & (const.value + 1)) == 0:
+                mask = const.value
+                value = other
+                continue
+        break
+    return (f"?{id(value)}", offset, mask)
+
+
+def provably_distinct(block: BasicBlock, idx_a, idx_b, upto: int) -> bool:
+    """True when two address expressions can never collide.
+
+    Both must reduce to the same base and mask with offsets that differ
+    modulo the mask period (or be distinct constants). Any doubt returns
+    False (conservative).
+    """
+    def_of: dict[str, "Instr"] = {}
+    for instr in block.instrs[:upto]:
+        for d in instr.defs():
+            def_of[d.name] = instr
+    base_a, off_a, mask_a = _addr_form(def_of, idx_a)
+    base_b, off_b, mask_b = _addr_form(def_of, idx_b)
+    if base_a is not None and str(base_a).startswith("?"):
+        return False
+    if base_b is not None and str(base_b).startswith("?"):
+        return False
+    if mask_a != mask_b or base_a != base_b:
+        return False
+    if mask_a is None:
+        return off_a != off_b if base_a is None else off_a != off_b
+    period = mask_a + 1
+    return (off_a - off_b) % period != 0
+
+
+def stream_key(instr) -> str:
+    """Resource key for a stream-like op (co_stream or tap channel)."""
+    if "stream" in instr.attrs:
+        return f"s:{instr.attrs['stream']}"
+    return f"c:{instr.attrs['channel']}"
+
+
+@dataclass
+class DepGraph:
+    """preds[i] = list of (j, min_delay) meaning instr i depends on j."""
+
+    n: int
+    preds: list[list[tuple[int, int]]] = field(default_factory=list)
+    succs: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    def add_edge(self, src: int, dst: int, delay: int) -> None:
+        if src == dst:
+            return
+        self.preds[dst].append((src, delay))
+        self.succs[src].append((dst, delay))
+
+
+def build_depgraph(block: BasicBlock) -> DepGraph:
+    instrs = block.instrs
+    g = DepGraph(n=len(instrs), preds=[[] for _ in instrs], succs=[[] for _ in instrs])
+
+    last_def: dict[str, int] = {}
+    uses_since_def: dict[str, list[int]] = {}
+    last_store: dict[str, int] = {}
+    loads_since_store: dict[str, list[int]] = {}
+    last_stream_op: dict[str, int] = {}
+    last_tap: dict[str, int] = {}
+
+    for i, instr in enumerate(instrs):
+        info = instr.info
+        # RAW on temps
+        for u in instr.uses():
+            j = last_def.get(u.name)
+            if j is not None:
+                g.add_edge(j, i, instrs[j].info.latency)
+            uses_since_def.setdefault(u.name, []).append(i)
+        # WAR / WAW on temps (delay 0: commit at edge)
+        for d in instr.defs():
+            for j in uses_since_def.get(d.name, ()):
+                g.add_edge(j, i, 0)
+            j = last_def.get(d.name)
+            if j is not None:
+                g.add_edge(j, i, 0)
+            last_def[d.name] = i
+            uses_since_def[d.name] = []
+        # memory ordering per array (address-disambiguated: circular-buffer
+        # idioms like buf[i & 15] vs buf[(i + 8) & 15] provably differ)
+        if instr.op in (OpKind.LOAD, OpKind.STORE):
+            array = instr.attrs["array"]
+            if instr.op == OpKind.LOAD:
+                j = last_store.get(array)
+                if j is not None and not provably_distinct(
+                    block, block.instrs[j].args[0], instr.args[0], i
+                ):
+                    g.add_edge(j, i, 1)  # read-after-write: next step at best
+                loads_since_store.setdefault(array, []).append(i)
+            else:
+                j = last_store.get(array)
+                if j is not None and not provably_distinct(
+                    block, block.instrs[j].args[0], instr.args[0], i
+                ):
+                    g.add_edge(j, i, 1)
+                for j in loads_since_store.get(array, ()):
+                    if not provably_distinct(
+                        block, block.instrs[j].args[0], instr.args[0], i
+                    ):
+                        g.add_edge(j, i, 0)  # WAR: same step, ports permitting
+                last_store[array] = i
+                loads_since_store[array] = []
+        # stream ordering per stream (tap_read is a stream-like pop)
+        if instr.op in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+                        OpKind.STREAM_CLOSE, OpKind.TAP_READ):
+            stream = stream_key(instr)
+            j = last_stream_op.get(stream)
+            if j is not None:
+                g.add_edge(j, i, 1)
+            last_stream_op[stream] = i
+        # tap ordering per channel
+        if instr.op == OpKind.TAP:
+            channel = instr.attrs["channel"]
+            j = last_tap.get(channel)
+            if j is not None:
+                g.add_edge(j, i, 0)
+            last_tap[channel] = i
+
+    return g

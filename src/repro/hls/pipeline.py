@@ -1,0 +1,333 @@
+"""Loop pipelining: if-conversion and modulo scheduling.
+
+A loop marked ``#pragma CO PIPELINE`` is flattened into a single linear
+iteration body (simple ``if``/``else`` diamonds inside the body are
+predicated) and modulo-scheduled. The initiation interval (the paper's
+*rate*) is the maximum of:
+
+* resource MII — ``ceil(accesses / ports)`` per block RAM and per stream
+  endpoint per iteration, and
+* **predicated-stream serialization** — ``1 + (number of predicated stream
+  operations)``. A stream handshake guarded by a condition computed inside
+  the iteration cannot overlap the next initiation: the handshake's stall
+  behaviour is unknown until the predicate resolves, so the control logic
+  serializes around it. This models the behaviour the paper measured for
+  Impulse-C, where adding the (conditional) assertion-failure send to a
+  pipelined body degraded the rate from 1 to 2 even though the failure
+  stream was otherwise idle (Section 5.4: "This overhead comes from adding
+  a streaming communication call").
+
+Additionally a predicated stream op must sit in a stage strictly after the
+stage computing its predicate (no chaining a handshake enable off fresh
+logic) — this produces the paper's +1 pipeline-latency overhead for
+unoptimized in-pipeline assertions.
+
+The *latency* is the number of pipeline stages. Loop-carried scalar
+recurrences are honoured (``II`` grows until the recurrence fits);
+cross-iteration array dependences are the programmer's responsibility, as
+in Impulse-C, where the PIPELINE pragma asserts their absence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.frontend.ctypes_ import U1
+from repro.hls.constraints import ScheduleConfig
+from repro.hls.depgraph import build_depgraph, stream_key
+from repro.ir.cfg import CFG, Loop
+from repro.ir.function import IRFunction
+from repro.ir.instr import BasicBlock, Branch, Instr, Jump
+from repro.ir.ops import OpKind
+from repro.ir.values import Temp
+
+_STREAM_OPS = (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+               OpKind.STREAM_CLOSE, OpKind.TAP_READ)
+_MEM_OPS = (OpKind.LOAD, OpKind.STORE)
+_REGISTERED_RESULT = {"mult", "divide", "exthdl"}
+
+
+@dataclass
+class PipelineSchedule:
+    """Modulo schedule of one pipelined loop."""
+
+    header: str
+    exit_block: str
+    ok: Temp | None                    # iteration-continue condition
+    instrs: list[Instr] = field(default_factory=list)
+    instr_step: dict[int, int] = field(default_factory=dict)
+    instr_depth: dict[int, int] = field(default_factory=dict)
+    ii: int = 1
+    latency: int = 1                   # pipeline depth in stages
+
+    @property
+    def rate(self) -> int:
+        """The paper's 'rate': cycles per loop iteration in steady state."""
+        return self.ii
+
+
+# ---- if-conversion ------------------------------------------------------------
+
+
+def linearize_loop(
+    func: IRFunction, cfg_graph: CFG, loop: Loop
+) -> tuple[list[Instr], Temp | None, str]:
+    """Flatten the loop into a predicated straight-line iteration body.
+
+    Returns (instrs, ok_temp, exit_block). The header's branch condition
+    becomes ``ok``; all body instructions are predicated on it (``while``
+    semantics: the body does not execute on the exit iteration). Simple
+    if/else diamonds inside the body are predicated with conjunctions.
+    """
+    header = func.blocks[loop.header]
+    if not isinstance(header.term, Branch):
+        raise SchedulingError(
+            f"{func.name}/{loop.header}: pipelined loop header must be a branch"
+        )
+    t, f = header.term.iftrue, header.term.iffalse
+    if t in loop.body and f not in loop.body:
+        body_entry, exit_block = t, f
+    elif f in loop.body and t not in loop.body:
+        body_entry, exit_block = f, t
+    else:
+        raise SchedulingError(
+            f"{func.name}/{loop.header}: cannot identify loop exit edge"
+        )
+    cond = header.term.cond
+    ok = cond if isinstance(cond, Temp) else None
+
+    out: list[Instr] = [i.copy() for i in header.instrs]
+
+    def conj(a: Temp | None, b: Temp | None) -> Temp | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        dest = func.new_temp(U1, "p")
+        instr = Instr(OpKind.AND, [dest], [a, b])
+        out.append(instr)
+        return dest
+
+    def negate(p: Temp) -> Temp:
+        dest = func.new_temp(U1, "np")
+        out.append(Instr(OpKind.LNOT, [dest], [p]))
+        return dest
+
+    def is_join(name: str) -> bool:
+        preds_in_loop = [p for p in cfg_graph.predecessors(name) if p in loop.body]
+        return len(preds_in_loop) > 1
+
+    def emit_block(name: str, pred: Temp | None) -> str | None:
+        """Emit one block under ``pred``; return the block control continues
+        at (None when the latch back to the header is reached)."""
+        block = func.blocks[name]
+        for instr in block.instrs:
+            copy = instr.copy()
+            if pred is not None:
+                copy.attrs["pred"] = pred
+                # The loop guard squashes in-flight work on the exit
+                # iteration; it is known combinationally at stage 0 and does
+                # not serialize stream handshakes the way an intra-iteration
+                # condition does.
+                copy.attrs["pred_is_guard"] = pred == ok
+            out.append(copy)
+        term = block.term
+        if isinstance(term, Jump):
+            return None if term.target == loop.header else term.target
+        if isinstance(term, Branch):
+            bt, bf = term.iftrue, term.iffalse
+            if bt not in loop.body or bf not in loop.body:
+                raise SchedulingError(
+                    f"{func.name}/{name}: control flow leaving a pipelined "
+                    "loop body (break/return) is not pipelinable"
+                )
+            c = term.cond
+            if not isinstance(c, Temp):
+                raise SchedulingError(f"{func.name}/{name}: non-temp branch cond")
+            join_t = walk_arm(bt, lambda: conj(pred, c))
+            join_f = walk_arm(bf, lambda: conj(pred, negate(c)))
+            if join_t is not None and join_f is not None and join_t != join_f:
+                raise SchedulingError(
+                    f"{func.name}/{name}: irreducible diamond in pipelined loop"
+                )
+            return join_t if join_t is not None else join_f
+        raise SchedulingError(
+            f"{func.name}/{name}: unsupported terminator in pipelined loop"
+        )
+
+    def walk_arm(start: str, make_pred) -> str | None:
+        """Emit one arm of a diamond until its join (returned, not emitted)
+        or the latch (None). A join as the immediate target means the arm is
+        empty; no predicate is materialized for it."""
+        if is_join(start):
+            return start
+        pred = make_pred()
+        name: str | None = start
+        guard = 0
+        while name is not None and not is_join(name):
+            name = emit_block(name, pred)
+            guard += 1
+            if guard > len(func.blocks) * 4:
+                raise SchedulingError(
+                    f"{func.name}/{loop.header}: non-converging diamond arm"
+                )
+        return name
+
+    # main linear walk from the body entry under predicate ``ok``
+    name: str | None = body_entry
+    guard = 0
+    while name is not None:
+        name = emit_block(name, ok)
+        guard += 1
+        if guard > len(func.blocks) * 4:
+            raise SchedulingError(
+                f"{func.name}/{loop.header}: pipelined loop body does not "
+                "converge to the latch (irreducible or nested loop?)"
+            )
+    return out, ok, exit_block
+
+
+# ---- modulo scheduling -----------------------------------------------------------
+
+
+def _resource_mii(instrs: list[Instr], cfg: ScheduleConfig) -> int:
+    mem: dict[str, int] = {}
+    stream: dict[str, int] = {}
+    predicated_streams = 0
+    for instr in instrs:
+        if instr.op in _MEM_OPS:
+            mem[instr.attrs["array"]] = mem.get(instr.attrs["array"], 0) + 1
+        if instr.op in _STREAM_OPS:
+            key = stream_key(instr)
+            stream[key] = stream.get(key, 0) + 1
+            if (instr.attrs.get("pred") is not None
+                    and not instr.attrs.get("pred_is_guard")):
+                predicated_streams += 1
+    mii = 1
+    for array, uses in mem.items():
+        ports = cfg.ports_for(array)
+        mii = max(mii, -(-uses // ports))
+    for _s, uses in stream.items():
+        mii = max(mii, -(-uses // cfg.stream_ops_per_step))
+    mii = max(mii, 1 + predicated_streams)
+    return mii
+
+
+def _try_modulo_schedule(
+    instrs: list[Instr], ii: int, cfg: ScheduleConfig
+) -> tuple[dict[int, int], dict[int, int]] | None:
+    """Attempt placement at initiation interval ``ii``; None on failure."""
+    fake = BasicBlock("pipe", instrs=instrs)
+    g = build_depgraph(fake)
+
+    # extra edges: predicate definition -> predicated op. A predicated
+    # stream op must be a full stage after the predicate (delay 1).
+    def_index: dict[str, int] = {}
+    for i, instr in enumerate(instrs):
+        for d in instr.defs():
+            def_index.setdefault(d.name, i)
+    for i, instr in enumerate(instrs):
+        pred = instr.attrs.get("pred")
+        if pred is not None and pred.name in def_index:
+            # A stream handshake may not share a stage with the logic that
+            # computes its enable (guard included): the cycle model resolves
+            # readiness before executing a stage, so predicates of stream
+            # ops must come from an earlier stage's registers.
+            delay = 1 if instr.op in _STREAM_OPS else 0
+            g.add_edge(def_index[pred.name], i, delay)
+
+    n = len(instrs)
+    step: list[int] = [0] * n
+    depth: list[int] = [0] * n
+    mem_slot: dict[tuple[int, str], int] = {}
+    stream_slot: dict[tuple[int, str], int] = {}
+
+    for i, instr in enumerate(instrs):
+        info = instr.info
+        est = 0
+        for j, delay in g.preds[i]:
+            est = max(est, step[j] + delay)
+        placed = False
+        for t in range(est, est + ii * 8 + 8):
+            depth_in = 0
+            for j, _d in g.preds[i]:
+                if step[j] == t:
+                    depth_in = max(depth_in, depth[j])
+            my_depth = depth_in + info.levels
+            if info.levels and my_depth > cfg.max_chain_levels and depth_in > 0:
+                continue
+            slot = t % ii
+            if instr.op in _MEM_OPS:
+                array = instr.attrs["array"]
+                if mem_slot.get((slot, array), 0) >= cfg.ports_for(array):
+                    continue
+            if instr.op in _STREAM_OPS:
+                stream = stream_key(instr)
+                if stream_slot.get((slot, stream), 0) >= cfg.stream_ops_per_step:
+                    continue
+            step[i] = t
+            depth[i] = (min(my_depth, cfg.max_chain_levels)
+                        if info.levels else depth_in)
+            if instr.op in _MEM_OPS:
+                key = (slot, instr.attrs["array"])
+                mem_slot[key] = mem_slot.get(key, 0) + 1
+            if instr.op in _STREAM_OPS:
+                key = (slot, stream_key(instr))
+                stream_slot[key] = stream_slot.get(key, 0) + 1
+            placed = True
+            break
+        if not placed:
+            return None
+
+    # loop-carried scalar recurrences: a value defined at step d and used
+    # (upward-exposed) at step u by the next iteration needs u + II > d.
+    defined: set[str] = set()
+    first_use: dict[str, int] = {}
+    for i, instr in enumerate(instrs):
+        for u in instr.uses():
+            if u.name not in defined and u.name not in first_use:
+                first_use[u.name] = step[i]
+        for d in instr.defs():
+            defined.add(d.name)
+    for i, instr in enumerate(instrs):
+        for d in instr.defs():
+            if d.name in first_use:
+                lat = instr.info.latency if instr.info.resource in _REGISTERED_RESULT else 0
+                if first_use[d.name] + ii <= step[i] + lat:
+                    return None
+    return {i: step[i] for i in range(n)}, {i: depth[i] for i in range(n)}
+
+
+def schedule_pipelined_loop(
+    func: IRFunction, cfg_graph: CFG, loop: Loop, cfg: ScheduleConfig
+) -> PipelineSchedule:
+    instrs, ok, exit_block = linearize_loop(func, cfg_graph, loop)
+    mii = _resource_mii(instrs, cfg)
+    for ii in range(mii, mii + 64):
+        result = _try_modulo_schedule(instrs, ii, cfg)
+        if result is not None:
+            placement, depths = result
+            latency = 1
+            for i, instr in enumerate(instrs):
+                extra = (
+                    instr.info.latency
+                    if instr.info.resource in _REGISTERED_RESULT
+                    else 0
+                )
+                latency = max(latency, placement[i] + 1 + extra)
+            ps = PipelineSchedule(
+                header=loop.header,
+                exit_block=exit_block,
+                ok=ok,
+                instrs=instrs,
+                instr_step=placement,
+                instr_depth=depths,
+                ii=ii,
+                latency=latency,
+            )
+            return ps
+    raise SchedulingError(
+        f"{func.name}/{loop.header}: no feasible initiation interval up to "
+        f"{mii + 63}"
+    )

@@ -1,0 +1,52 @@
+"""Typed three-address IR, CFG/dataflow analyses, verifier and interpreter."""
+
+from repro.ir.cfg import CFG, Loop
+from repro.ir.dataflow import DefUse, Liveness, condition_support, def_use, liveness
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instr import (
+    AssertionSite,
+    BasicBlock,
+    Branch,
+    Instr,
+    Jump,
+    Return,
+    Terminator,
+)
+from repro.ir.interp import Interp, InterpResult, run_to_completion
+from repro.ir.ops import COMPARISONS, OP_TABLE, OpInfo, OpKind, op_info
+from repro.ir.values import ArrayDecl, Const, StreamParam, Temp, Value
+from repro.ir.verify import verify_function, verify_module
+
+__all__ = [
+    "CFG",
+    "Loop",
+    "DefUse",
+    "Liveness",
+    "condition_support",
+    "def_use",
+    "liveness",
+    "IRFunction",
+    "IRModule",
+    "AssertionSite",
+    "BasicBlock",
+    "Branch",
+    "Instr",
+    "Jump",
+    "Return",
+    "Terminator",
+    "Interp",
+    "InterpResult",
+    "run_to_completion",
+    "COMPARISONS",
+    "OP_TABLE",
+    "OpInfo",
+    "OpKind",
+    "op_info",
+    "ArrayDecl",
+    "Const",
+    "StreamParam",
+    "Temp",
+    "Value",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,135 @@
+"""Control-flow graph construction and loop analysis.
+
+Built on networkx for dominator computation; natural loops are identified
+from back edges so the pipeliner knows which blocks form a pipelined loop
+body and the scheduler can reason about loop-carried behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import IRError
+from repro.ir.function import IRFunction
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop: ``header`` plus the set of body block names."""
+
+    header: str
+    body: frozenset[str]
+    back_edges: frozenset[tuple[str, str]]
+
+    def __contains__(self, block_name: str) -> bool:
+        return block_name in self.body
+
+
+@dataclass
+class CFG:
+    """Successor/predecessor structure over an :class:`IRFunction`."""
+
+    func: IRFunction
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @classmethod
+    def build(cls, func: IRFunction) -> "CFG":
+        cfg = cls(func=func)
+        g = cfg.graph
+        for name, block in func.blocks.items():
+            g.add_node(name)
+            if block.term is None:
+                raise IRError(f"{func.name}/{name}: missing terminator")
+        for name, block in func.blocks.items():
+            for target in block.term.targets():
+                if target not in func.blocks:
+                    raise IRError(f"{func.name}/{name}: unknown target {target!r}")
+                g.add_edge(name, target)
+        return cfg
+
+    # ---- basic queries ---------------------------------------------------
+
+    def successors(self, name: str) -> list[str]:
+        return list(self.graph.successors(name))
+
+    def predecessors(self, name: str) -> list[str]:
+        return list(self.graph.predecessors(name))
+
+    def reachable(self) -> set[str]:
+        return set(nx.descendants(self.graph, self.func.entry)) | {self.func.entry}
+
+    def reverse_postorder(self) -> list[str]:
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def dfs(node: str) -> None:
+            seen.add(node)
+            for succ in self.graph.successors(node):
+                if succ not in seen:
+                    dfs(succ)
+            order.append(node)
+
+        dfs(self.func.entry)
+        return list(reversed(order))
+
+    # ---- dominance & loops -------------------------------------------------
+
+    def immediate_dominators(self) -> dict[str, str]:
+        return nx.immediate_dominators(self.graph, self.func.entry)
+
+    def dominates(self, a: str, b: str) -> bool:
+        idom = self.immediate_dominators()
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+    def natural_loops(self) -> list[Loop]:
+        """All natural loops (one per header, merged back edges)."""
+        idom = self.immediate_dominators()
+
+        def dominates(a: str, b: str) -> bool:
+            node = b
+            while True:
+                if node == a:
+                    return True
+                parent = idom.get(node)
+                if parent is None or parent == node:
+                    return False
+                node = parent
+
+        by_header: dict[str, tuple[set[str], set[tuple[str, str]]]] = {}
+        reachable = self.reachable()
+        for tail, head in self.graph.edges:
+            if tail not in reachable:
+                continue
+            if dominates(head, tail):  # back edge
+                body = {head}
+                stack = [tail]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(self.graph.predecessors(node))
+                acc = by_header.setdefault(head, (set(), set()))
+                acc[0].update(body)
+                acc[1].add((tail, head))
+        return [
+            Loop(header=h, body=frozenset(body), back_edges=frozenset(edges))
+            for h, (body, edges) in sorted(by_header.items())
+        ]
+
+    def pipelined_loops(self) -> list[Loop]:
+        """Loops whose header block carries the PIPELINE pragma."""
+        return [
+            loop
+            for loop in self.natural_loops()
+            if self.func.blocks[loop.header].pipeline
+        ]

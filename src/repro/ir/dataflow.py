@@ -1,0 +1,142 @@
+"""Classic dataflow analyses over the IR: liveness and def-use chains.
+
+Liveness feeds two consumers:
+
+* the binder (:mod:`repro.hls.binding`), which shares functional units
+  between operations whose result lifetimes do not overlap, and
+* the assertion parallelizer (:mod:`repro.core.parallelize`), which must
+  know which values an assertion condition consumes so it can tap exactly
+  those into the checker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import IRFunction
+from repro.ir.values import Temp
+
+
+@dataclass
+class Liveness:
+    """live_in/live_out sets of temp *names* per block."""
+
+    live_in: dict[str, frozenset[str]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+def block_use_def(func: IRFunction, block_name: str) -> tuple[set[str], set[str]]:
+    """(upward-exposed uses, definitely-defined names) for one block."""
+    block = func.blocks[block_name]
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for instr in block.instrs:
+        for u in instr.uses():
+            if u.name not in defs:
+                uses.add(u.name)
+        for d in instr.defs():
+            defs.add(d.name)
+    if block.term is not None:
+        for u in block.term.uses():
+            if u.name not in defs:
+                uses.add(u.name)
+    return uses, defs
+
+
+def liveness(func: IRFunction, cfg: CFG | None = None) -> Liveness:
+    """Iterative backward liveness to fixpoint."""
+    cfg = cfg or CFG.build(func)
+    use: dict[str, set[str]] = {}
+    define: dict[str, set[str]] = {}
+    for name in func.blocks:
+        use[name], define[name] = block_use_def(func, name)
+
+    live_in: dict[str, set[str]] = {n: set() for n in func.blocks}
+    live_out: dict[str, set[str]] = {n: set() for n in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name in func.blocks:
+            out: set[str] = set()
+            for succ in cfg.successors(name):
+                out |= live_in[succ]
+            inn = use[name] | (out - define[name])
+            if out != live_out[name] or inn != live_in[name]:
+                live_out[name] = out
+                live_in[name] = inn
+                changed = True
+    return Liveness(
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+    )
+
+
+@dataclass
+class DefUse:
+    """Definition and use sites keyed by temp name.
+
+    A site is (block_name, instr_index); terminator uses have index -1.
+    """
+
+    defs: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    uses: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+
+def def_use(func: IRFunction) -> DefUse:
+    du = DefUse()
+    for bname, block in func.blocks.items():
+        for idx, instr in enumerate(block.instrs):
+            for u in instr.uses():
+                du.uses.setdefault(u.name, []).append((bname, idx))
+            for d in instr.defs():
+                du.defs.setdefault(d.name, []).append((bname, idx))
+        if block.term is not None:
+            for u in block.term.uses():
+                du.uses.setdefault(u.name, []).append((bname, -1))
+    return du
+
+
+def condition_support(func: IRFunction, block_name: str, root: Temp) -> set[str]:
+    """Names of the *source-level* values an expression tree depends on.
+
+    Walks backward from ``root`` through single-block def chains, stopping
+    at values a detached checker process cannot recompute: block-external
+    names, memory loads, stream reads — those must be *tapped* (sent to the
+    checker); everything combinational between them and the root is
+    re-materialized inside the checker instead.
+    """
+    from repro.ir.ops import OpKind
+
+    block = func.blocks[block_name]
+    def_site: dict[str, int] = {}
+    for idx, instr in enumerate(block.instrs):
+        for d in instr.defs():
+            def_site[d.name] = idx
+
+    support: set[str] = set()
+    stack = [root.name]
+    seen: set[str] = set()
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name not in def_site:
+            support.add(name)
+            continue
+        instr = block.instrs[def_site[name]]
+        if (instr.info.has_side_effect
+                or instr.op == OpKind.LOAD
+                or not list(instr.uses())):
+            support.add(name)
+            continue
+        # user-declared variables are natural cut points: tapping them is a
+        # wire, while walking through them can drag in arbitrarily deep
+        # upstream logic that the checker would have to duplicate
+        if name != root.name and name not in func.temp_names:
+            support.add(name)
+            continue
+        for u in instr.uses():
+            stack.append(u.name)
+    return support

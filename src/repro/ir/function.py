@@ -1,0 +1,165 @@
+"""IR functions (one per hardware process) and modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.frontend.ctypes_ import CType
+from repro.ir.instr import AssertionSite, BasicBlock, Instr
+from repro.ir.ops import OpKind
+from repro.ir.values import ArrayDecl, StreamParam, Temp
+from repro.utils.idgen import IdGenerator
+
+
+@dataclass
+class IRFunction:
+    """A lowered C function: the unit compiled to one FPGA process.
+
+    * ``streams`` — stream parameters, in declaration order.
+    * ``scalars`` — every named scalar (parameters and locals) by name.
+    * ``arrays``  — local arrays (block-RAM candidates) by name.
+    * ``blocks``  — basic blocks in layout order; ``entry`` names the first.
+    * ``assertion_sites`` — the ``assert()`` occurrences found during
+      lowering, in source order. Their synthesis strategy is decided later
+      by :mod:`repro.core`.
+    """
+
+    name: str
+    streams: list[StreamParam] = field(default_factory=list)
+    scalars: dict[str, CType] = field(default_factory=dict)
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+    assertion_sites: list[AssertionSite] = field(default_factory=list)
+    source_file: str = "<source>"
+    ids: IdGenerator = field(default_factory=IdGenerator)
+    #: names created by new_temp (compiler temporaries, as opposed to
+    #: user-declared C variables) — the assertion parallelizer taps user
+    #: variables rather than recomputing arbitrarily deep expression trees
+    temp_names: set[str] = field(default_factory=set)
+
+    # ---- construction helpers -------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        name = self.ids.next(hint)
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self.blocks:
+            raise IRError(f"duplicate block {block.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def new_temp(self, ty: CType, hint: str = "t") -> Temp:
+        # compiler temporaries must never collide with user-declared names
+        # (a user variable called "c2" is perfectly legal C)
+        name = self.ids.next(hint)
+        while name in self.scalars or name in self.arrays:
+            name = self.ids.next(hint)
+        t = Temp(name, ty)
+        self.scalars[name] = ty
+        self.temp_names.add(name)
+        return t
+
+    def declare_scalar(self, name: str, ty: CType) -> Temp:
+        if name in self.scalars or name in self.arrays:
+            raise IRError(f"redeclaration of {name!r}")
+        self.scalars[name] = ty
+        return Temp(name, ty)
+
+    def declare_array(self, name: str, elem: CType, size: int) -> ArrayDecl:
+        if name in self.scalars or name in self.arrays:
+            raise IRError(f"redeclaration of {name!r}")
+        arr = ArrayDecl(name, elem, size)
+        self.arrays[name] = arr
+        return arr
+
+    def clone(self, name: str | None = None) -> "IRFunction":
+        """Deep-copy this function (instructions and terminators are fresh
+        objects; assertion sites and types are shared immutables). Used to
+        derive the hardware-side body that fault injection or assertion
+        synthesis may rewrite without touching the software-simulation IR."""
+        import copy as _copy
+
+        other = IRFunction(
+            name=name or self.name,
+            streams=list(self.streams),
+            scalars=dict(self.scalars),
+            arrays=dict(self.arrays),
+            entry=self.entry,
+            assertion_sites=list(self.assertion_sites),
+            source_file=self.source_file,
+            ids=_copy.deepcopy(self.ids),
+            temp_names=set(self.temp_names),
+        )
+        for bname, block in self.blocks.items():
+            nb = BasicBlock(
+                bname,
+                instrs=[i.copy() for i in block.instrs],
+                term=_copy.copy(block.term),
+                pipeline=block.pipeline,
+            )
+            other.blocks[bname] = nb
+        return other
+
+    # ---- queries ---------------------------------------------------------
+
+    def block_order(self) -> list[BasicBlock]:
+        return list(self.blocks.values())
+
+    def instructions(self):
+        for block in self.blocks.values():
+            yield from block.instrs
+
+    def stream_names(self) -> list[str]:
+        return [s.name for s in self.streams]
+
+    def stream(self, name: str) -> StreamParam:
+        for s in self.streams:
+            if s.name == name:
+                return s
+        raise IRError(f"{self.name}: no stream parameter {name!r}")
+
+    def count_ops(self, *kinds: OpKind) -> int:
+        wanted = set(kinds)
+        return sum(1 for i in self.instructions() if i.op in wanted)
+
+    def array_accesses(self, array: str) -> list[Instr]:
+        return [
+            i
+            for i in self.instructions()
+            if i.op in (OpKind.LOAD, OpKind.STORE) and i.attrs.get("array") == array
+        ]
+
+    def __str__(self) -> str:
+        header = (
+            f"func {self.name}("
+            + ", ".join(map(str, self.streams))
+            + ")"
+        )
+        parts = [header]
+        for arr in self.arrays.values():
+            parts.append(f"  array {arr}")
+        for block in self.blocks.values():
+            parts.append(str(block))
+        return "\n".join(parts)
+
+
+@dataclass
+class IRModule:
+    """A set of functions lowered from one translation unit."""
+
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    source_file: str = "<source>"
+
+    def add(self, func: IRFunction) -> IRFunction:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def __getitem__(self, name: str) -> IRFunction:
+        return self.functions[name]

@@ -1,0 +1,164 @@
+"""IR instructions, terminators and basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.ops import OpKind, op_info
+from repro.ir.values import Const, Temp, Value
+
+
+@dataclass
+class AssertionSite:
+    """Source-level identity of one ``assert()`` — the ANSI-C failure
+    message fields plus a process-local ordinal used as the error code."""
+
+    ordinal: int
+    file: str
+    line: int
+    function: str
+    expr_text: str
+
+    def message(self) -> str:
+        """The ANSI-C assertion failure message format."""
+        return (
+            f"Assertion failed: {self.expr_text}, "
+            f"file {self.file}, line {self.line}, function {self.function}"
+        )
+
+
+@dataclass
+class Instr:
+    """One three-address instruction.
+
+    ``dests`` is a list because ``stream_read`` produces two results
+    (ok flag, value). ``attrs`` carries op-specific payloads:
+
+    * ``array`` (str) for LOAD/STORE
+    * ``stream`` (str) for STREAM_* ops
+    * ``assertion`` (:class:`AssertionSite`) for ASSERT_CHECK
+    * ``coord`` ((file, line)) for diagnostics
+    """
+
+    op: OpKind
+    dests: list[Temp] = field(default_factory=list)
+    args: list[Value] = field(default_factory=list)
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def dest(self) -> Temp | None:
+        return self.dests[0] if self.dests else None
+
+    @property
+    def info(self):
+        return op_info(self.op)
+
+    def uses(self) -> Iterable[Temp]:
+        for a in self.args:
+            if isinstance(a, Temp):
+                yield a
+
+    def defs(self) -> Iterable[Temp]:
+        yield from self.dests
+
+    def copy(self) -> "Instr":
+        return Instr(self.op, list(self.dests), list(self.args), dict(self.attrs))
+
+    def __str__(self) -> str:
+        d = ", ".join(map(str, self.dests))
+        a = ", ".join(map(str, self.args))
+        extra = ""
+        if "array" in self.attrs:
+            extra = f" [{self.attrs['array']}]"
+        elif "stream" in self.attrs:
+            extra = f" <{self.attrs['stream']}>"
+        elif "assertion" in self.attrs:
+            site = self.attrs["assertion"]
+            extra = f" #{site.ordinal}@{site.file}:{site.line}"
+        head = f"{d} = " if d else ""
+        return f"{head}{self.op.value} {a}{extra}".rstrip()
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    def targets(self) -> list[str]:
+        raise NotImplementedError
+
+    def uses(self) -> Iterable[Temp]:
+        return ()
+
+
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def targets(self) -> list[str]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    cond: Value
+    iftrue: str
+    iffalse: str
+
+    def targets(self) -> list[str]:
+        return [self.iftrue, self.iffalse]
+
+    def uses(self) -> Iterable[Temp]:
+        if isinstance(self.cond, Temp):
+            yield self.cond
+
+    def __str__(self) -> str:
+        return f"branch {self.cond} ? {self.iftrue} : {self.iffalse}"
+
+
+@dataclass
+class Return(Terminator):
+    value: Value | None = None
+
+    def targets(self) -> list[str]:
+        return []
+
+    def uses(self) -> Iterable[Temp]:
+        if isinstance(self.value, Temp):
+            yield self.value
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions plus one terminator.
+
+    ``pipeline`` marks loop headers whose loop body carries
+    ``#pragma CO PIPELINE`` — consumed by :mod:`repro.hls.pipeline`.
+    """
+
+    name: str
+    instrs: list[Instr] = field(default_factory=list)
+    term: Terminator | None = None
+    pipeline: bool = False
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:" + ("  ; pipeline" if self.pipeline else "")]
+        lines += [f"  {i}" for i in self.instrs]
+        lines.append(f"  {self.term}" if self.term else "  <no terminator>")
+        return "\n".join(lines)
+
+
+def const1(value: bool) -> Const:
+    """A uint1 constant, common enough to deserve a helper."""
+    from repro.frontend.ctypes_ import U1
+
+    return Const(int(bool(value)), U1)

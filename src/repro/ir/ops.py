@@ -1,0 +1,129 @@
+"""IR operation catalogue.
+
+Each op carries scheduling metadata:
+
+* ``latency`` — clock cycles the operation occupies (0 = purely
+  combinational and chainable with other 0-latency ops in one state, up to
+  the scheduler's chain-depth limit).
+* ``resource`` — the resource class used for binding/sharing and for the
+  platform area model. ``None`` means free (wires/constants).
+* ``levels`` — combinational logic depth in LUT levels, used both to limit
+  chaining and by the timing model's critical-path estimate.
+
+Latency and level numbers are calibrated to the behaviour the paper
+reports for Impulse-C on Stratix-II: block-RAM reads and stream handshakes
+are synchronous (1 cycle), adders/comparators chain, multipliers are
+registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpKind(str, Enum):
+    # moves / casts
+    MOV = "mov"
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    # integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    # bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # comparisons (result uint1)
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # logical (operands uint1)
+    LNOT = "lnot"
+    SELECT = "select"  # select cond, a, b
+    # memory
+    LOAD = "load"    # dest <- array[idx]         attrs: array
+    STORE = "store"  # array[idx] <- value        attrs: array
+    # streams
+    STREAM_READ = "stream_read"    # (ok, value) <- stream
+    STREAM_WRITE = "stream_write"  # stream <- value
+    STREAM_CLOSE = "stream_close"
+    # verification
+    ASSERT_CHECK = "assert_check"  # attrs: assertion (AssertionSite)
+    TAP = "tap"  # attrs: channel — wire values into an assertion checker FIFO
+    TAP_READ = "tap_read"  # (ok, v0..vn) <- tap channel; checker-side pop
+    # foreign
+    EXT_HDL = "ext_hdl"  # external HDL function call (paper Sec. 5.1)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    kind: OpKind
+    latency: int
+    resource: str | None
+    levels: int
+    commutative: bool = False
+    has_side_effect: bool = False
+
+
+OP_TABLE: dict[OpKind, OpInfo] = {
+    OpKind.MOV: OpInfo(OpKind.MOV, 0, None, 0),
+    OpKind.TRUNC: OpInfo(OpKind.TRUNC, 0, None, 0),
+    OpKind.ZEXT: OpInfo(OpKind.ZEXT, 0, None, 0),
+    OpKind.SEXT: OpInfo(OpKind.SEXT, 0, None, 0),
+    OpKind.ADD: OpInfo(OpKind.ADD, 0, "addsub", 1, commutative=True),
+    OpKind.SUB: OpInfo(OpKind.SUB, 0, "addsub", 1),
+    OpKind.MUL: OpInfo(OpKind.MUL, 1, "mult", 2, commutative=True),
+    OpKind.DIV: OpInfo(OpKind.DIV, 4, "divide", 4),
+    OpKind.MOD: OpInfo(OpKind.MOD, 4, "divide", 4),
+    OpKind.NEG: OpInfo(OpKind.NEG, 0, "addsub", 1),
+    OpKind.AND: OpInfo(OpKind.AND, 0, "logic", 1, commutative=True),
+    OpKind.OR: OpInfo(OpKind.OR, 0, "logic", 1, commutative=True),
+    OpKind.XOR: OpInfo(OpKind.XOR, 0, "logic", 1, commutative=True),
+    OpKind.NOT: OpInfo(OpKind.NOT, 0, "logic", 1),
+    OpKind.SHL: OpInfo(OpKind.SHL, 0, "shift", 1),
+    OpKind.SHR: OpInfo(OpKind.SHR, 0, "shift", 1),
+    OpKind.EQ: OpInfo(OpKind.EQ, 0, "compare", 1, commutative=True),
+    OpKind.NE: OpInfo(OpKind.NE, 0, "compare", 1, commutative=True),
+    OpKind.LT: OpInfo(OpKind.LT, 0, "compare", 1),
+    OpKind.LE: OpInfo(OpKind.LE, 0, "compare", 1),
+    OpKind.GT: OpInfo(OpKind.GT, 0, "compare", 1),
+    OpKind.GE: OpInfo(OpKind.GE, 0, "compare", 1),
+    # a logical inverter is absorbed into the consuming LUT: zero levels
+    OpKind.LNOT: OpInfo(OpKind.LNOT, 0, "logic", 0),
+    OpKind.SELECT: OpInfo(OpKind.SELECT, 0, "mux", 1),
+    # Block-RAM reads are flow-through (unregistered M4K output): the value
+    # chains combinationally in the same step, but the access occupies one
+    # of the array's ports for that step.
+    OpKind.LOAD: OpInfo(OpKind.LOAD, 0, "memport", 2, has_side_effect=False),
+    OpKind.STORE: OpInfo(OpKind.STORE, 1, "memport", 0, has_side_effect=True),
+    OpKind.STREAM_READ: OpInfo(OpKind.STREAM_READ, 1, "streamport", 0, has_side_effect=True),
+    OpKind.STREAM_WRITE: OpInfo(OpKind.STREAM_WRITE, 1, "streamport", 0, has_side_effect=True),
+    OpKind.STREAM_CLOSE: OpInfo(OpKind.STREAM_CLOSE, 1, "streamport", 0, has_side_effect=True),
+    OpKind.ASSERT_CHECK: OpInfo(OpKind.ASSERT_CHECK, 0, None, 1, has_side_effect=True),
+    OpKind.TAP: OpInfo(OpKind.TAP, 0, None, 0, has_side_effect=True),
+    OpKind.TAP_READ: OpInfo(OpKind.TAP_READ, 1, "streamport", 0, has_side_effect=True),
+    OpKind.EXT_HDL: OpInfo(OpKind.EXT_HDL, 1, "exthdl", 1, has_side_effect=True),
+}
+
+#: Comparison ops, useful to passes (width inference, fault injection).
+COMPARISONS = {OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE}
+
+#: Ops whose order relative to each other must be preserved (memory per
+#: array handled separately; streams per stream likewise).
+SIDE_EFFECT_OPS = {k for k, v in OP_TABLE.items() if v.has_side_effect}
+
+
+def op_info(kind: OpKind) -> OpInfo:
+    return OP_TABLE[kind]

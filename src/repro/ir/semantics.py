@@ -1,0 +1,112 @@
+"""Shared evaluation semantics for IR operations.
+
+Both the software-simulation interpreter (:mod:`repro.ir.interp`) and the
+hardware cycle model (:mod:`repro.hls.cyclemodel`) evaluate operations
+through these functions, so the two paths agree *by construction*. The one
+sanctioned divergence is the ``force_width`` hook on :func:`compare`, used
+by the translation-fault injector to reproduce the paper's Section 5.1 bug
+(a 64-bit comparison erroneously synthesized at 5 bits).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.frontend.ctypes_ import CType, common_type
+from repro.ir.ops import OpKind
+from repro.utils.bitops import sign_extend, truncate
+
+
+def interpret(pattern: int, ty: CType) -> int:
+    """Bit pattern -> mathematical value under the type's signedness."""
+    return sign_extend(pattern, ty.width) if ty.signed else truncate(pattern, ty.width)
+
+
+def _common_operands(
+    x: int, xty: CType, y: int, yty: CType
+) -> tuple[int, int, CType]:
+    ct = common_type(xty, yty)
+    xv = interpret(truncate(interpret(x, xty), ct.width), ct)
+    yv = interpret(truncate(interpret(y, yty), ct.width), ct)
+    return xv, yv, ct
+
+
+def binop(op: OpKind, x: int, xty: CType, y: int, yty: CType, where: str = "?") -> int:
+    """Evaluate an arithmetic/bitwise/shift op; returns a bit pattern
+    (caller truncates to the destination width on write-back)."""
+    if op in (OpKind.SHL, OpKind.SHR):
+        amt = truncate(y, yty.width) % 64
+        if op == OpKind.SHL:
+            return truncate(x, xty.width) << amt
+        if xty.signed:
+            return interpret(x, xty) >> amt
+        return truncate(x, xty.width) >> amt
+
+    xv, yv, ct = _common_operands(x, xty, y, yty)
+    if op == OpKind.ADD:
+        return xv + yv
+    if op == OpKind.SUB:
+        return xv - yv
+    if op == OpKind.MUL:
+        return xv * yv
+    if op in (OpKind.DIV, OpKind.MOD):
+        if yv == 0:
+            raise SimulationError(f"{where}: division by zero")
+        q = abs(xv) // abs(yv)  # C truncates toward zero
+        if (xv < 0) != (yv < 0):
+            q = -q
+        return q if op == OpKind.DIV else xv - q * yv
+    if op == OpKind.AND:
+        return truncate(xv, ct.width) & truncate(yv, ct.width)
+    if op == OpKind.OR:
+        return truncate(xv, ct.width) | truncate(yv, ct.width)
+    if op == OpKind.XOR:
+        return truncate(xv, ct.width) ^ truncate(yv, ct.width)
+    raise SimulationError(f"{where}: {op} is not a binary arithmetic op")
+
+
+def compare(
+    op: OpKind,
+    x: int,
+    xty: CType,
+    y: int,
+    yty: CType,
+    force_width: int | None = None,
+) -> int:
+    """Evaluate a comparison to 0/1.
+
+    ``force_width`` truncates both operands to that many bits *before*
+    comparing (unsigned interpretation) — the faulty narrow comparison the
+    paper's first in-circuit debugging example exposes. ``None`` (default)
+    follows the C usual arithmetic conversions.
+    """
+    if force_width is not None:
+        xv = truncate(interpret(x, xty), force_width)
+        yv = truncate(interpret(y, yty), force_width)
+    else:
+        xv, yv, _ct = _common_operands(x, xty, y, yty)
+    table = {
+        OpKind.EQ: xv == yv,
+        OpKind.NE: xv != yv,
+        OpKind.LT: xv < yv,
+        OpKind.LE: xv <= yv,
+        OpKind.GT: xv > yv,
+        OpKind.GE: xv >= yv,
+    }
+    return int(table[op])
+
+
+def unop(op: OpKind, x: int, xty: CType) -> int:
+    if op == OpKind.NEG:
+        return -interpret(x, xty)
+    if op == OpKind.NOT:
+        return ~truncate(x, xty.width)
+    if op == OpKind.LNOT:
+        return int(truncate(x, xty.width) == 0)
+    raise SimulationError(f"{op} is not a unary op")
+
+
+def cast(op: OpKind, x: int, xty: CType) -> int:
+    """MOV/TRUNC/ZEXT/SEXT source-side normalization (pattern result)."""
+    if op == OpKind.SEXT:
+        return sign_extend(x, xty.width)
+    return truncate(x, xty.width)

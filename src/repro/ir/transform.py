@@ -1,0 +1,72 @@
+"""IR transformation utilities shared by the assertion-synthesis passes.
+
+Currently: dead-code elimination and block splitting. DCE matters for the
+paper's numbers: after assertion parallelization moves a condition into a
+checker process, the inline condition logic left in the application must
+disappear, or the "optimized" variant would pay the assertion's area twice.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.instr import BasicBlock, Instr, Jump
+from repro.ir.ops import OpKind
+
+
+def eliminate_dead_code(func: IRFunction) -> int:
+    """Remove side-effect-free instructions whose results are never used.
+
+    Iterates to a fixpoint (removing one instruction may orphan its
+    operands). Returns the number of instructions removed. Stream, memory
+    write, tap and assert ops are never removed; loads are removable (a
+    dead load frees its port slot, which is exactly what the optimized
+    variants rely on).
+    """
+    removed = 0
+    while True:
+        used: set[str] = set()
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                for u in instr.uses():
+                    used.add(u.name)
+            if block.term is not None:
+                for u in block.term.uses():
+                    used.add(u.name)
+
+        changed = False
+        for block in func.blocks.values():
+            kept: list[Instr] = []
+            for instr in block.instrs:
+                removable = (
+                    not instr.info.has_side_effect
+                    and instr.op != OpKind.STORE
+                    and instr.dests
+                    and all(d.name not in used for d in instr.dests)
+                )
+                if removable:
+                    removed += 1
+                    changed = True
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        if not changed:
+            return removed
+
+
+def split_block_at(
+    func: IRFunction, block_name: str, index: int, cont_hint: str = "cont"
+) -> BasicBlock:
+    """Split ``block`` before instruction ``index``.
+
+    The original block keeps instructions ``[:index]`` and jumps to the new
+    continuation block, which receives ``[index:]`` and the original
+    terminator. Returns the continuation block. Pipeline flags stay with
+    the original header block.
+    """
+    block = func.blocks[block_name]
+    cont = func.new_block(cont_hint)
+    cont.instrs = block.instrs[index:]
+    cont.term = block.term
+    block.instrs = block.instrs[:index]
+    block.term = Jump(cont.name)
+    return cont

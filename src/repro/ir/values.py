@@ -1,0 +1,85 @@
+"""IR value model: virtual registers and constants.
+
+The IR is a conventional three-address code over typed values. Scalars
+declared in the C source become named :class:`Temp` objects (one per
+variable, non-SSA); expression evaluation introduces compiler temporaries.
+Arrays are *not* values — they are memory objects referenced by name in
+``load``/``store`` instructions, because they map to block RAMs with port
+constraints that the scheduler must see explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.ctypes_ import CType
+from repro.utils.bitops import truncate
+
+
+class Value:
+    """Base class for IR operands."""
+
+    ty: CType
+
+
+@dataclass(frozen=True)
+class Temp(Value):
+    """A virtual register. Identity is by name within a function."""
+
+    name: str
+    ty: CType
+
+    def __str__(self) -> str:
+        return f"%{self.name}:{self.ty.name}"
+
+
+@dataclass(frozen=True)
+class Const(Value):
+    """An integer constant, stored as its unsigned bit pattern."""
+
+    value: int
+    ty: CType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", truncate(self.value, self.ty.width))
+
+    def __str__(self) -> str:
+        return f"{self.value}:{self.ty.name}"
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A local array backing a block RAM.
+
+    ``init`` holds initial contents (a ROM image for constant tables such as
+    DES S-boxes); missing tail entries are zero, as in C aggregate
+    initialization.
+    """
+
+    name: str
+    elem: CType
+    size: int
+    init: tuple[int, ...] | None = None
+    #: True when the C declaration was ``const`` — the memory synthesizes to
+    #: a ROM and stores to it are rejected during lowering.
+    const: bool = False
+
+    @property
+    def bits(self) -> int:
+        return self.elem.width * self.size
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.size}]:{self.elem.name}"
+
+
+@dataclass(frozen=True)
+class StreamParam:
+    """A stream-typed function parameter (an Impulse-C ``co_stream``)."""
+
+    name: str
+    #: data width carried by the stream; assigned when the process is bound
+    #: into an application graph (32 by default, like Impulse-C buses).
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"@{self.name}/{self.width}"

@@ -1,0 +1,106 @@
+"""IR well-formedness verifier.
+
+Run after lowering and after every transformation pass (the assertion
+optimizations rewrite IR, so the verifier is the cheap guard that a pass
+has not produced garbage).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.cfg import CFG
+from repro.ir.function import IRFunction
+from repro.ir.instr import Branch, Jump, Return
+from repro.ir.ops import OpKind, op_info
+from repro.ir.values import Const, Temp
+
+_ARITY: dict[OpKind, tuple[int, int]] = {
+    OpKind.MOV: (1, 1),
+    OpKind.TRUNC: (1, 1),
+    OpKind.ZEXT: (1, 1),
+    OpKind.SEXT: (1, 1),
+    OpKind.NEG: (1, 1),
+    OpKind.NOT: (1, 1),
+    OpKind.LNOT: (1, 1),
+    OpKind.SELECT: (3, 3),
+    OpKind.LOAD: (1, 1),
+    OpKind.STORE: (2, 2),
+    OpKind.STREAM_READ: (0, 0),
+    OpKind.STREAM_WRITE: (1, 1),
+    OpKind.STREAM_CLOSE: (0, 0),
+    OpKind.ASSERT_CHECK: (1, 1),
+    OpKind.TAP: (1, 64),
+    OpKind.TAP_READ: (0, 0),
+    OpKind.EXT_HDL: (1, 1),
+}
+
+
+def verify_function(func: IRFunction) -> None:
+    """Raise :class:`IRError` on any malformation; silent when clean."""
+    if func.entry not in func.blocks:
+        raise IRError(f"{func.name}: entry block {func.entry!r} missing")
+
+    streams = set(func.stream_names())
+    for bname, block in func.blocks.items():
+        where = f"{func.name}/{bname}"
+        if block.term is None:
+            raise IRError(f"{where}: missing terminator")
+        if not isinstance(block.term, (Jump, Branch, Return)):
+            raise IRError(f"{where}: unknown terminator {block.term!r}")
+        for idx, instr in enumerate(block.instrs):
+            ctx = f"{where}[{idx}] {instr}"
+            info = op_info(instr.op)
+            lo, hi = _ARITY.get(instr.op, (2, 2))
+            if not (lo <= len(instr.args) <= hi):
+                raise IRError(f"{ctx}: arity {len(instr.args)} not in [{lo},{hi}]")
+            if instr.op == OpKind.STREAM_READ:
+                if len(instr.dests) != 2:
+                    raise IRError(f"{ctx}: stream_read needs (ok, value) dests")
+            elif instr.op == OpKind.TAP_READ:
+                if len(instr.dests) < 1:
+                    raise IRError(f"{ctx}: tap_read needs (ok, values...) dests")
+                if "channel" not in instr.attrs:
+                    raise IRError(f"{ctx}: tap_read without channel")
+            elif instr.op in (OpKind.STREAM_WRITE, OpKind.STREAM_CLOSE,
+                              OpKind.STORE, OpKind.ASSERT_CHECK, OpKind.TAP):
+                if instr.dests:
+                    raise IRError(f"{ctx}: op must not produce a value")
+            else:
+                if len(instr.dests) != 1:
+                    raise IRError(f"{ctx}: op must produce exactly one value")
+            if instr.op in (OpKind.LOAD, OpKind.STORE):
+                array = instr.attrs.get("array")
+                if array not in func.arrays:
+                    raise IRError(f"{ctx}: unknown array {array!r}")
+            if instr.op in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+                            OpKind.STREAM_CLOSE):
+                stream = instr.attrs.get("stream")
+                if stream not in streams:
+                    raise IRError(f"{ctx}: unknown stream {stream!r}")
+            if instr.op == OpKind.ASSERT_CHECK and "assertion" not in instr.attrs:
+                raise IRError(f"{ctx}: assert_check without assertion site")
+            if instr.op == OpKind.TAP and "channel" not in instr.attrs:
+                raise IRError(f"{ctx}: tap without channel")
+            for value in list(instr.args) + list(instr.dests):
+                if isinstance(value, Temp):
+                    declared = func.scalars.get(value.name)
+                    if declared is None:
+                        raise IRError(f"{ctx}: undeclared temp {value.name!r}")
+                    if declared != value.ty:
+                        raise IRError(
+                            f"{ctx}: temp {value.name!r} type {value.ty} "
+                            f"!= declared {declared}"
+                        )
+                elif not isinstance(value, Const):
+                    raise IRError(f"{ctx}: bad operand {value!r}")
+            _ = info
+
+    # CFG-level checks: every reachable target exists (CFG.build raises),
+    # and at least one block returns or the function loops forever by
+    # design (stream-driven processes commonly never return).
+    CFG.build(func)
+
+
+def verify_module(module) -> None:
+    for func in module.functions.values():
+        verify_function(func)

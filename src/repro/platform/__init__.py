@@ -1,0 +1,31 @@
+"""Device, resource and timing models (the reproduction's Quartus stand-in)."""
+
+from repro.platform.device import EP2S60, EP2S180, XD1000, BoardModel, DeviceModel
+from repro.platform.report import OverheadReport, fit_report, overhead_report
+from repro.platform.resources import (
+    DesignResources,
+    ProcessResources,
+    ResourceReport,
+    estimate_image,
+    estimate_process,
+)
+from repro.platform.timing import TimingParams, TimingReport, estimate_fmax
+
+__all__ = [
+    "EP2S60",
+    "EP2S180",
+    "XD1000",
+    "BoardModel",
+    "DeviceModel",
+    "OverheadReport",
+    "fit_report",
+    "overhead_report",
+    "DesignResources",
+    "ProcessResources",
+    "ResourceReport",
+    "estimate_image",
+    "estimate_process",
+    "TimingParams",
+    "TimingReport",
+    "estimate_fmax",
+]

@@ -1,0 +1,65 @@
+"""Target device models.
+
+The paper's platform is an XtremeData XD1000: a dual-Opteron board with an
+Altera Stratix-II EP2S180 in one CPU socket. The capacity numbers below are
+the denominators printed in the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """FPGA capacity model (Stratix-II style)."""
+
+    name: str
+    aluts: int
+    registers: int
+    bram_bits: int
+    block_interconnect: int
+    dsp_mults: int
+    #: smallest block-RAM allocation unit (M4K: 4K data + parity)
+    m4k_bits: int = 4608
+
+
+#: the paper's device
+EP2S180 = DeviceModel(
+    name="EP2S180",
+    aluts=143_520,
+    registers=143_520,
+    bram_bits=9_383_040,
+    block_interconnect=536_440,
+    dsp_mults=768,
+)
+
+#: a mid-size sibling, used in capacity/overflow tests
+EP2S60 = DeviceModel(
+    name="EP2S60",
+    aluts=48_352,
+    registers=48_352,
+    bram_bits=2_544_192,
+    block_interconnect=181_620,
+    dsp_mults=288,
+)
+
+
+@dataclass(frozen=True)
+class BoardModel:
+    """CPU<->FPGA board: one time-multiplexed physical channel.
+
+    ``link_words_per_cycle`` is the per-direction word bandwidth of the
+    multiplexed link (the XD1000's HyperTransport socket interface carries
+    one 64-bit word per FPGA cycle per direction; our streams are <= 64
+    bits wide, so one word per cycle).
+    """
+
+    name: str = "XD1000"
+    link_words_per_cycle: int = 1
+    #: FIFO depth of each CPU-bound stream endpoint (bits are charged by
+    #: the resource estimator: depth x (width + flags))
+    stream_fifo_depth: int = 16
+
+
+XD1000 = BoardModel()

@@ -1,0 +1,104 @@
+"""Overhead reporting in the paper's table format.
+
+``overhead_report(original_image, assert_image)`` produces the five
+resource rows plus the frequency row of Tables 1 and 2, with the same
+"absolute (+percent of device)" formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.device import DeviceModel, EP2S180
+from repro.platform.resources import DesignResources, estimate_image
+from repro.platform.timing import TimingReport, estimate_fmax
+from repro.utils.tables import render_table
+
+
+@dataclass
+class OverheadReport:
+    """Original-vs-assert comparison for one application."""
+
+    device: DeviceModel
+    original: DesignResources
+    asserted: DesignResources
+    original_fmax: TimingReport
+    asserted_fmax: TimingReport
+
+    def rows(self) -> list[list[str]]:
+        dev = self.device
+        o, a = self.original.total, self.asserted.total
+
+        def fmt(value: int, capacity: int) -> str:
+            return f"{value} ({100.0 * value / capacity:.2f}%)"
+
+        def dfmt(new: int, old: int, capacity: int) -> str:
+            d = new - old
+            return f"{d:+d} ({100.0 * d / capacity:+.2f}%)"
+
+        rows = [
+            [f"Logic used (out of {dev.aluts})",
+             fmt(o.logic, dev.aluts), fmt(a.logic, dev.aluts),
+             dfmt(a.logic, o.logic, dev.aluts)],
+            [f"Comb. ALUT (out of {dev.aluts})",
+             fmt(o.comb_aluts, dev.aluts), fmt(a.comb_aluts, dev.aluts),
+             dfmt(a.comb_aluts, o.comb_aluts, dev.aluts)],
+            [f"Registers (out of {dev.registers})",
+             fmt(o.registers, dev.registers), fmt(a.registers, dev.registers),
+             dfmt(a.registers, o.registers, dev.registers)],
+            [f"Block RAM ({dev.bram_bits} bits)",
+             fmt(o.bram_bits, dev.bram_bits), fmt(a.bram_bits, dev.bram_bits),
+             dfmt(a.bram_bits, o.bram_bits, dev.bram_bits)],
+            [f"Block interconnect (out of {dev.block_interconnect})",
+             fmt(o.interconnect, dev.block_interconnect),
+             fmt(a.interconnect, dev.block_interconnect),
+             dfmt(a.interconnect, o.interconnect, dev.block_interconnect)],
+        ]
+        fo, fa = self.original_fmax.fmax_mhz, self.asserted_fmax.fmax_mhz
+        rows.append([
+            "Frequency (MHz)",
+            f"{fo:.1f}", f"{fa:.1f}",
+            f"{fa - fo:+.1f} ({100.0 * (fa - fo) / fo:+.2f}%)",
+        ])
+        return rows
+
+    def render(self, title: str) -> str:
+        return render_table(
+            ["", "Original", "Assert", "Overhead"], self.rows(), title=title
+        )
+
+    @property
+    def fmax_overhead_pct(self) -> float:
+        fo, fa = self.original_fmax.fmax_mhz, self.asserted_fmax.fmax_mhz
+        return 100.0 * (fa - fo) / fo
+
+    @property
+    def max_resource_overhead_pct(self) -> float:
+        dev, o, a = self.device, self.original.total, self.asserted.total
+        pairs = [
+            (a.logic - o.logic, dev.aluts),
+            (a.comb_aluts - o.comb_aluts, dev.aluts),
+            (a.registers - o.registers, dev.registers),
+            (a.bram_bits - o.bram_bits, dev.bram_bits),
+            (a.interconnect - o.interconnect, dev.block_interconnect),
+        ]
+        return max(100.0 * d / cap for d, cap in pairs)
+
+
+def overhead_report(
+    original_image, assert_image, device: DeviceModel = EP2S180
+) -> OverheadReport:
+    ro = estimate_image(original_image, device)
+    ra = estimate_image(assert_image, device)
+    return OverheadReport(
+        device=device,
+        original=ro,
+        asserted=ra,
+        original_fmax=estimate_fmax(original_image, device, resources=ro),
+        asserted_fmax=estimate_fmax(assert_image, device, resources=ra),
+    )
+
+
+def fit_report(image, device: DeviceModel = EP2S180) -> list[str]:
+    """Does the design fit the device? Empty list means yes."""
+    return estimate_image(image, device).total.check_fits(device)

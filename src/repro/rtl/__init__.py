@@ -1,0 +1,48 @@
+"""RTL IR, Verilog emitter and RTL simulator."""
+
+from repro.rtl.core import (
+    BinExpr,
+    BlockingAssign,
+    CondExpr,
+    If,
+    Lit,
+    Memory,
+    MemRead,
+    MemWrite,
+    Module,
+    Port,
+    PortDir,
+    Ref,
+    RegAssign,
+    Signal,
+    SliceExpr,
+    StateCase,
+    UnExpr,
+)
+from repro.rtl.sim import RtlRunResult, RtlSim
+from repro.rtl.verilog import emit_expr, emit_image, emit_module
+
+__all__ = [
+    "BinExpr",
+    "BlockingAssign",
+    "CondExpr",
+    "If",
+    "Lit",
+    "Memory",
+    "MemRead",
+    "MemWrite",
+    "Module",
+    "Port",
+    "PortDir",
+    "Ref",
+    "RegAssign",
+    "Signal",
+    "SliceExpr",
+    "StateCase",
+    "UnExpr",
+    "RtlRunResult",
+    "RtlSim",
+    "emit_expr",
+    "emit_image",
+    "emit_module",
+]

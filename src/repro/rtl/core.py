@@ -1,0 +1,183 @@
+"""RTL intermediate representation.
+
+A deliberately small, synthesizable subset: modules with clocked FSMD
+processes in the style Impulse-C emits — one state machine per process,
+blocking-assignment datapath chains inside the clocked block, flow-through
+memories, and ready/valid stream endpoints. The Verilog emitter
+(:mod:`repro.rtl.verilog`) prints it; the RTL simulator (:mod:`repro.rtl.sim`)
+executes it for cross-validation against the schedule-level cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named wire or register of ``width`` bits."""
+
+    name: str
+    width: int
+    signed: bool = False
+
+
+class PortDir(str, Enum):
+    IN = "input"
+    OUT = "output"
+
+
+@dataclass(frozen=True)
+class Port:
+    signal: Signal
+    direction: PortDir
+
+
+# ---- expressions ---------------------------------------------------------------
+
+
+class Expr:
+    width: int
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    signal: Signal
+
+    @property
+    def width(self) -> int:
+        return self.signal.width
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    value: int
+    width: int
+
+
+@dataclass(frozen=True)
+class UnExpr(Expr):
+    op: str            # '-', '~', '!'
+    operand: Expr
+    width: int
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str            # '+','-','*','/','%','&','|','^','<<','>>','>>>',
+    #                    '==','!=','<','<=','>','>=','&&','||'
+    left: Expr
+    right: Expr
+    width: int
+    signed_cmp: bool = False
+
+
+@dataclass(frozen=True)
+class CondExpr(Expr):
+    cond: Expr
+    iftrue: Expr
+    iffalse: Expr
+    width: int
+
+
+@dataclass(frozen=True)
+class SliceExpr(Expr):
+    operand: Expr
+    msb: int
+    lsb: int
+
+    @property
+    def width(self) -> int:
+        return self.msb - self.lsb + 1
+
+
+@dataclass(frozen=True)
+class MemRead(Expr):
+    memory: str
+    index: Expr
+    width: int
+
+
+# ---- statements (inside the clocked process) ------------------------------------
+
+
+class Stmt:
+    pass
+
+
+@dataclass
+class BlockingAssign(Stmt):
+    """``target = expr;`` — datapath chaining within a state."""
+
+    target: Signal
+    expr: Expr
+
+
+@dataclass
+class RegAssign(Stmt):
+    """``target <= expr;`` — register update."""
+
+    target: Signal
+    expr: Expr
+
+
+@dataclass
+class MemWrite(Stmt):
+    memory: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: list[Stmt] = field(default_factory=list)
+    otherwise: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Memory:
+    name: str
+    width: int
+    depth: int
+    init: tuple[int, ...] | None = None
+
+
+@dataclass
+class StateCase:
+    """One FSM state: statements executed when ``state == index`` and the
+    state's stall condition is false."""
+
+    index: int
+    label: str
+    stall: Expr | None
+    body: list[Stmt] = field(default_factory=list)
+    next_state: Expr | None = None  # expression producing the next state id
+
+
+@dataclass
+class Module:
+    """One hardware process."""
+
+    name: str
+    ports: list[Port] = field(default_factory=list)
+    regs: list[Signal] = field(default_factory=list)
+    wires: list[Signal] = field(default_factory=list)
+    memories: list[Memory] = field(default_factory=list)
+    #: continuous assignments (wire = expr)
+    assigns: list[tuple[Signal, Expr]] = field(default_factory=list)
+    #: the FSM: state register width and cases
+    state_width: int = 1
+    states: list[StateCase] = field(default_factory=list)
+    #: free-form metadata (pipeline descriptors etc.) for the emitter
+    meta: dict = field(default_factory=dict)
+
+    def port_signals(self) -> dict[str, Signal]:
+        return {p.signal.name: p.signal for p in self.ports}
+
+    def find_state(self, label: str) -> StateCase:
+        for sc in self.states:
+            if sc.label == label:
+                return sc
+        raise KeyError(label)

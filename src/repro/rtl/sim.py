@@ -1,0 +1,253 @@
+"""RTL simulator: executes generated :class:`repro.rtl.core.Module` objects.
+
+Used to cross-validate the emitted RTL against the schedule-level cycle
+model: for sequential (non-pipelined) processes the two must agree cycle
+for cycle on outputs and cycle counts — a strong end-to-end check that the
+Verilog we print means what the cycle model measured. Pipelined regions
+are not simulated here (their executable semantics are owned by
+:mod:`repro.hls.cyclemodel`); passing a module with pipeline metadata
+raises :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.hls.cyclemodel import Channel
+from repro.rtl import core as R
+from repro.utils.bitops import sign_extend, truncate
+
+
+@dataclass
+class RtlRunResult:
+    cycles: int
+    done: bool
+    stalled_cycles: int = 0
+    taps: dict[str, list[int]] = field(default_factory=dict)
+
+
+class RtlSim:
+    """Cycle simulator for one sequential module bound to channels."""
+
+    def __init__(
+        self,
+        module: R.Module,
+        streams: dict[str, Channel],
+        ext_hdl: Callable[[int], int] | None = None,
+    ) -> None:
+        if module.meta.get("pipelines"):
+            raise SimulationError(
+                f"{module.name}: RTL simulation of pipelined regions is not "
+                "supported; use the cycle model"
+            )
+        self.module = module
+        self.streams = streams
+        self.ext_hdl = ext_hdl or (lambda v: v)
+        self.regs: dict[str, int] = {"state": 0}
+        port_set = set()
+        for p in module.ports:
+            port_set.add(p.signal.name)
+        for sig in module.regs:
+            self.regs[sig.name] = 0
+        self.memories: dict[str, list[int]] = {}
+        for mem in module.memories:
+            image = [0] * mem.depth
+            for i, v in enumerate(mem.init or ()):
+                image[i] = truncate(v, mem.width)
+            self.memories[mem.name] = image
+        self.cycles = 0
+        self.stalled = 0
+        self.done = False
+        self.taps: dict[str, list[int]] = {}
+        self._state_by_index = {sc.index: sc for sc in module.states}
+
+        # identify stream roles from port names
+        self._readers: dict[str, Channel] = {}
+        self._writers: dict[str, Channel] = {}
+        for name, ch in streams.items():
+            if f"{name}_re" in port_set:
+                self._readers[name] = ch
+            else:
+                self._writers[name] = ch
+
+    # ---- evaluation -----------------------------------------------------------
+
+    def _port_value(self, name: str) -> int:
+        for stream, ch in self._readers.items():
+            if name == f"{stream}_data":
+                return int(ch.queue[0]) if ch.queue else 0
+            if name == f"{stream}_empty":
+                return int(not ch.can_pop())
+            if name == f"{stream}_eos":
+                return int(ch.closed)
+        for stream, ch in self._writers.items():
+            if name == f"{stream}_full":
+                return int(not ch.can_push())
+        raise SimulationError(f"{self.module.name}: unknown port {name!r}")
+
+    def eval(self, expr: R.Expr) -> int:
+        if isinstance(expr, R.Ref):
+            name = expr.signal.name
+            if name in self.regs:
+                return truncate(self.regs[name], expr.width)
+            return truncate(self._port_value(name), expr.width)
+        if isinstance(expr, R.Lit):
+            return truncate(expr.value, expr.width)
+        if isinstance(expr, R.UnExpr):
+            v = self.eval(expr.operand)
+            if expr.op == "-":
+                return truncate(-v, expr.width)
+            if expr.op == "~":
+                return truncate(~v, expr.width)
+            if expr.op == "!":
+                return int(v == 0)
+            if expr.op in ("zext",):
+                return truncate(v, expr.width)
+            if expr.op == "sext":
+                return truncate(sign_extend(v, expr.operand.width), expr.width)
+            raise SimulationError(f"unknown unary {expr.op}")
+        if isinstance(expr, R.BinExpr):
+            a = self.eval(expr.left)
+            b = self.eval(expr.right)
+            op = expr.op
+            if expr.signed_cmp:
+                a = sign_extend(a, expr.left.width)
+                b = sign_extend(b, expr.right.width)
+            if op == "+":
+                return truncate(a + b, expr.width)
+            if op == "-":
+                return truncate(a - b, expr.width)
+            if op == "*":
+                return truncate(a * b, expr.width)
+            if op in ("/", "%"):
+                if b == 0:
+                    raise SimulationError(f"{self.module.name}: divide by zero")
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                r = a - q * b
+                return truncate(q if op == "/" else r, expr.width)
+            if op == "&":
+                return truncate(a & b, expr.width)
+            if op == "|":
+                return truncate(a | b, expr.width)
+            if op == "^":
+                return truncate(a ^ b, expr.width)
+            if op == "<<":
+                return truncate(a << (b % 64), expr.width)
+            if op == ">>":
+                return truncate(a >> (b % 64), expr.width)
+            if op == ">>>":
+                a_s = sign_extend(self.eval(expr.left), expr.left.width)
+                return truncate(a_s >> (self.eval(expr.right) % 64), expr.width)
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                table = {
+                    "==": a == b, "!=": a != b, "<": a < b,
+                    "<=": a <= b, ">": a > b, ">=": a >= b,
+                }
+                return int(table[op])
+            if op == "&&":
+                return int(bool(a) and bool(b))
+            if op == "||":
+                return int(bool(a) or bool(b))
+            if op == "concat":
+                return truncate(
+                    (a << expr.right.width) | b, expr.width
+                )
+            raise SimulationError(f"unknown binop {op}")
+        if isinstance(expr, R.CondExpr):
+            return truncate(
+                self.eval(expr.iftrue) if self.eval(expr.cond) else
+                self.eval(expr.iffalse),
+                expr.width,
+            )
+        if isinstance(expr, R.SliceExpr):
+            v = self.eval(expr.operand)
+            return (v >> expr.lsb) & ((1 << (expr.msb - expr.lsb + 1)) - 1)
+        if isinstance(expr, R.MemRead):
+            if expr.memory == "$ext_hdl":
+                return truncate(self.ext_hdl(self.eval(expr.index)), expr.width)
+            mem = self.memories[expr.memory]
+            return mem[self.eval(expr.index) % len(mem)]
+        raise SimulationError(f"unknown expr {expr!r}")
+
+    def _exec(self, stmt: R.Stmt, deferred: list) -> None:
+        if isinstance(stmt, R.BlockingAssign):
+            self.regs[stmt.target.name] = truncate(
+                self.eval(stmt.expr), stmt.target.width
+            )
+        elif isinstance(stmt, R.RegAssign):
+            deferred.append(
+                (stmt.target.name, stmt.target.width, self.eval(stmt.expr))
+            )
+        elif isinstance(stmt, R.MemWrite):
+            mem = self.memories[stmt.memory]
+            mem[self.eval(stmt.index) % len(mem)] = self.eval(stmt.value)
+        elif isinstance(stmt, R.If):
+            branch = stmt.then if self.eval(stmt.cond) else stmt.otherwise
+            for s in branch:
+                self._exec(s, deferred)
+        else:
+            raise SimulationError(f"unknown stmt {stmt!r}")
+
+    # ---- clocking --------------------------------------------------------------
+
+    def tick(self) -> str:
+        if self.done:
+            return "done"
+        state = self.regs["state"]
+        if state == self.module.meta.get("done_state"):
+            self.done = True
+            return "done"
+        self.cycles += 1
+        sc = self._state_by_index.get(state)
+        if sc is None:
+            raise SimulationError(f"{self.module.name}: no state {state}")
+        if sc.stall is not None and self.eval(sc.stall):
+            self.stalled += 1
+            return "stalled"
+        deferred: list = []
+        for stmt in sc.body:
+            self._exec(stmt, deferred)
+        next_state = self.eval(sc.next_state) if sc.next_state is not None \
+            else state
+        # interface strobes evaluate against the post-datapath values but
+        # the *pre-transition* state
+        for sig, expr in self.module.assigns:
+            value = self.eval(expr)
+            self._interface_strobe(sig.name, value)
+        for name, width, value in deferred:
+            self.regs[name] = truncate(value, width)
+        self.regs["state"] = next_state
+        return "active"
+
+    def _interface_strobe(self, name: str, value: int) -> None:
+        for stream, ch in self._readers.items():
+            if name == f"{stream}_re" and value and ch.can_pop():
+                ch.pop()
+                return
+        for stream, ch in self._writers.items():
+            if name == f"{stream}_we" and value:
+                ch.push(truncate(self.regs[f"{stream}_data_r"], ch.width))
+                return
+            if name == f"{stream}_close" and value:
+                ch.close()
+                return
+        if name.startswith("tap_") and name.endswith("_valid") and value:
+            channel = name[len("tap_"):-len("_valid")]
+            self.taps.setdefault(channel, []).append(
+                self.regs.get(f"tap_{channel}_r", 0)
+            )
+
+    def run(self, max_cycles: int = 1_000_000) -> RtlRunResult:
+        for _ in range(max_cycles):
+            if self.tick() == "done":
+                break
+        return RtlRunResult(
+            cycles=self.cycles,
+            done=self.done,
+            stalled_cycles=self.stalled,
+            taps=self.taps,
+        )

@@ -1,0 +1,34 @@
+"""Task-graph runtime: applications, software simulation, hardware execution."""
+
+from repro.runtime.hwexec import (
+    CollectorSpec,
+    FailStreamDecode,
+    HardwareImage,
+    HwResult,
+    execute,
+)
+from repro.runtime.swsim import SimResult, software_sim
+from repro.runtime.taskgraph import (
+    Application,
+    Endpoint,
+    GraphError,
+    ProcessDef,
+    StreamDef,
+    TapDef,
+)
+
+__all__ = [
+    "CollectorSpec",
+    "FailStreamDecode",
+    "HardwareImage",
+    "HwResult",
+    "execute",
+    "SimResult",
+    "software_sim",
+    "Application",
+    "Endpoint",
+    "GraphError",
+    "ProcessDef",
+    "StreamDef",
+    "TapDef",
+]

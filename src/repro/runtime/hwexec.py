@@ -1,0 +1,350 @@
+"""Hardware execution: cycle-accurate co-simulation of the whole system.
+
+The synthesized application runs as a set of :class:`ProcessExec` circuit
+models connected by FIFO channels, a board model with **one time-multiplexed
+physical CPU<->FPGA link** (the paper's portability mechanism: all logical
+streams, including assertion-failure streams, share it round-robin, one
+word per direction per cycle), collector pseudo-processes for shared
+failure channels, and the CPU-side assertion notification function that
+decodes failure words, prints the ANSI-C message and halts the application
+(unless ``NABORT``).
+
+A hang — every circuit stalled, the board idle — is detected and reported
+with per-process traces naming the blocked source lines, which is exactly
+the debugging workflow of the paper's Section 5.1 second example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.compiler import CompiledProcess
+from repro.hls.cyclemodel import Channel, ProcessExec, ProcessTrace
+from repro.ir.instr import AssertionSite
+from repro.runtime.taskgraph import Application, StreamDef
+
+
+@dataclass
+class CollectorSpec:
+    """Shared-failure-channel collector (repro.core.share).
+
+    ``inputs`` maps tap channels carrying failure events to bit positions of
+    the packed word sent on ``output`` ("a single bit of the stream is used
+    per assertion", Section 4.2).
+    """
+
+    inputs: list[tuple[str, int]] = field(default_factory=list)
+    output: str = ""
+
+
+@dataclass
+class FailStreamDecode:
+    """How the notifier interprets words arriving on one failure stream.
+
+    ``mode='code'``: the word is an assertion error code (unoptimized
+    framework, Section 4.1). ``mode='bitmask'``: each set bit identifies an
+    assertion on this shared channel (resource sharing, Section 4.2).
+    """
+
+    mode: str
+    table: dict[int, tuple[str, AssertionSite]] = field(default_factory=dict)
+
+
+@dataclass
+class HardwareImage:
+    """A fully synthesized application, ready to execute or to estimate."""
+
+    app: Application
+    compiled: dict[str, CompiledProcess]
+    assert_decode: dict[str, FailStreamDecode] = field(default_factory=dict)
+    nabort: bool = False
+    assertion_level: str = "none"
+    #: timing assertions (repro.core.timing_assert.LatencyRegion)
+    latency_regions: list = field(default_factory=list)
+
+    def decode_failure(self, stream: str, word: int) -> list[tuple[str, AssertionSite]]:
+        decode = self.assert_decode.get(stream)
+        if decode is None:
+            return []
+        if decode.mode == "code":
+            hit = decode.table.get(word)
+            return [hit] if hit is not None else []
+        hits = []
+        for bit in range(32):
+            if word & (1 << bit) and bit in decode.table:
+                hits.append(decode.table[bit])
+        return hits
+
+
+@dataclass
+class HwResult:
+    """Outcome of a hardware execution."""
+
+    completed: bool
+    cycles: int
+    outputs: dict[str, list[int]] = field(default_factory=dict)
+    stderr: list[str] = field(default_factory=list)
+    failures: list[tuple[str, AssertionSite]] = field(default_factory=list)
+    aborted_by: AssertionSite | None = None
+    hung: bool = False
+    traces: list[ProcessTrace] = field(default_factory=list)
+    process_stats: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def aborted(self) -> bool:
+        return self.aborted_by is not None
+
+
+class _Arbiter:
+    """Round-robin merge of per-assertion tap FIFOs (the paper's Section
+    3.3 future-work extension): one record per cycle moves from a member
+    FIFO onto the merged channel, tagged with the assertion index and with
+    the member's values placed at its slot offsets."""
+
+    pending = 0  # drain-condition compatibility with _Collector
+
+    def __init__(self, spec, taps: dict[str, Channel]):
+        self.spec = spec
+        self.taps = taps
+        self.rr = 0
+
+    def tick(self) -> bool:
+        n = len(self.spec.inputs)
+        for k in range(n):
+            idx = (self.rr + k) % n
+            ch = self.taps[self.spec.inputs[idx]]
+            if ch.can_pop():
+                record = ch.pop()
+                slots = [0] * self.spec.total_slots
+                base = self.spec.offsets[idx]
+                for i, v in enumerate(record):
+                    slots[base + i] = v
+                self.taps[self.spec.output].push((idx, *slots))
+                self.rr = (idx + 1) % n
+                return True
+        return False
+
+
+class _LatencyMonitor:
+    """Hardware latency monitor: a cycle counter per measured region plus a
+    bound comparator (the paper's future-work timing assertions)."""
+
+    pending = 0
+
+    def __init__(self, region, taps: dict[str, Channel]):
+        self.region = region
+        self.taps = taps
+        self.start_cycle: int | None = None
+        self.violations: list[tuple[object, int]] = []
+
+    def tick(self, cycle: int) -> bool:
+        active = False
+        start_ch = self.taps[self.region.start_channel]
+        while start_ch.can_pop():
+            start_ch.pop()
+            self.start_cycle = cycle
+            active = True
+        end_ch = self.taps[self.region.end_channel]
+        while end_ch.can_pop():
+            end_ch.pop()
+            active = True
+            if self.start_cycle is None:
+                continue  # end without start: extraction rejects this shape
+            elapsed = cycle - self.start_cycle
+            if elapsed > self.region.bound:
+                self.violations.append((self.region, elapsed))
+            self.start_cycle = None
+        return active
+
+
+class _Collector:
+    """Cycle behaviour of a CollectorSpec: OR arriving failure bits into a
+    sticky word and push it on the shared failure stream when non-zero."""
+
+    def __init__(self, spec: CollectorSpec, taps: dict[str, Channel],
+                 out: Channel):
+        self.spec = spec
+        self.taps = taps
+        self.out = out
+        self.pending = 0
+
+    def tick(self) -> bool:
+        active = False
+        for name, bit in self.spec.inputs:
+            ch = self.taps[name]
+            while ch.can_pop():
+                ch.pop()
+                self.pending |= 1 << bit
+                active = True
+        if self.pending and self.out.can_push():
+            self.out.push(self.pending)
+            self.pending = 0
+            active = True
+        return active
+
+
+def execute(
+    image: HardwareImage,
+    max_cycles: int = 2_000_000,
+    idle_limit: int = 64,
+) -> HwResult:
+    """Run the synthesized application cycle by cycle."""
+    app = image.app
+    app.validate()
+
+    channels: dict[str, Channel] = {}
+    cpu_outputs: dict[str, list[int]] = {}
+    feeders: dict[str, list[int]] = {}
+    for sd in app.streams.values():
+        channels[sd.name] = Channel(sd.name, width=sd.width, depth=sd.depth)
+        if sd.cpu_fed:
+            feeders[sd.name] = list(sd.feeder_data or [])
+        if sd.cpu_bound:
+            cpu_outputs[sd.name] = []
+    taps: dict[str, Channel] = {
+        name: Channel(name, unbounded=True) for name in app.taps
+    }
+
+    execs: dict[str, ProcessExec] = {}
+    for pd in app.fpga_processes():
+        binding = {
+            param: channels[sd.name]
+            for param, sd in app.stream_binding(pd.name).items()
+        }
+        execs[pd.name] = ProcessExec(
+            image.compiled[pd.name].schedule,
+            streams=binding,
+            taps=taps,
+            ext_funcs=pd.ext_hw,
+            name=pd.name,
+        )
+
+    collectors = [
+        _Collector(pd.collector_spec, taps, channels[pd.collector_spec.output])
+        for pd in app.processes.values()
+        if pd.kind == "collector" and pd.collector_spec is not None
+    ]
+    collectors.extend(
+        _Arbiter(pd.collector_spec, taps)
+        for pd in app.processes.values()
+        if pd.kind == "arbiter" and pd.collector_spec is not None
+    )
+
+    result = HwResult(completed=False, cycles=0)
+    fed_order = sorted(feeders)
+    sink_order = sorted(cpu_outputs)
+    feed_rr = 0
+    sink_rr = 0
+    idle = 0
+    halted = False
+
+    def board_tick() -> bool:
+        nonlocal feed_rr, sink_rr
+        moved = False
+        # CPU -> FPGA: one word per cycle across all feeder streams
+        for k in range(len(fed_order)):
+            name = fed_order[(feed_rr + k) % len(fed_order)]
+            ch = channels[name]
+            data = feeders[name]
+            if data and ch.can_push():
+                ch.push(data.pop(0))
+                if not data:
+                    ch.close()
+                feed_rr = (feed_rr + k + 1) % len(fed_order)
+                moved = True
+                break
+            if not data and not ch.closed:
+                ch.close()
+                moved = True
+        # FPGA -> CPU: one word per cycle across all sink streams
+        for k in range(len(sink_order)):
+            name = sink_order[(sink_rr + k) % len(sink_order)]
+            ch = channels[name]
+            if ch.can_pop():
+                word = ch.pop()
+                _deliver(name, word)
+                sink_rr = (sink_rr + k + 1) % len(sink_order)
+                moved = True
+                break
+        return moved
+
+    def _deliver(stream: str, word: int) -> None:
+        nonlocal halted
+        sd = app.streams[stream]
+        if sd.role in ("assert_code", "assert_bitmask"):
+            hits = image.decode_failure(stream, word)
+            for proc, site in hits:
+                result.failures.append((proc, site))
+                result.stderr.append(site.message())
+                if not image.nabort:
+                    result.aborted_by = site
+                    halted = True
+        else:
+            cpu_outputs[stream].append(word)
+
+    monitors = [
+        _LatencyMonitor(region, taps) for region in image.latency_regions
+    ]
+
+    for _cycle in range(max_cycles):
+        result.cycles += 1
+        active = board_tick()
+        for collector in collectors:
+            if collector.tick():
+                active = True
+        for pe in execs.values():
+            status = pe.tick()
+            if status == "active":
+                active = True
+        for monitor in monitors:
+            if monitor.tick(result.cycles):
+                active = True
+            for region, elapsed in monitor.violations:
+                result.failures.append((region.process, region.site))
+                result.stderr.append(region.message(elapsed))
+                if not image.nabort:
+                    result.aborted_by = region.site
+                    halted = True
+            monitor.violations.clear()
+        if halted:
+            break
+        blocking = [
+            pd.name for pd in app.fpga_processes()
+            if not pd.daemon and not execs[pd.name].done
+        ]
+        if not blocking:
+            # the application is done, but failure notifications may still
+            # be in flight through checker pipelines, collectors and the
+            # board link — drain everything before declaring completion
+            drained = (
+                all(not channels[name].can_pop() for name in sink_order)
+                and all(not ch.can_pop() for ch in taps.values())
+                and all(c.pending == 0 for c in collectors)
+                and not active
+            )
+            if drained:
+                result.completed = True
+                break
+        if active:
+            idle = 0
+        else:
+            idle += 1
+            if idle >= idle_limit:
+                result.hung = True
+                result.traces = [pe.trace() for pe in execs.values()]
+                break
+    else:
+        result.hung = True
+        result.traces = [pe.trace() for pe in execs.values()]
+
+    for name in sink_order:
+        sd = app.streams[name]
+        if sd.role is None:
+            result.outputs[name] = cpu_outputs[name]
+    for name, pe in execs.items():
+        result.process_stats[name] = {
+            "cycles": pe.cycles,
+            "stalls": pe.stall_cycles,
+            "iterations": pe.iterations_started,
+        }
+    return result

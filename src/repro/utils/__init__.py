@@ -1,0 +1,28 @@
+"""Shared utilities: bit manipulation, deterministic ids, table rendering."""
+
+from repro.utils.bitops import (
+    bit_length_for,
+    clog2,
+    mask,
+    sign_extend,
+    truncate,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.idgen import IdGenerator, stable_fingerprint
+from repro.utils.tables import delta, pct, render_table
+
+__all__ = [
+    "bit_length_for",
+    "clog2",
+    "mask",
+    "sign_extend",
+    "truncate",
+    "to_signed",
+    "to_unsigned",
+    "IdGenerator",
+    "stable_fingerprint",
+    "render_table",
+    "pct",
+    "delta",
+]

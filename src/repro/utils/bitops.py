@@ -1,0 +1,60 @@
+"""Exact-width two's-complement bit arithmetic helpers.
+
+The HLS flow models hardware values as Python integers constrained to a
+declared bit width. These helpers implement the wrapping/truncation rules
+used by both the IR interpreter (software semantics) and the RTL simulator
+(hardware semantics), so the two agree except where a translation fault is
+deliberately injected.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits. ``mask(0) == 0``."""
+    if width < 0:
+        raise ValueError(f"negative width {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits, returning the unsigned pattern."""
+    return value & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    if width <= 0:
+        return 0
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_signed(value: int, width: int) -> int:
+    """Alias of :func:`sign_extend` with a name matching RTL terminology."""
+    return sign_extend(value, width)
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Reduce a (possibly negative) integer to its unsigned bit pattern."""
+    return value & mask(width)
+
+
+def clog2(n: int) -> int:
+    """Ceiling log2: number of bits needed to index ``n`` distinct values.
+
+    ``clog2(1) == 0`` (a single value needs no index bits); ``clog2(0)`` is
+    an error.
+    """
+    if n <= 0:
+        raise ValueError(f"clog2 of non-positive value {n}")
+    return (n - 1).bit_length()
+
+
+def bit_length_for(value: int) -> int:
+    """Minimum unsigned width able to hold ``value`` (at least 1 bit)."""
+    if value < 0:
+        raise ValueError("bit_length_for takes unsigned values")
+    return max(1, value.bit_length())

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark and report output.
+
+The benchmark harness prints rows in the same format as the paper's tables
+(resource counts with percentages, frequency rows with deltas), so a
+side-by-side comparison with the publication is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align: Sequence[str] | None = None,
+) -> str:
+    """Render a monospace table.
+
+    ``align`` is a per-column sequence of ``"l"`` or ``"r"``; defaults to
+    left for the first column and right for the rest (the paper's style).
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    for row in cells:
+        row.extend([""] * (ncols - len(row)))
+    widths = [max(len(row[i]) for row in cells) for i in range(ncols)]
+    if align is None:
+        align = ["l"] + ["r"] * (ncols - 1)
+
+    def fmt_row(row: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(row):
+            if align[i] == "r":
+                out.append(cell.rjust(widths[i]))
+            else:
+                out.append(cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def pct(numerator: float, denominator: float) -> str:
+    """Format ``numerator/denominator`` as a percentage string like the paper."""
+    if denominator == 0:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.2f}%"
+
+
+def delta(new: float, old: float, unit: str = "") -> str:
+    """Format an absolute+relative delta, e.g. ``+174 (+0.12%)``."""
+    d = new - old
+    sign = "+" if d >= 0 else ""
+    if old == 0:
+        return f"{sign}{d:g}{unit}"
+    rel = 100.0 * d / old
+    return f"{sign}{d:g}{unit} ({sign}{rel:.2f}%)"

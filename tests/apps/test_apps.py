@@ -1,0 +1,145 @@
+"""Unit tests for edge detection, loopback and the debugging demo apps."""
+
+from repro.apps.edge_detect import build_edge_app, edge_source, golden_edge
+from repro.apps.loopback import build_loopback, expected_output
+from repro.apps.verification import (
+    build_divergence_app,
+    build_hang_app,
+    hw_ext_hdl,
+    sw_ext_hdl,
+)
+from repro.core.synth import synthesize
+from repro.runtime.hwexec import execute
+from repro.runtime.swsim import software_sim
+
+
+def pixels(w, h):
+    return [
+        ((x * 7 + y * 13) ^ (0xFF if (x // 8 + y // 8) % 2 else 0)) & 0xFFFF
+        for y in range(h)
+        for x in range(w)
+    ]
+
+
+def test_edge_source_configurable():
+    src = edge_source(64, 32)
+    assert "uint16 line0[64]" in src
+    assert "assert(w == 64);" in src
+    assert "assert(h == 32);" in src
+    assert "assert(" not in edge_source(64, 32, with_assertions=False)
+
+
+def test_edge_sw_matches_golden():
+    w, h = 16, 8
+    px = pixels(w, h)
+    res = software_sim(build_edge_app(w, h, px))
+    assert res.completed
+    assert res.outputs["edges_out"] == golden_edge(w, h, px)
+
+
+def test_edge_golden_detects_block_edges():
+    w, h = 16, 16
+    flat = [100] * (w * h)
+    assert all(v == 0 for v in golden_edge(w, h, flat)[5 * w:])
+    stepped = [0] * (w * h // 2) + [1000] * (w * h // 2)
+    assert any(v > 0 for v in golden_edge(w, h, stepped))
+
+
+def test_edge_wrong_header_fails_assertions():
+    w, h = 16, 8
+    app = build_edge_app(w, h, pixels(w, h), header=(w, h + 5))
+    res = software_sim(app)
+    assert res.aborted
+    assert f"h == {h}" in res.stderr[0]
+
+
+def test_loopback_identity_all_levels():
+    data = list(range(1, 9))
+    app = build_loopback(3, data=data)
+    sw = software_sim(app)
+    assert sw.outputs["drain"] == expected_output(data)
+    for level in ("none", "unoptimized", "optimized"):
+        hw = execute(synthesize(app, assertions=level))
+        assert hw.completed
+        assert hw.outputs["drain"] == data, level
+
+
+def test_loopback_zero_value_trips_assertion():
+    app = build_loopback(2, data=[5, 0, 7])
+    res = software_sim(app)
+    assert res.aborted
+    assert "buf[i & 15] > 0" in res.stderr[0]
+
+
+def test_loopback_without_assertions_has_no_sites():
+    app = build_loopback(2, with_assertions=False)
+    assert app.assertion_sites() == []
+
+
+def test_loopback_process_and_stream_counts():
+    app = build_loopback(5)
+    assert len(app.fpga_processes()) == 5
+    assert len(app.streams) == 6  # feed + 4 links + drain
+
+
+def test_divergence_sw_clean_hw_fails():
+    app, faults = build_divergence_app()
+    assert software_sim(app).completed
+    hw = execute(synthesize(app, assertions="optimized", faults=faults),
+                 max_cycles=500_000)
+    assert hw.aborted
+    assert "addr < 32" in hw.stderr[0]
+
+
+def test_divergence_ext_hdl_bug_alone():
+    app, faults = build_divergence_app(values=[255],
+                                       inject_compare_bug=False,
+                                       inject_ext_bug=True)
+    assert software_sim(app).completed
+    hw = execute(synthesize(app, assertions="optimized", faults=faults),
+                 max_cycles=500_000)
+    assert hw.aborted
+    assert "r == (v + 1)" in hw.stderr[0]
+
+
+def test_ext_hdl_models_differ_only_past_byte():
+    assert sw_ext_hdl(5) == hw_ext_hdl(5)
+    assert sw_ext_hdl(255) != hw_ext_hdl(255)
+
+
+def test_divergence_without_faults_matches_sw():
+    app, _ = build_divergence_app(values=[1, 2],
+                                  inject_compare_bug=False,
+                                  inject_ext_bug=False)
+    sw = software_sim(app)
+    hw = execute(synthesize(app, assertions="optimized"), max_cycles=500_000)
+    assert hw.completed
+    assert hw.outputs["res"] == sw.outputs["res"]
+
+
+def test_hang_sw_completes_hw_hangs():
+    app, faults = build_hang_app(with_traces=False)
+    assert software_sim(app).completed
+    hw = execute(synthesize(app, assertions="none", faults=faults),
+                 max_cycles=20_000, idle_limit=32)
+    assert hw.hung
+    assert hw.traces
+
+
+def test_hang_traces_locate_stuck_line():
+    app, faults = build_hang_app(with_traces=True)
+    sw = software_sim(app)
+    sw_lines = {site.line for _p, site in sw.failures}
+    img = synthesize(app, assertions="unoptimized", faults=faults, nabort=True)
+    hw = execute(img, max_cycles=20_000, idle_limit=32)
+    assert hw.hung
+    hw_lines = {site.line for _p, site in hw.failures}
+    # the hardware run never reaches the traces past the hang; the missing
+    # line numbers bracket the bug, as in the paper's methodology
+    assert hw_lines < sw_lines
+
+
+def test_hang_absent_without_fault():
+    app, _ = build_hang_app(with_traces=False, inject_hang_bug=False)
+    hw = execute(synthesize(app, assertions="none"), max_cycles=100_000)
+    assert hw.completed

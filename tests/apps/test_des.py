@@ -1,0 +1,101 @@
+"""Unit tests for the DES/3DES golden model and C implementation."""
+
+from repro.apps import des_tables as T
+from repro.apps.tripledes import (
+    DEFAULT_KEYS,
+    build_tdes_app,
+    encrypt_text,
+    expected_blocks,
+    round_key_rom,
+    tdes_source,
+)
+from repro.runtime.swsim import software_sim
+
+
+def test_fips_test_vector():
+    ks = T.key_schedule(0x133457799BBCDFF1)
+    assert T.des_block(0x0123456789ABCDEF, ks) == 0x85E813540F0AB405
+
+
+def test_des_decrypt_inverts_encrypt():
+    ks = T.key_schedule(0x0123456789ABCDEF)
+    for block in (0, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEF00D):
+        assert T.des_block(T.des_block(block, ks), ks, decrypt=True) == block
+
+
+def test_key_schedule_produces_16_48bit_keys():
+    ks = T.key_schedule(0x0123456789ABCDEF)
+    assert len(ks) == 16
+    assert all(0 <= k < 2**48 for k in ks)
+    assert len(set(ks)) > 1
+
+
+def test_tdes_roundtrip():
+    blk = 0x4E6F772069732074
+    e = T.tdes_encrypt_block(blk, *DEFAULT_KEYS)
+    assert e != blk
+    assert T.tdes_decrypt_block(e, *DEFAULT_KEYS) == blk
+
+
+def test_single_key_tdes_degenerates_to_des():
+    k = 0x0123456789ABCDEF
+    ks = T.key_schedule(k)
+    blk = 0x0011223344556677
+    assert T.tdes_encrypt_block(blk, k, k, k) == T.des_block(blk, ks)
+
+
+def test_pack_unpack_text_roundtrip():
+    text = b"The quick brown fox"
+    assert T.unpack_text(T.pack_text(text)) == text
+
+
+def test_sbox_tables_shape():
+    assert len(T.SBOX) == 8
+    assert all(len(box) == 64 for box in T.SBOX)
+    assert all(0 <= v < 16 for box in T.SBOX for v in box)
+
+
+def test_permutation_tables_are_permutations():
+    assert sorted(T.IP) == list(range(1, 65))
+    assert sorted(T.FP) == list(range(1, 65))
+    assert sorted(T.P) == list(range(1, 33))
+    assert sorted(set(T.E)) == list(range(1, 33))  # E repeats edge bits
+    assert len(T.E) == 48
+
+
+def test_round_key_rom_order():
+    rom = round_key_rom(*DEFAULT_KEYS)
+    assert len(rom) == 48
+    assert rom[:16] == list(reversed(T.key_schedule(DEFAULT_KEYS[2])))
+    assert rom[16:32] == T.key_schedule(DEFAULT_KEYS[1])
+
+
+def test_generated_source_contains_tables_and_asserts():
+    src = tdes_source(*DEFAULT_KEYS)
+    assert "const uint8 sboxes[512]" in src
+    assert "const uint64 rk[48]" in src
+    assert src.count("assert(") == 2
+    nosrc = tdes_source(*DEFAULT_KEYS, with_assertions=False)
+    assert "assert(" not in nosrc
+
+
+def test_compiled_tdes_decrypts_in_software_sim():
+    text = b"FPGA!!"
+    app = build_tdes_app(text)
+    res = software_sim(app)
+    assert res.completed and not res.aborted
+    assert res.outputs["plain"] == expected_blocks(text)
+    assert T.unpack_text(res.outputs["plain"]) == text
+
+
+def test_corrupted_ciphertext_trips_ascii_assertions():
+    text = b"hello world"
+    app = build_tdes_app(text)
+    app.streams["cipher"].feeder_data[0] ^= 0xFFFF  # corrupt one block
+    res = software_sim(app)
+    assert res.aborted
+    assert "Assertion failed" in res.stderr[0]
+
+
+def test_encrypt_text_blocks_count():
+    assert len(encrypt_text(b"x" * 17)) == 3

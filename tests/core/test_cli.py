@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+void filt(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+@pytest.fixture
+def cfile(tmp_path):
+    path = tmp_path / "filt.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def test_compile_writes_verilog_and_report(cfile, tmp_path, capsys):
+    outdir = str(tmp_path / "build")
+    assert main(["compile", cfile, "-o", outdir]) == 0
+    files = sorted(os.listdir(outdir))
+    assert "filt.v" in files
+    assert "filt__chk0.v" in files
+    assert "report.txt" in files
+    report = (tmp_path / "build" / "report.txt").read_text()
+    assert "Fmax" in report and "comb ALUTs" in report
+    verilog = (tmp_path / "build" / "filt.v").read_text()
+    assert verilog.startswith("module filt")
+
+
+def test_compile_level_none_has_single_module(cfile, tmp_path):
+    outdir = str(tmp_path / "b2")
+    assert main(["compile", cfile, "-o", outdir, "--assertions", "none"]) == 0
+    assert sorted(os.listdir(outdir)) == ["filt.v", "report.txt"]
+
+
+def test_report_prints_table(cfile, capsys):
+    assert main(["report", cfile]) == 0
+    out = capsys.readouterr().out
+    assert "Original" in out and "Assert" in out and "Overhead" in out
+    assert "Frequency (MHz)" in out
+
+
+def test_simulate_runs_both_models(cfile, capsys):
+    assert main(["simulate", cfile, "--feed", "1,2,3"]) == 0
+    out = capsys.readouterr().out
+    assert "software simulation: completed=True" in out
+    assert "hardware execution:  completed=True" in out
+    assert "[2, 3, 4]" in out
+    assert "outputs match: True" in out
+
+
+def test_simulate_reports_assertion_failure(cfile, capsys):
+    assert main(["simulate", cfile, "--feed", "1,999"]) == 0
+    out = capsys.readouterr().out
+    assert "Assertion failed: x < 100" in out
+
+
+def test_ablation_flags_accepted(cfile, capsys):
+    assert main(["report", cfile, "--no-share", "--no-replicate"]) == 0
+    assert main(["report", cfile, "--multichecker"]) == 0

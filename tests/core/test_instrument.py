@@ -1,0 +1,121 @@
+"""Unit tests for unoptimized assertion instrumentation (Section 4.1)."""
+
+import pytest
+
+from repro.core.instrument import (
+    FAIL_PARAM,
+    find_assert_checks,
+    instrument_unoptimized,
+    strip_assertions,
+)
+from repro.errors import AssertionSynthesisError
+from repro.hls.schedule import schedule_function
+from repro.ir.ops import OpKind
+from repro.ir.transform import eliminate_dead_code
+from repro.ir.verify import verify_function
+from tests.helpers import interp_outputs, lower_one
+
+SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 10);
+    co_stream_write(output, x * 2);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def test_find_assert_checks():
+    func = lower_one(SRC)
+    assert len(find_assert_checks(func)) == 1
+
+
+def test_strip_assertions_removes_checks():
+    func = lower_one(SRC)
+    assert strip_assertions(func) == 1
+    assert func.count_ops(OpKind.ASSERT_CHECK) == 0
+    eliminate_dead_code(func)
+    verify_function(func)
+
+
+def test_instrument_adds_fail_stream_and_branch():
+    func = lower_one(SRC)
+    n = instrument_unoptimized(func, lambda site: 7)
+    assert n == 1
+    assert FAIL_PARAM in func.stream_names()
+    assert func.count_ops(OpKind.ASSERT_CHECK) == 0
+    verify_function(func)
+    # the failure arm writes the error code on the fail stream
+    writes = [
+        i for i in func.instructions()
+        if i.op == OpKind.STREAM_WRITE and i.attrs.get("stream") == FAIL_PARAM
+    ]
+    assert len(writes) == 1
+    assert writes[0].args[0].value == 7
+
+
+def test_instrumented_function_schedulable():
+    func = lower_one(SRC)
+    instrument_unoptimized(func, lambda site: 1)
+    schedule_function(func)  # must not raise (no assert_check left)
+
+
+def test_instrumented_behaviour_pass_path():
+    func = lower_one(SRC)
+    instrument_unoptimized(func, lambda site: 3)
+    _, outs = interp_outputs(func, {"input": [1, 2]})
+    assert outs["output"] == [2, 4]
+    assert outs[FAIL_PARAM] == []
+
+
+def test_instrumented_behaviour_failure_sends_code():
+    func = lower_one(SRC)
+    instrument_unoptimized(func, lambda site: 3)
+    _, outs = interp_outputs(func, {"input": [1, 99, 2]})
+    assert outs[FAIL_PARAM] == [3]
+    # execution continues after the send (halting is the notifier's job)
+    assert outs["output"] == [2, 198, 4]
+
+
+def test_multiple_assertions_multiple_codes():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    assert(x != 13);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func = lower_one(src)
+    codes = iter([11, 22])
+    n = instrument_unoptimized(func, lambda site: next(codes))
+    assert n == 2
+    _, outs = interp_outputs(func, {"input": [13, 200]})
+    assert outs[FAIL_PARAM] == [22, 11]
+
+
+def test_double_instrumentation_rejected():
+    func = lower_one(SRC)
+    instrument_unoptimized(func, lambda site: 1)
+    with pytest.raises(AssertionSynthesisError):
+        instrument_unoptimized(func, lambda site: 1)
+
+
+def test_assertion_in_straightline_code():
+    src = """
+void f(co_stream output) {
+  uint32 a;
+  a = 5;
+  assert(a == 5);
+  co_stream_write(output, a);
+}
+"""
+    func = lower_one(src)
+    instrument_unoptimized(func, lambda site: 1)
+    verify_function(func)
+    _, outs = interp_outputs(func)
+    assert outs["output"] == [5]

@@ -1,0 +1,145 @@
+"""Unit tests for the round-robin multi-assertion checker (future work)."""
+
+import pytest
+
+from repro.core.multichecker import build_multichecker, partition_plans
+from repro.core.parallelize import parallelize_function
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.hls.compiler import compile_process
+from repro.ir.transform import eliminate_dead_code
+from repro.ir.verify import verify_function
+from repro.runtime.hwexec import execute
+from repro.runtime.taskgraph import Application
+from tests.helpers import lower_one
+
+
+def plans_for(src, name="f", share=True):
+    func = lower_one(src)
+    res = parallelize_function(func, name, lambda s: s.ordinal + 1, share=share)
+    eliminate_dead_code(func)
+    return res.checkers
+
+
+MULTI_SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 1000);
+    assert(x != 13);
+    assert(x * 2 < 1500);
+    co_stream_write(output, x);
+  }
+}
+"""
+
+
+def test_build_merges_plans_into_one_process():
+    plans = plans_for(MULTI_SRC)
+    mc = build_multichecker("mchk", plans)
+    verify_function(mc.checker)
+    assert len(mc.members) == 3
+    assert mc.arbiter.total_slots == 3  # one 32-bit slot per assertion
+    assert mc.arbiter.offsets == [0, 1, 2]
+
+
+def test_merged_checker_pipelines_at_ii1():
+    plans = plans_for(MULTI_SRC)
+    mc = build_multichecker("mchk", plans)
+    cp = compile_process(mc.checker)
+    ps = next(iter(cp.schedule.pipelines.values()))
+    assert ps.ii == 1  # "start a new assertion every cycle"
+
+
+def test_division_conditions_stay_individual():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    assert(1000 / (x + 1) > 0);
+    co_stream_write(output, x);
+  }
+}
+"""
+    plans = plans_for(src)
+    mergeable, individual = partition_plans(plans)
+    assert len(mergeable) == 1
+    assert len(individual) == 1
+
+
+def test_stream_mode_plans_not_mergeable():
+    plans = plans_for(MULTI_SRC, share=False)
+    mergeable, individual = partition_plans(plans)
+    assert not mergeable and len(individual) == 3
+
+
+def test_unmergeable_plan_rejected():
+    plans = plans_for(MULTI_SRC, share=False)
+    with pytest.raises(ValueError):
+        build_multichecker("mchk", plans)
+
+
+def make_app(data):
+    app = Application("t")
+    app.add_c_process(MULTI_SRC, name="f", filename="m.c")
+    app.feed("in", "f.input", data=data)
+    app.sink("out", "f.output")
+    return app
+
+
+def test_end_to_end_pass():
+    img = synthesize(make_app([1, 2, 3]), assertions="optimized",
+                     options=SynthesisOptions(multichecker=True))
+    assert "__mchk0" in img.compiled
+    assert not any("__chk" in n for n in img.compiled)
+    hw = execute(img)
+    assert hw.completed and hw.outputs["out"] == [1, 2, 3]
+
+
+def test_end_to_end_each_assertion_attributed():
+    for bad, expr in ((5000, "x < 1000"), (13, "x != 13"), (900, "(x * 2) < 1500")):
+        img = synthesize(make_app([1, bad]), assertions="optimized",
+                         options=SynthesisOptions(multichecker=True))
+        hw = execute(img)
+        assert hw.aborted, bad
+        assert expr in hw.stderr[0], (bad, hw.stderr)
+
+
+def test_nabort_collects_across_merged_assertions():
+    img = synthesize(make_app([5000, 13, 1]), assertions="optimized",
+                     options=SynthesisOptions(multichecker=True), nabort=True)
+    hw = execute(img)
+    assert hw.completed
+    exprs = {site.expr_text for _p, site in hw.failures}
+    assert exprs == {"x < 1000", "x != 13", "(x * 2) < 1500"}
+
+
+def test_group_size_splits_checkers():
+    from repro.apps.loopback import build_loopback
+
+    app = build_loopback(8, data=[1])
+    img = synthesize(app, assertions="optimized",
+                     options=SynthesisOptions(multichecker=True,
+                                              multichecker_group=4))
+    multis = [n for n in img.compiled if n.startswith("__mchk")]
+    assert len(multis) == 2
+
+
+def test_singleton_group_keeps_individual_checker():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x);
+  }
+}
+"""
+    app = Application("t")
+    app.add_c_process(src, name="f", filename="s.c")
+    app.feed("in", "f.input", data=[1])
+    app.sink("out", "f.output")
+    img = synthesize(app, assertions="optimized",
+                     options=SynthesisOptions(multichecker=True))
+    assert "f__chk0" in img.compiled
+    assert not any(n.startswith("__mchk") for n in img.compiled)

@@ -1,0 +1,165 @@
+"""Unit tests for assertion parallelization (Section 3.1)."""
+
+from repro.core.parallelize import CHECK_FAIL_PARAM, parallelize_function
+from repro.hls.compiler import compile_process
+from repro.ir.ops import OpKind
+from repro.ir.transform import eliminate_dead_code
+from repro.ir.verify import verify_function
+from tests.helpers import interp_outputs, lower_one, run_cycle_model
+
+SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x * 2 < 100);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def parallelized(src, share=False, name="f"):
+    func = lower_one(src)
+    res = parallelize_function(func, name, lambda site: 42, share=share)
+    eliminate_dead_code(func)
+    verify_function(func)
+    for plan in res.checkers:
+        verify_function(plan.checker)
+    return func, res
+
+
+def test_assert_replaced_by_tap():
+    func, res = parallelized(SRC)
+    assert func.count_ops(OpKind.ASSERT_CHECK) == 0
+    assert func.count_ops(OpKind.TAP) == 1
+    assert res.taps_added == 1
+
+
+def test_inline_condition_logic_removed_from_app():
+    func, _ = parallelized(SRC)
+    # the x*2 and the compare moved into the checker; only the tap remains
+    assert func.count_ops(OpKind.MUL) == 0
+    assert func.count_ops(*[OpKind.LT]) == 0
+
+
+def test_checker_recomputes_condition():
+    _, res = parallelized(SRC)
+    chk = res.checkers[0].checker
+    assert chk.count_ops(OpKind.MUL) == 1
+    assert chk.count_ops(OpKind.LT) == 1
+    assert chk.count_ops(OpKind.TAP_READ) == 1
+
+
+def test_checker_is_pipelined():
+    _, res = parallelized(SRC)
+    chk = res.checkers[0].checker
+    assert any(b.pipeline for b in chk.blocks.values())
+    compile_process(chk)  # schedulable
+
+
+def test_stream_mode_checker_has_fail_stream():
+    _, res = parallelized(SRC, share=False)
+    chk = res.checkers[0].checker
+    assert CHECK_FAIL_PARAM in chk.stream_names()
+    assert res.checkers[0].fail_mode == "stream"
+
+
+def test_share_mode_checker_uses_fail_tap():
+    _, res = parallelized(SRC, share=True)
+    plan = res.checkers[0]
+    assert plan.fail_mode == "bit"
+    assert plan.fail_tap is not None
+    assert CHECK_FAIL_PARAM not in plan.checker.stream_names()
+    assert plan.checker.count_ops(OpKind.TAP) == 1
+
+
+def test_share_mode_checker_pipelines_at_ii1():
+    # Section 3.3: with the failure send moved off-stream, the checker can
+    # accept a new assertion every cycle
+    _, res = parallelized(SRC, share=True)
+    cp = compile_process(res.checkers[0].checker)
+    ps = next(iter(cp.schedule.pipelines.values()))
+    assert ps.ii == 1
+
+
+def test_stream_mode_checker_ii2():
+    _, res = parallelized(SRC, share=False)
+    cp = compile_process(res.checkers[0].checker)
+    ps = next(iter(cp.schedule.pipelines.values()))
+    assert ps.ii == 2
+
+
+def test_checker_detects_failure_via_interp():
+    _, res = parallelized(SRC, share=False)
+    chk = res.checkers[0].checker
+    from repro.ir.interp import Interp
+
+    interp = Interp(chk)
+    gen = interp.run()
+    event = next(gen)
+    assert event == ("tap_read", "f__tap0")
+    event = gen.send((1, 3))  # 3*2 < 100: passes
+    assert event[0] == "tap_read"
+    event = gen.send((1, 70))  # 140 >= 100: fails
+    assert event[0] == "write" and event[2] == 42
+
+
+def test_assert_zero_taps_constant_trigger():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(0);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func, res = parallelized(src)
+    taps = [i for i in func.instructions() if i.op == OpKind.TAP]
+    assert len(taps) == 1
+    chk = res.checkers[0].checker
+    verify_function(chk)
+
+
+def test_array_operand_keeps_extract_load():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 buf[8];
+  while (co_stream_read(input, &x)) {
+    buf[x & 7] = x;
+    assert(buf[x & 7] < 100);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func, res = parallelized(src)
+    # the extract load survives in the app; the checker gets the value
+    taps = [i for i in func.instructions() if i.op == OpKind.TAP]
+    assert len(taps) == 1
+    loads = [i for i in func.instructions() if i.op == OpKind.LOAD]
+    assert len(loads) >= 1
+
+
+def test_app_semantics_preserved_after_parallelization():
+    func, _ = parallelized(SRC)
+    cp = compile_process(func)
+    _, outs = run_cycle_model(cp, {"input": [1, 2, 3]})
+    assert outs["output"] == [1, 2, 3]
+
+
+def test_multiple_assertions_get_distinct_channels():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    assert(x != 13);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func, res = parallelized(src)
+    channels = {plan.tap_channel for plan in res.checkers}
+    assert len(channels) == 2

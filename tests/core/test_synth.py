@@ -1,0 +1,113 @@
+"""Unit tests for the synthesis orchestrator and assertion registry."""
+
+import pytest
+
+from repro.core.registry import AssertionRegistry
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.errors import AssertionSynthesisError
+from repro.ir.instr import AssertionSite
+from repro.runtime.taskgraph import Application
+
+SRC = """
+void filt(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    assert(x < 1000);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def make_app(data=(1, 2, 3)):
+    app = Application("t")
+    app.add_c_process(SRC, name="filt", filename="filt.c")
+    app.feed("in", "filt.input", data=list(data))
+    app.sink("out", "filt.output")
+    return app
+
+
+def test_registry_assigns_unique_codes_from_one():
+    reg = AssertionRegistry()
+    s1 = AssertionSite(0, "a.c", 1, "f", "x")
+    s2 = AssertionSite(1, "a.c", 2, "f", "y")
+    c1 = reg.register("p", s1)
+    c2 = reg.register("p", s2)
+    assert c1 == 1 and c2 == 2
+    assert reg.register("p", s1) == c1  # idempotent
+    assert reg.lookup(c2) == ("p", s2)
+    assert "y" in reg.message(c2)
+    assert "unknown" in reg.message(999)
+
+
+def test_level_none_strips_everything():
+    img = synthesize(make_app(), assertions="none")
+    assert img.assertion_level == "none"
+    assert not img.assert_decode
+    assert list(img.compiled) == ["filt"]
+
+
+def test_level_unoptimized_adds_fail_stream():
+    img = synthesize(make_app(), assertions="unoptimized")
+    assert "filt__afail" in img.app.streams
+    assert img.assert_decode["filt__afail"].mode == "code"
+
+
+def test_level_optimized_adds_checker_and_collector():
+    img = synthesize(make_app(), assertions="optimized")
+    assert "filt__chk0" in img.compiled
+    assert any(p.kind == "collector" for p in img.app.processes.values())
+    assert any(d.mode == "bitmask" for d in img.assert_decode.values())
+
+
+def test_optimized_without_share_uses_code_streams():
+    img = synthesize(make_app(), assertions="optimized",
+                     options=SynthesisOptions(share=False))
+    assert not any(p.kind == "collector" for p in img.app.processes.values())
+    assert all(d.mode == "code" for d in img.assert_decode.values())
+
+
+def test_optimized_without_parallelize_degenerates_to_unoptimized():
+    img = synthesize(make_app(), assertions="optimized",
+                     options=SynthesisOptions(parallelize=False))
+    assert img.assertion_level == "unoptimized"
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(AssertionSynthesisError):
+        synthesize(make_app(), assertions="bogus")
+
+
+def test_source_app_not_mutated():
+    app = make_app()
+    before = {n: p.func.count_ops for n, p in app.processes.items()}
+    synthesize(app, assertions="optimized")
+    assert list(app.processes) == ["filt"]
+    assert len(app.processes["filt"].func.assertion_sites) == 1
+    _ = before
+
+
+def test_original_level_equals_ndebug_source():
+    # synthesizing with assertions='none' must match compiling NDEBUG source
+    img = synthesize(make_app(), assertions="none")
+    app2 = Application("t2")
+    app2.add_c_process(SRC, name="filt", filename="filt.c",
+                       defines={"NDEBUG": ""})
+    app2.feed("in", "filt.input", data=[1, 2, 3])
+    app2.sink("out", "filt.output")
+    img2 = synthesize(app2, assertions="none")
+    p1 = img.compiled["filt"].pipeline_report()
+    p2 = img2.compiled["filt"].pipeline_report()
+    assert p1 == p2
+
+
+def test_nabort_override():
+    img = synthesize(make_app(), assertions="optimized", nabort=True)
+    assert img.nabort
+
+
+def test_registry_attached_to_image():
+    img = synthesize(make_app(), assertions="optimized")
+    assert len(img.registry) == 1

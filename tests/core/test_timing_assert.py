@@ -1,0 +1,149 @@
+"""Unit tests for timing (latency) assertions — the future-work extension."""
+
+import pytest
+
+from repro.core.synth import synthesize
+from repro.core.timing_assert import (
+    extract_latency_regions,
+    has_latency_markers,
+    strip_latency_markers,
+)
+from repro.errors import AssertionSynthesisError
+from repro.runtime.hwexec import execute
+from repro.runtime.swsim import software_sim
+from repro.runtime.taskgraph import Application
+from tests.helpers import lower_one
+
+SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 i;
+  uint32 acc;
+  while (co_stream_read(input, &x)) {
+    co_latency_start(1);
+    acc = 0;
+    for (i = 0; i < x; i++) { acc += i; }
+    co_latency_end(1, 12);
+    co_stream_write(output, acc);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def make_app(data, src=SRC, **kw):
+    app = Application("lat")
+    app.add_c_process(src, name="f", filename="lat.c", **kw)
+    app.feed("in", "f.input", data=data)
+    app.sink("out", "f.output")
+    return app
+
+
+def test_markers_lowered_and_extracted():
+    func = lower_one(SRC, filename="lat.c")
+    assert has_latency_markers(func)
+    spec = extract_latency_regions(func, "f")
+    assert len(spec.regions) == 1
+    region = spec.regions[0]
+    assert region.bound == 12
+    assert region.start_channel == "f__lat1_start"
+    assert region.site.line == 10
+
+
+def test_ndebug_compiles_markers_out():
+    func = lower_one(SRC, defines={"NDEBUG": ""})
+    assert not has_latency_markers(func)
+
+
+def test_strip_markers():
+    func = lower_one(SRC)
+    assert strip_latency_markers(func) == 2
+    assert not has_latency_markers(func)
+
+
+def test_end_without_start_rejected():
+    src = """
+void f(co_stream output) {
+  co_latency_end(3, 10);
+}
+"""
+    func = lower_one(src)
+    with pytest.raises(AssertionSynthesisError):
+        extract_latency_regions(func, "f")
+
+
+def test_start_without_end_rejected():
+    src = """
+void f(co_stream output) {
+  co_latency_start(3);
+}
+"""
+    func = lower_one(src)
+    with pytest.raises(AssertionSynthesisError):
+        extract_latency_regions(func, "f")
+
+
+def test_within_bound_passes():
+    hw = execute(synthesize(make_app([2, 3]), assertions="optimized"))
+    assert hw.completed and not hw.failures
+    assert hw.outputs["out"] == [1, 3]
+
+
+def test_violation_reports_exact_cycles():
+    hw = execute(synthesize(make_app([20]), assertions="optimized"))
+    assert hw.aborted
+    line = hw.stderr[0]
+    assert line.startswith("Latency assertion failed: region 1 took ")
+    assert "(bound 12)" in line and "file lat.c, line 10" in line
+    # the measured loop runs 3 cycles/iteration: 20 iters + prologue
+    cycles = int(line.split("took ")[1].split(" cycles")[0])
+    assert 60 <= cycles <= 64
+
+
+def test_violation_respects_nabort():
+    hw = execute(synthesize(make_app([20, 2]), assertions="optimized",
+                            nabort=True))
+    assert hw.completed
+    assert len(hw.failures) == 1
+    assert hw.outputs["out"] == [190, 1]
+
+
+def test_software_simulation_is_inert():
+    sim = software_sim(make_app([20]))
+    assert sim.completed and not sim.failures
+
+
+def test_level_none_strips_monitor():
+    img = synthesize(make_app([20]), assertions="none")
+    assert not img.latency_regions
+    hw = execute(img)
+    assert hw.completed and not hw.failures
+
+
+def test_measures_restart_per_iteration():
+    # each loop iteration restarts the region; only slow ones violate
+    hw = execute(synthesize(make_app([2, 20, 3]), assertions="optimized",
+                            nabort=True))
+    assert hw.completed
+    assert len(hw.failures) == 1
+
+
+def test_multiple_regions():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    co_latency_start(1);
+    co_latency_end(1, 50);
+    co_latency_start(2);
+    x = x + 1;
+    co_latency_end(2, 50);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+    img = synthesize(make_app([1, 2], src=src), assertions="optimized")
+    assert len(img.latency_regions) == 2
+    hw = execute(img)
+    assert hw.completed and not hw.failures

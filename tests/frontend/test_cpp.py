@@ -1,0 +1,169 @@
+"""Unit tests for the mini C preprocessor."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.frontend.cpp import KNOWN_HEADERS, preprocess
+
+
+def test_plain_text_passthrough():
+    res = preprocess("int x;\nint y;\n")
+    assert res.text == "int x;\nint y;\n"
+
+
+def test_define_object_macro_expands():
+    res = preprocess("#define N 16\nint a[N];")
+    assert "int a[16];" in res.text
+
+
+def test_define_without_value_defines_flag():
+    res = preprocess("#define FLAG\n")
+    assert "FLAG" in res.defines
+
+
+def test_undef_removes_macro():
+    res = preprocess("#define N 4\n#undef N\nint a[N];")
+    assert "int a[N];" in res.text
+
+
+def test_macro_expansion_is_token_based():
+    # NN must not be rewritten when N is defined
+    res = preprocess("#define N 4\nint NN;")
+    assert "int NN;" in res.text
+
+
+def test_nested_macro_expansion():
+    res = preprocess("#define A B\n#define B 7\nint x = A;")
+    assert "int x = 7;" in res.text
+
+
+def test_ifdef_taken_branch():
+    res = preprocess("#define X\n#ifdef X\nint a;\n#endif\nint b;")
+    assert "int a;" in res.text
+    assert "int b;" in res.text
+
+
+def test_ifdef_skipped_branch_blanked():
+    res = preprocess("#ifdef X\nint a;\n#endif")
+    assert "int a;" not in res.text
+
+
+def test_line_numbers_preserved_through_disabled_regions():
+    src = "#ifdef X\nskip1\nskip2\n#endif\nlast"
+    res = preprocess(src)
+    assert res.text.split("\n")[4] == "last"
+    assert len(res.text.split("\n")) == len(src.split("\n"))
+
+
+def test_ifndef():
+    res = preprocess("#ifndef X\nint a;\n#endif")
+    assert "int a;" in res.text
+
+
+def test_else_branch():
+    res = preprocess("#ifdef X\nint a;\n#else\nint b;\n#endif")
+    assert "int a;" not in res.text
+    assert "int b;" in res.text
+
+
+def test_elif_chain():
+    src = "#define V 2\n#if V == 1\nint a;\n#elif V == 2\nint b;\n#else\nint c;\n#endif"
+    res = preprocess(src)
+    assert "int b;" in res.text
+    assert "int a;" not in res.text
+    assert "int c;" not in res.text
+
+
+def test_if_defined_function_form():
+    res = preprocess("#define X\n#if defined(X)\nint a;\n#endif")
+    assert "int a;" in res.text
+
+
+def test_nested_conditionals():
+    src = "#define A\n#ifdef A\n#ifdef B\nint x;\n#endif\nint y;\n#endif"
+    res = preprocess(src)
+    assert "int x;" not in res.text
+    assert "int y;" in res.text
+
+
+def test_disabled_outer_disables_inner_define():
+    src = "#ifdef NO\n#define N 9\n#endif\nint a[N];"
+    res = preprocess(src)
+    assert "int a[N];" in res.text
+
+
+def test_include_known_header_recorded():
+    res = preprocess('#include "co.h"')
+    assert "co.h" in res.included
+
+
+def test_include_unknown_header_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess('#include "windows.h"')
+
+
+def test_known_headers_cover_dialect():
+    assert "co.h" in KNOWN_HEADERS
+    assert "assert.h" in KNOWN_HEADERS
+
+
+def test_unterminated_conditional_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess("#ifdef X\nint a;")
+
+
+def test_endif_without_if_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess("#endif")
+
+
+def test_else_after_else_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess("#ifdef A\n#else\n#else\n#endif")
+
+
+def test_function_like_macro_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess("#define F(x) ((x)+1)")
+
+
+def test_ndebug_nabort_properties():
+    res = preprocess("code", defines={"NDEBUG": ""})
+    assert res.ndebug and not res.nabort
+    res = preprocess("code", defines={"NABORT": ""})
+    assert res.nabort and not res.ndebug
+
+
+def test_predefines_visible_to_conditionals():
+    res = preprocess("#ifdef NDEBUG\nint a;\n#endif", defines={"NDEBUG": ""})
+    assert "int a;" in res.text
+
+
+def test_pragma_lines_pass_through():
+    res = preprocess("#pragma CO PIPELINE\nwhile (1) {}")
+    assert "#pragma CO PIPELINE" in res.text
+
+
+def test_unsupported_directive_rejected():
+    with pytest.raises(PreprocessorError):
+        preprocess("#error nope")
+
+
+def test_line_comments_stripped():
+    res = preprocess("int a; // trailing comment\nint b;")
+    assert "comment" not in res.text
+    assert "int a;" in res.text and "int b;" in res.text
+
+
+def test_block_comments_stripped_preserving_lines():
+    src = "int a; /* one\ntwo\nthree */ int b;\nint c;"
+    res = preprocess(src)
+    lines = res.text.split("\n")
+    assert len(lines) == 4
+    assert "int b;" in lines[2]
+    assert "int c;" in lines[3]
+
+
+def test_comment_containing_directive_ignored():
+    res = preprocess("// #define N 9\nint a[4];")
+    assert "N" not in res.defines

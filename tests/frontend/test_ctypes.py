@@ -1,0 +1,75 @@
+"""Unit tests for the C type system."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend import ctypes_
+from repro.frontend.ctypes_ import CType, common_type, explicit_width_type, lookup_type
+
+
+def test_builtin_widths():
+    assert lookup_type("int") == CType(32, True)
+    assert lookup_type("unsigned int") == CType(32, False)
+    assert lookup_type("char") == CType(8, True)
+    assert lookup_type("long long") == CType(64, True)
+    assert lookup_type("unsigned long long") == CType(64, False)
+    assert lookup_type("_Bool") == CType(1, False)
+
+
+def test_explicit_width_names():
+    assert lookup_type("uint5") == CType(5, False)
+    assert lookup_type("int48") == CType(48, True)
+    assert explicit_width_type("uint64") == CType(64, False)
+    assert explicit_width_type("notatype") is None
+
+
+def test_zero_and_oversize_widths_rejected():
+    with pytest.raises(TypeError_):
+        lookup_type("uint0")
+    with pytest.raises(TypeError_):
+        lookup_type("int65")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TypeError_):
+        lookup_type("float")  # no floating point in the synthesizable dialect
+
+
+def test_ctype_name_round_trip():
+    t = CType(17, False)
+    assert t.name == "uint17"
+    assert lookup_type(t.name) == t
+
+
+def test_common_type_promotes_to_int():
+    a = CType(8, False)
+    b = CType(5, False)
+    assert common_type(a, b).width == 32
+
+
+def test_common_type_wider_wins():
+    assert common_type(ctypes_.U64, ctypes_.I32).width == 64
+    assert common_type(ctypes_.U64, ctypes_.I32).signed is False
+
+
+def test_common_type_unsigned_wins_at_equal_width():
+    assert common_type(ctypes_.U32, ctypes_.I32).signed is False
+    assert common_type(ctypes_.I32, ctypes_.I32).signed is True
+
+
+def test_common_type_u64_signedness():
+    assert common_type(ctypes_.U64, ctypes_.I64).signed is False
+    assert common_type(ctypes_.I64, ctypes_.I64).signed is True
+
+
+def test_dialect_typedef_names_complete():
+    names = ctypes_.all_dialect_typedef_names()
+    assert "uint1" in names and "int64" in names
+    assert len(names) == 128
+
+
+def test_invalid_width_constructor():
+    with pytest.raises(TypeError_):
+        CType(0, True)
+    with pytest.raises(TypeError_):
+        CType(100, False)

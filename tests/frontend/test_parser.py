@@ -1,0 +1,72 @@
+"""Unit tests for the pycparser wrapper."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.parser import parse_source
+
+
+def test_parses_stream_process():
+    src = """
+void p(co_stream a, co_stream b) {
+  uint32 x;
+  while (co_stream_read(a, &x)) { co_stream_write(b, x); }
+}
+"""
+    parsed = parse_source(src)
+    assert list(parsed.functions) == ["p"]
+
+
+def test_line_numbers_refer_to_user_source():
+    src = "#include \"co.h\"\nvoid f(co_stream s) {\n  co_stream_close(s);\n}\n"
+    parsed = parse_source(src, filename="user.c")
+    fd = parsed.functions["f"]
+    assert fd.decl.coord.file == "user.c"
+    assert fd.decl.coord.line == 2
+
+
+def test_explicit_width_types_parse():
+    src = "void f(co_stream s) { uint5 a; int33 b; a = 1; b = 2; co_stream_write(s, a + b); }"
+    parsed = parse_source(src)
+    assert "f" in parsed.functions
+
+
+def test_syntax_error_raises_parse_error():
+    with pytest.raises(ParseError):
+        parse_source("void f( { }")
+
+
+def test_duplicate_function_rejected():
+    src = "void f(co_stream s) {}\nvoid f(co_stream s) {}"
+    with pytest.raises(ParseError):
+        parse_source(src)
+
+
+def test_multiple_functions_collected():
+    src = "void a(co_stream s) {}\nvoid b(co_stream s) {}"
+    parsed = parse_source(src)
+    assert sorted(parsed.functions) == ["a", "b"]
+
+
+def test_ndebug_flag_from_defines():
+    parsed = parse_source("void f(co_stream s) {}", defines={"NDEBUG": ""})
+    assert parsed.ndebug
+
+
+def test_assert_parses_as_call():
+    src = "void f(co_stream s) { uint32 x; x = 1; assert(x > 0); }"
+    parsed = parse_source(src)
+    assert "f" in parsed.functions
+
+
+def test_pragma_preserved_in_ast():
+    src = """
+void f(co_stream s) {
+  uint32 x;
+  x = 0;
+  #pragma CO PIPELINE
+  while (x < 4) { x = x + 1; }
+}
+"""
+    parsed = parse_source(src)
+    assert "f" in parsed.functions

@@ -1,0 +1,115 @@
+"""Unit tests for functional-unit binding and sharing."""
+
+from repro.hls.binding import bind_function
+from repro.hls.constraints import ScheduleConfig
+from repro.hls.schedule import schedule_function
+from tests.helpers import lower_one
+
+
+def bind(src, **cfg):
+    func = lower_one(src)
+    fs = schedule_function(func, ScheduleConfig(**cfg))
+    return bind_function(fs)
+
+
+def test_ops_in_different_states_share_one_unit():
+    report = bind("""
+void f(co_stream input, co_stream output) {
+  uint32 x; uint32 y;
+  co_stream_read(input, &x);
+  y = x * 3;
+  co_stream_write(output, y);
+  co_stream_read(input, &x);
+  y = x * 5;
+  co_stream_write(output, y);
+}
+""")
+    assert report.fu_count("mult") == 1
+    assert report.shared_away() >= 1
+
+
+def test_same_state_ops_need_separate_units():
+    report = bind("""
+void f(co_stream o) {
+  uint32 a; uint32 b;
+  a = 1 + 2;
+  b = 3 + 4;
+  co_stream_write(o, a ^ b);
+}
+""", max_chain_levels=8)
+    # both adds chain into the same state -> two addsub units
+    assert report.fu_count("addsub") == 2
+
+
+def test_shared_unit_width_is_max_of_ops():
+    report = bind("""
+void f(co_stream input, co_stream output) {
+  uint64 a; uint8 b;
+  co_stream_read(input, &a);
+  a = a * 3;
+  co_stream_write(output, a);
+  b = 2;
+  b = b * 5;
+  co_stream_write(output, b);
+}
+""")
+    mults = [fu for fu in report.fus if fu.resource == "mult"]
+    assert len(mults) == 1
+    assert mults[0].width == 64
+
+
+def test_mux_bits_counted_for_shared_units():
+    report = bind("""
+void f(co_stream input, co_stream output) {
+  uint32 x; uint32 y;
+  co_stream_read(input, &x);
+  y = x * 3;
+  co_stream_write(output, y);
+  co_stream_read(input, &x);
+  y = x * 5;
+  co_stream_write(output, y);
+}
+""")
+    assert report.mux_bits() > 0
+
+
+def test_unshared_unit_has_no_mux_cost():
+    report = bind("""
+void f(co_stream o) {
+  co_stream_write(o, 3 * 4);
+}
+""")
+    assert report.mux_bits() == 0
+
+
+def test_assertions_in_one_process_share_comparators():
+    # Section 3.3: multiple assertion conditions in distinct states fold
+    # onto shared compare units
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x; uint32 y; uint32 z;
+  co_stream_read(input, &x);
+  y = x > 5;
+  co_stream_write(output, y);
+  co_stream_read(input, &x);
+  z = x > 9;
+  co_stream_write(output, z);
+}
+"""
+    report = bind(src)
+    assert report.fu_count("compare") == 1
+
+
+def test_pipeline_slots_conflict_sequential_do_not():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    co_stream_write(output, (x + 1) ^ (x + 2));
+  }
+}
+"""
+    report = bind(src)
+    # two adds in the same pipeline stage (same slot) cannot share
+    assert report.fu_count("addsub") >= 2

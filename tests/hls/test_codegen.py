@@ -1,0 +1,140 @@
+"""Unit tests for RTL generation (module structure, not just text)."""
+
+from repro.rtl import core as R
+from tests.helpers import compile_one
+
+SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint8 mem[8] = {5};
+  while (co_stream_read(input, &x)) {
+    mem[x & 7] = x;
+    if (x > 3) { co_stream_write(output, mem[x & 7] + 1); }
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def module():
+    return compile_one(SRC).rtl
+
+
+def test_ports_cover_both_stream_directions():
+    m = module()
+    names = {p.signal.name for p in m.ports}
+    assert {"clk", "rst", "input_data", "input_empty", "input_eos",
+            "input_re", "output_data", "output_full", "output_we",
+            "output_close"} <= names
+
+
+def test_port_directions():
+    m = module()
+    dirs = {p.signal.name: p.direction for p in m.ports}
+    assert dirs["input_data"] == R.PortDir.IN
+    assert dirs["input_re"] == R.PortDir.OUT
+    assert dirs["output_data"] == R.PortDir.OUT
+    assert dirs["output_full"] == R.PortDir.IN
+
+
+def test_memory_with_initializer():
+    m = module()
+    (mem,) = m.memories
+    assert mem.name == "mem" and mem.depth == 8 and mem.width == 8
+    assert mem.init == (5,)
+
+
+def test_state_count_matches_schedule():
+    cp = compile_one(SRC)
+    m = cp.rtl
+    expected = sum(bs.length for bs in cp.schedule.blocks.values())
+    assert len(m.states) == expected
+    assert m.meta["done_state"] == expected
+
+
+def test_every_state_has_next_state():
+    m = module()
+    assert all(sc.next_state is not None for sc in m.states)
+
+
+def test_stream_states_have_stall_conditions():
+    m = module()
+    stalls = [sc for sc in m.states if sc.stall is not None]
+    assert stalls  # the read and write states guard on handshakes
+
+
+def test_registers_declared_for_all_scalars():
+    cp = compile_one(SRC)
+    m = cp.rtl
+    reg_names = {r.name for r in m.regs}
+    for scalar in cp.hw_func.scalars:
+        assert f"r_{scalar}" in reg_names
+
+
+def test_strobe_assign_targets():
+    m = module()
+    assigned = {sig.name for sig, _ in m.assigns}
+    assert {"input_re", "output_we", "output_close", "output_data"} <= assigned
+
+
+def test_tap_ports_generated_for_optimized_assertions():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 9);
+    co_stream_write(output, x);
+  }
+}
+"""
+    from repro.core.parallelize import parallelize_function
+    from repro.hls.compiler import compile_process
+    from repro.ir.transform import eliminate_dead_code
+    from tests.helpers import lower_one
+
+    func = lower_one(src)
+    parallelize_function(func, "f", lambda s: 1, share=True)
+    eliminate_dead_code(func)
+    m = compile_process(func).rtl
+    names = {p.signal.name for p in m.ports}
+    assert "tap_f__tap0_data" in names
+    assert "tap_f__tap0_valid" in names
+
+
+def test_checker_module_has_tapin_ports():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 9);
+    co_stream_write(output, x);
+  }
+}
+"""
+    from repro.core.parallelize import parallelize_function
+    from repro.hls.compiler import compile_process
+    from tests.helpers import lower_one
+
+    func = lower_one(src)
+    res = parallelize_function(func, "f", lambda s: 1, share=True)
+    chk = compile_process(res.checkers[0].checker).rtl
+    names = {p.signal.name for p in chk.ports}
+    assert any(n.startswith("tapin_") and n.endswith("_data") for n in names)
+    assert any(n.endswith("_re") for n in names)
+
+
+def test_pipeline_meta_records_schedule():
+    src = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) { co_stream_write(output, x + 1); }
+  co_stream_close(output);
+}
+"""
+    cp = compile_one(src)
+    m = cp.rtl
+    pipes = m.meta["pipelines"]
+    assert len(pipes) == 1
+    info = next(iter(pipes.values()))
+    assert info["ii"] == 1 and info["latency"] == 2

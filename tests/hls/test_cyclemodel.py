@@ -1,0 +1,223 @@
+"""Unit tests for the cycle-accurate execution model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hls.cyclemodel import Channel, ProcessExec
+from tests.helpers import compile_one, interp_outputs, lower_one, run_cycle_model
+
+
+def test_channel_fifo_semantics():
+    ch = Channel("c", depth=2)
+    assert ch.can_push()
+    ch.push(1)
+    ch.push(2)
+    assert not ch.can_push()
+    assert ch.pop() == 1
+    ch.close()
+    assert not ch.at_eos
+    assert ch.pop() == 2
+    assert ch.at_eos
+
+
+def test_channel_overflow_raises():
+    ch = Channel("c", depth=1)
+    ch.push(1)
+    with pytest.raises(SimulationError):
+        ch.push(2)
+
+
+def test_unbounded_channel_never_full():
+    ch = Channel("c", depth=1, unbounded=True)
+    for i in range(100):
+        ch.push(i)
+    assert ch.max_occupancy == 100
+
+
+def test_sequential_process_matches_interpreter():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x; uint32 acc;
+  uint8 hist[8] = {1, 2};
+  acc = 0;
+  while (co_stream_read(input, &x)) {
+    acc += x;
+    hist[x & 7] = hist[x & 7] + 1;
+    co_stream_write(output, acc + hist[x & 7]);
+  }
+  co_stream_close(output);
+}
+"""
+    data = [3, 1, 4, 1, 5, 9, 2, 6]
+    _, sw = interp_outputs(lower_one(src), {"input": data})
+    cp = compile_one(src)
+    _, hw = run_cycle_model(cp, {"input": data})
+    assert hw["output"] == sw["output"]
+
+
+def test_pipelined_process_matches_interpreter():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    co_stream_write(output, (x ^ 21) + 3);
+  }
+  co_stream_close(output);
+}
+"""
+    data = list(range(40))
+    _, sw = interp_outputs(lower_one(src), {"input": data})
+    cp = compile_one(src)
+    pe, hw = run_cycle_model(cp, {"input": data})
+    assert hw["output"] == sw["output"]
+
+
+def test_pipeline_throughput_matches_ii():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+    cp = compile_one(src)
+    ps = next(iter(cp.schedule.pipelines.values()))
+    n = 64
+    pe, hw = run_cycle_model(cp, {"input": list(range(1, n + 1))})
+    # total ~= fill + n * II + drain/close epsilon
+    assert pe.cycles <= ps.latency + n * ps.ii + 6
+    assert len(hw["output"]) == n
+
+
+def test_predicated_store_executes_conditionally():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x; uint32 buf[4];
+  buf[0] = 7;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    if (x > 10) { buf[0] = x; }
+    co_stream_write(output, buf[0]);
+  }
+  co_stream_close(output);
+}
+"""
+    cp = compile_one(src)
+    _, hw = run_cycle_model(cp, {"input": [1, 50, 2]})
+    assert hw["output"] == [7, 50, 50]
+
+
+def test_stall_on_empty_input_then_progress():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  co_stream_read(input, &x);
+  co_stream_write(output, x);
+}
+"""
+    cp = compile_one(src)
+    cin = Channel("i")
+    cout = Channel("o", depth=16)
+    pe = ProcessExec(cp.schedule, {"input": cin, "output": cout})
+    for _ in range(5):
+        assert pe.tick() == "stalled"
+    cin.push(42)
+    statuses = [pe.tick() for _ in range(4)]
+    assert "active" in statuses
+    assert list(cout.queue) == [42]
+    assert pe.stall_cycles == 5
+
+
+def test_backpressure_on_full_output():
+    src = """
+void f(co_stream output) {
+  uint32 i;
+  for (i = 0; i < 8; i++) { co_stream_write(output, i); }
+}
+"""
+    cp = compile_one(src)
+    cout = Channel("o", depth=2)
+    pe = ProcessExec(cp.schedule, {"output": cout})
+    for _ in range(50):
+        pe.tick()
+    assert not pe.done
+    assert len(cout.queue) == 2
+    # draining un-stalls the process
+    drained = []
+    for _ in range(200):
+        if cout.can_pop():
+            drained.append(cout.pop())
+        pe.tick()
+        if pe.done:
+            break
+    assert pe.done
+    assert drained + list(cout.queue) == list(range(8))
+
+
+def test_taps_emit_records():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+    from repro.core.parallelize import parallelize_function
+    from repro.ir.transform import eliminate_dead_code
+
+    func = lower_one(src)
+    parallelize_function(func, "f", lambda s: 1, share=True)
+    eliminate_dead_code(func)
+    from repro.hls.compiler import compile_process
+
+    cp = compile_process(func)
+    _, outs = run_cycle_model(cp, {"input": [5, 6]})
+    assert outs["tap:f__tap0"] == [(5,), (6,)]
+
+
+def test_trace_reports_waiting_channel():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  co_stream_read(input, &x);
+  co_stream_write(output, x);
+}
+"""
+    cp = compile_one(src)
+    cin = Channel("inch")
+    cout = Channel("outch")
+    pe = ProcessExec(cp.schedule, {"input": cin, "output": cout})
+    pe.tick()
+    trace = pe.trace()
+    assert "inch" in trace.waiting_on
+
+
+def test_hardware_load_wraps_address():
+    # hardware address decode wraps instead of trapping (unlike SW sim)
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint8 buf[4] = {10, 20, 30, 40};
+  while (co_stream_read(input, &x)) {
+    co_stream_write(output, buf[x]);
+  }
+  co_stream_close(output);
+}
+"""
+    cp = compile_one(src)
+    _, hw = run_cycle_model(cp, {"input": [5]})  # 5 % 4 == 1
+    assert hw["output"] == [20]
+
+
+def test_unbound_stream_rejected():
+    src = "void f(co_stream a, co_stream b) { co_stream_close(b); }"
+    cp = compile_one(src)
+    with pytest.raises(SimulationError):
+        ProcessExec(cp.schedule, {"a": Channel("a")})

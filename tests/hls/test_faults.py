@@ -1,0 +1,94 @@
+"""Unit tests for translation-fault injection (paper Section 5.1)."""
+
+import pytest
+
+from repro.hls.faults import FaultError, NarrowCompare, ReadForWrite, apply_faults
+from repro.ir.ops import COMPARISONS, OpKind
+from tests.helpers import compile_one, interp_outputs, lower_one, run_cycle_model
+from repro.hls.compiler import compile_process
+from repro.hls.constraints import HLSConfig
+
+
+NARROW_SRC = """
+void f(co_stream output) {
+  uint64 c1;
+  uint64 c2;
+  c1 = 4294967296;
+  c2 = 4294967286;
+  co_stream_write(output, c2 > c1);
+}
+"""
+
+
+def test_narrow_compare_tags_instruction():
+    func = lower_one(NARROW_SRC)
+    hw = apply_faults(func, [NarrowCompare(width=5)])
+    tagged = [
+        i for i in hw.instructions()
+        if i.op in COMPARISONS and i.attrs.get("force_compare_width") == 5
+    ]
+    assert tagged
+
+
+def test_narrow_compare_leaves_source_ir_untouched():
+    func = lower_one(NARROW_SRC)
+    apply_faults(func, [NarrowCompare(width=5)])
+    assert not any(
+        i.attrs.get("force_compare_width") for i in func.instructions()
+    )
+
+
+def test_paper_bug_sw_false_hw_true():
+    func = lower_one(NARROW_SRC)
+    _, sw = interp_outputs(func)
+    assert sw["output"] == [0]  # correct 64-bit comparison
+
+    cp = compile_process(func, HLSConfig(faults=(NarrowCompare(width=5),)))
+    _, hw = run_cycle_model(cp)
+    assert hw["output"] == [1]  # the faulty 5-bit comparison: 22 > 0
+
+
+def test_narrow_compare_line_filter():
+    func = lower_one(NARROW_SRC, filename="test.c")
+    with pytest.raises(FaultError):
+        apply_faults(func, [NarrowCompare(width=5, line=999)])
+
+
+def test_narrow_compare_skips_already_narrow():
+    src = "void f(co_stream o) { uint4 a; uint4 b; a = 1; b = 2; co_stream_write(o, a > b); }"
+    func = lower_one(src)
+    with pytest.raises(FaultError):
+        apply_faults(func, [NarrowCompare(width=5)])
+
+
+READ_FOR_WRITE_SRC = """
+void f(co_stream output) {
+  uint32 flags[2];
+  flags[0] = 0;
+  flags[1] = 1;
+  co_stream_write(output, flags[1]);
+}
+"""
+
+
+def test_read_for_write_replaces_store():
+    func = lower_one(READ_FOR_WRITE_SRC)
+    hw = apply_faults(func, [ReadForWrite(array="flags", line=5)])
+    assert hw.count_ops(OpKind.STORE) == func.count_ops(OpKind.STORE) - 1
+
+
+def test_read_for_write_changes_behaviour():
+    func = lower_one(READ_FOR_WRITE_SRC)
+    _, sw = interp_outputs(func)
+    assert sw["output"] == [1]
+    cp = compile_process(
+        func, HLSConfig(faults=(ReadForWrite(array="flags", line=5),))
+    )
+    _, hw = run_cycle_model(cp)
+    assert hw["output"] == [0]  # the write was lost in hardware
+
+
+def test_fault_matching_nothing_is_an_error():
+    func = lower_one(READ_FOR_WRITE_SRC)
+    with pytest.raises(FaultError):
+        apply_faults(func, [ReadForWrite(array="nonexistent")])

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name,needle", [
+    ("quickstart.py", "Assertion failed: x < 1000"),
+    ("debug_divergence.py", "addr < 32"),
+    ("hang_tracing.py", "traces missing in hardware"),
+    ("tripledes_verification.py", "Attack at dawn."),
+    ("scaling_study.py", "identity preserved=True"),
+    ("timing_assertions.py", "Latency assertion failed"),
+])
+def test_example_runs(name, needle):
+    out = run_example(name)
+    assert needle in out

@@ -1,0 +1,110 @@
+"""Integration tests pinning the paper's headline results.
+
+These are the claims the reproduction stands on; each test regenerates a
+result from scratch through the full toolchain (parse -> lower ->
+assertion synthesis -> schedule -> execute/estimate).
+"""
+
+from repro.apps.loopback import build_loopback
+from repro.core.synth import synthesize
+from repro.platform.device import EP2S180
+from repro.platform.resources import estimate_image
+from repro.platform.timing import estimate_fmax
+from repro.runtime.hwexec import execute
+from repro.runtime.taskgraph import Application
+
+PIPE_SCALAR = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    assert(x < 60000);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def one_process_app(src, data):
+    app = Application("t")
+    app.add_c_process(src, name="p", filename="p.c")
+    app.feed("in", "p.input", data=list(data))
+    app.sink("out", "p.output")
+    return app
+
+
+def test_table4_scalar_row():
+    app = one_process_app(PIPE_SCALAR, [1])
+    reports = {
+        level: next(iter(
+            synthesize(app, assertions=level).compiled["p"]
+            .pipeline_report().values()
+        ))
+        for level in ("none", "unoptimized", "optimized")
+    }
+    base, unopt, opt = reports["none"], reports["unoptimized"], reports["optimized"]
+    assert base == (2, 1)          # paper baseline: latency 2, rate 1
+    assert unopt == (3, 2)         # +1 latency, rate 1 -> 2 (2x slowdown)
+    assert opt == (2, 1)           # optimization removes all overhead
+
+
+def test_throughput_2x_claim():
+    """'resulting in a 2x speedup compared to the unoptimized assertions'"""
+    n = 128
+    app = one_process_app(PIPE_SCALAR, range(1, n + 1))
+    cycles = {}
+    for level in ("unoptimized", "optimized"):
+        res = execute(synthesize(app, assertions=level), max_cycles=100_000)
+        assert res.completed
+        cycles[level] = res.cycles
+    speedup = cycles["unoptimized"] / cycles["optimized"]
+    assert 1.7 < speedup < 2.2
+
+
+def test_fig4_headline_numbers():
+    app = build_loopback(128)
+    fmax = {
+        level: estimate_fmax(synthesize(app, assertions=level)).fmax_mhz
+        for level in ("none", "unoptimized", "optimized")
+    }
+    # paper: 190.6 / 154 / 189.3
+    assert abs(fmax["none"] - 190.6) / 190.6 < 0.10
+    assert abs(fmax["unoptimized"] - 154.0) / 154.0 < 0.10
+    assert abs(fmax["optimized"] - 189.3) / 189.3 < 0.10
+
+
+def test_fig5_3x_reduction():
+    app = build_loopback(128)
+    aluts = {
+        level: estimate_image(synthesize(app, assertions=level)).total.comb_aluts
+        for level in ("none", "unoptimized", "optimized")
+    }
+    unopt = aluts["unoptimized"] - aluts["none"]
+    opt = aluts["optimized"] - aluts["none"]
+    assert unopt / opt > 3.0
+    assert 100.0 * unopt / EP2S180.aluts < 9.0
+
+
+def test_assertion_messages_identical_across_all_paths():
+    """The same assert must print the same ANSI-C message everywhere."""
+    from repro.runtime.swsim import software_sim
+
+    app = one_process_app(PIPE_SCALAR, [1, 2, 99999])
+    expected = ("Assertion failed: x < 60000, file p.c, line 6, "
+                "function p")
+    sw = software_sim(app)
+    assert sw.stderr == [expected]
+    for level in ("unoptimized", "optimized"):
+        hw = execute(synthesize(app, assertions=level))
+        assert hw.stderr == [expected], level
+
+
+def test_ndebug_and_optimized_equal_performance():
+    """Abstract claim: optimized assertions leave throughput untouched."""
+    n = 96
+    app = one_process_app(PIPE_SCALAR, range(1, n + 1))
+    base = execute(synthesize(app, assertions="none"), max_cycles=100_000)
+    opt = execute(synthesize(app, assertions="optimized"), max_cycles=100_000)
+    assert base.completed and opt.completed
+    assert abs(opt.cycles - base.cycles) <= 2

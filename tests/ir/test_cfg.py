@@ -1,0 +1,93 @@
+"""Unit tests for CFG construction and loop analysis."""
+
+from repro.ir.cfg import CFG
+from tests.helpers import lower_one
+
+LOOP_SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    if (x > 2) { co_stream_write(output, x); }
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def test_successors_and_predecessors():
+    func = lower_one(LOOP_SRC)
+    cfg = CFG.build(func)
+    entry_succs = cfg.successors(func.entry)
+    assert len(entry_succs) == 1
+    header = entry_succs[0]
+    assert len(cfg.successors(header)) == 2
+    assert func.entry in cfg.predecessors(header)
+
+
+def test_reverse_postorder_starts_at_entry():
+    func = lower_one(LOOP_SRC)
+    cfg = CFG.build(func)
+    order = cfg.reverse_postorder()
+    assert order[0] == func.entry
+    assert set(order) == cfg.reachable()
+
+
+def test_natural_loop_detection():
+    func = lower_one(LOOP_SRC)
+    cfg = CFG.build(func)
+    loops = cfg.natural_loops()
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header in loop.body
+    assert len(loop.body) >= 2
+
+
+def test_nested_loops_found():
+    src = """
+void f(co_stream o) {
+  uint32 i; uint32 j; uint32 acc;
+  acc = 0;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { acc += i * j; }
+  }
+  co_stream_write(o, acc);
+}
+"""
+    func = lower_one(src)
+    loops = CFG.build(func).natural_loops()
+    assert len(loops) == 2
+    bodies = sorted(len(loop.body) for loop in loops)
+    assert bodies[0] < bodies[1]  # inner nested in outer
+
+
+def test_pipelined_loops_filtered_by_pragma():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 i;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) { co_stream_write(output, x); }
+  for (i = 0; i < 4; i++) { co_stream_write(output, i); }
+}
+"""
+    func = lower_one(src)
+    cfg = CFG.build(func)
+    assert len(cfg.natural_loops()) == 2
+    assert len(cfg.pipelined_loops()) == 1
+
+
+def test_dominates_entry_dominates_all():
+    func = lower_one(LOOP_SRC)
+    cfg = CFG.build(func)
+    for name in cfg.reachable():
+        assert cfg.dominates(func.entry, name)
+
+
+def test_unreachable_block_excluded():
+    func = lower_one(LOOP_SRC)
+    dead = func.new_block("orphan")
+    from repro.ir.instr import Return
+
+    dead.term = Return()
+    cfg = CFG.build(func)
+    assert dead.name not in cfg.reachable()

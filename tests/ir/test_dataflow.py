@@ -1,0 +1,95 @@
+"""Unit tests for liveness, def-use and condition support."""
+
+from repro.ir.dataflow import condition_support, def_use, liveness
+from repro.ir.ops import OpKind
+from tests.helpers import lower_one
+
+SRC = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 acc;
+  acc = 0;
+  while (co_stream_read(input, &x)) {
+    acc = acc + x;
+    co_stream_write(output, acc);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def test_liveness_loop_carried_value_live_at_header():
+    func = lower_one(SRC)
+    live = liveness(func)
+    header = next(n for n in func.blocks if n.startswith("while"))
+    assert "acc" in live.live_in[header]
+
+
+def test_liveness_dead_after_last_use():
+    func = lower_one(SRC)
+    live = liveness(func)
+    exit_block = next(n for n in func.blocks if n.startswith("exit"))
+    assert "x" not in live.live_out[exit_block]
+
+
+def test_def_use_records_sites():
+    func = lower_one(SRC)
+    du = def_use(func)
+    assert len(du.defs["acc"]) == 2  # init + loop update
+    assert len(du.uses["x"]) >= 1
+
+
+def test_branch_cond_use_recorded_as_terminator():
+    func = lower_one(SRC)
+    du = def_use(func)
+    ok_name = next(n for n in func.scalars if n.startswith("ok"))
+    assert any(idx == -1 for _b, idx in du.uses[ok_name])
+
+
+def test_condition_support_scalar():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x * 2 + 1 < 100);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func = lower_one(src)
+    bname, idx = next(
+        (b, i)
+        for b, blk in func.blocks.items()
+        for i, ins in enumerate(blk.instrs)
+        if ins.op == OpKind.ASSERT_CHECK
+    )
+    root = func.blocks[bname].instrs[idx].args[0]
+    support = condition_support(func, bname, root)
+    assert support == {"x"}
+
+
+def test_condition_support_stops_at_loads():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 buf[8];
+  while (co_stream_read(input, &x)) {
+    buf[x & 7] = x;
+    assert(buf[x & 7] < 100);
+    co_stream_write(output, x);
+  }
+}
+"""
+    func = lower_one(src)
+    bname, idx = next(
+        (b, i)
+        for b, blk in func.blocks.items()
+        for i, ins in enumerate(blk.instrs)
+        if ins.op == OpKind.ASSERT_CHECK
+    )
+    root = func.blocks[bname].instrs[idx].args[0]
+    support = condition_support(func, bname, root)
+    # the loaded value must be tapped, not the address computation
+    assert len(support) == 1
+    (name,) = support
+    assert name.startswith("ld")

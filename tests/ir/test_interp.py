@@ -1,0 +1,177 @@
+"""Unit tests for the IR interpreter (software-simulation semantics)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.interp import Interp, run_to_completion
+from tests.helpers import interp_outputs, lower_one
+
+
+def test_stream_loop_runs_to_eos():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) { co_stream_write(output, x + 1); }
+  co_stream_close(output);
+}
+"""
+    result, outs = interp_outputs(lower_one(src), {"input": [1, 2, 3]})
+    assert result.returned
+    assert outs["output"] == [2, 3, 4]
+
+
+def test_read_after_eos_returns_zero_ok():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 ok;
+  ok = co_stream_read(input, &x);
+  co_stream_write(output, ok);
+  ok = co_stream_read(input, &x);
+  co_stream_write(output, ok);
+}
+"""
+    _, outs = interp_outputs(lower_one(src), {"input": [9]})
+    assert outs["output"] == [1, 0]
+
+
+def test_assert_abort_stops_process():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 10);
+    co_stream_write(output, x);
+  }
+}
+"""
+    result, outs = interp_outputs(lower_one(src), {"input": [1, 50, 3]})
+    assert not result.returned
+    assert result.aborted_by is not None
+    assert outs["output"] == [1]
+
+
+def test_assert_nabort_continues():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 10);
+    co_stream_write(output, x);
+  }
+}
+"""
+    result, outs = interp_outputs(lower_one(src), {"input": [1, 50, 3]},
+                                  nabort=True)
+    assert result.returned
+    assert len(result.assert_failures) == 1
+    assert outs["output"] == [1, 50, 3]
+
+
+def test_out_of_bounds_read_raises():
+    src = "void f(co_stream o) { uint8 a[4]; uint32 i; i = 9; co_stream_write(o, a[i]); }"
+    with pytest.raises(SimulationError):
+        interp_outputs(lower_one(src))
+
+
+def test_out_of_bounds_write_raises():
+    src = "void f(co_stream o) { uint8 a[4]; uint32 i; i = 4; a[i] = 1; }"
+    with pytest.raises(SimulationError):
+        interp_outputs(lower_one(src))
+
+
+def test_division_by_zero_raises():
+    src = "void f(co_stream o) { uint32 a; a = 0; co_stream_write(o, 5 / a); }"
+    with pytest.raises(SimulationError):
+        interp_outputs(lower_one(src))
+
+
+def test_step_limit_detects_runaway_loop():
+    src = "void f(co_stream o) { uint32 x; x = 1; while (x) { x = 1; } }"
+    with pytest.raises(SimulationError):
+        interp_outputs(lower_one(src), max_steps=1000)
+
+
+def test_array_initializer_respected():
+    src = "void f(co_stream o) { uint8 a[4] = {7, 8}; co_stream_write(o, a[0] + a[1] + a[2]); }"
+    _, outs = interp_outputs(lower_one(src))
+    assert outs["o"] == [15]
+
+
+def test_ext_hdl_callback():
+    src = "void f(co_stream o) { co_stream_write(o, ext_hdl(10)); }"
+    _, outs = interp_outputs(lower_one(src),
+                             ext_funcs={"ext_hdl": lambda v: v * 3})
+    assert outs["o"] == [30]
+
+
+def test_ext_hdl_defaults_to_identity():
+    src = "void f(co_stream o) { co_stream_write(o, ext_hdl(10)); }"
+    _, outs = interp_outputs(lower_one(src))
+    assert outs["o"] == [10]
+
+
+def test_signed_comparison_uses_sign():
+    src = """
+void f(co_stream o) {
+  int32 a;
+  a = -1;
+  co_stream_write(o, a < 0);
+  co_stream_write(o, a > 100);
+}
+"""
+    _, outs = interp_outputs(lower_one(src))
+    assert outs["o"] == [1, 0]
+
+
+def test_unsigned_comparison_treats_as_large():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  a = 0 - 1;
+  co_stream_write(o, a > 100);
+}
+"""
+    _, outs = interp_outputs(lower_one(src))
+    assert outs["o"] == [1]
+
+
+def test_64bit_comparison_is_exact():
+    # the paper's Figure 3 comparison: false in correct C semantics
+    src = """
+void f(co_stream o) {
+  uint64 c1;
+  uint64 c2;
+  c1 = 4294967296;
+  c2 = 4294967286;
+  co_stream_write(o, c2 > c1);
+}
+"""
+    _, outs = interp_outputs(lower_one(src))
+    assert outs["o"] == [0]
+
+
+def test_generator_protocol_read_reply():
+    func = lower_one(
+        "void f(co_stream s, co_stream o) { uint32 x; co_stream_read(s, &x);"
+        " co_stream_write(o, x * 2); }"
+    )
+    gen = Interp(func).run()
+    event = next(gen)
+    assert event == ("read", "s")
+    event = gen.send((1, 21))
+    assert event[0] == "write" and event[2] == 42
+
+
+def test_run_to_completion_collects_multiple_streams():
+    src = """
+void f(co_stream a, co_stream b) {
+  co_stream_write(a, 1);
+  co_stream_write(b, 2);
+  co_stream_close(a);
+  co_stream_close(b);
+}
+"""
+    result, outs = run_to_completion(lower_one(src), {})
+    assert outs["a"] == [1] and outs["b"] == [2]
+    assert result.returned

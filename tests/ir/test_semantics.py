@@ -1,0 +1,96 @@
+"""Unit tests for the shared op semantics (used by both execution models)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.ctypes_ import I8, I32, I64, U8, U32, U64, CType
+from repro.ir import semantics
+from repro.ir.ops import OpKind
+
+
+def test_interpret_signed_and_unsigned():
+    assert semantics.interpret(0xFF, U8) == 255
+    assert semantics.interpret(0xFF, I8) == -1
+    assert semantics.interpret(0x80, I8) == -128
+
+
+def test_add_wraps_at_common_width():
+    r = semantics.binop(OpKind.ADD, 0xFFFFFFFF, U32, 1, U32)
+    assert r & 0xFFFFFFFF == 0
+
+
+def test_sub_underflow_unsigned():
+    r = semantics.binop(OpKind.SUB, 2, U32, 5, U32)
+    assert r & 0xFFFFFFFF == (2 - 5) % 2**32
+
+
+def test_mul_signed():
+    r = semantics.binop(OpKind.MUL, (-3) & 0xFFFFFFFF, I32, 4, I32)
+    assert r & 0xFFFFFFFF == (-12) % 2**32
+
+
+def test_div_truncates_toward_zero():
+    neg7 = (-7) & 0xFFFFFFFF
+    assert semantics.binop(OpKind.DIV, neg7, I32, 2, I32) == -3
+    assert semantics.binop(OpKind.MOD, neg7, I32, 2, I32) == -1
+    assert semantics.binop(OpKind.DIV, 7, I32, (-2) & 0xFFFFFFFF, I32) == -3
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(SimulationError):
+        semantics.binop(OpKind.DIV, 1, U32, 0, U32)
+
+
+def test_shift_semantics():
+    assert semantics.binop(OpKind.SHL, 1, U32, 31, U32) == 1 << 31
+    assert semantics.binop(OpKind.SHR, 0x80000000, U32, 4, U32) == 0x08000000
+    # arithmetic shift for signed operands
+    r = semantics.binop(OpKind.SHR, 0x80000000, I32, 4, I32)
+    assert r == -0x8000000
+
+
+def test_compare_usual_conversions():
+    # int vs unsigned at same width: unsigned comparison
+    assert semantics.compare(OpKind.LT, (-1) & 0xFFFFFFFF, I32, 5, U32) == 0
+    # both signed: signed comparison
+    assert semantics.compare(OpKind.LT, (-1) & 0xFFFFFFFF, I32, 5, I32) == 1
+
+
+def test_compare_64bit_exact():
+    assert semantics.compare(OpKind.GT, 4294967286, U64, 4294967296, U64) == 0
+
+
+def test_compare_force_width_reproduces_paper_bug():
+    # "The 64-bit comparison of 4294967286 > 4294967296 (false) becomes a
+    # 5-bit comparison of 22 > 0 (true)"
+    assert semantics.compare(
+        OpKind.GT, 4294967286, U64, 4294967296, U64, force_width=5
+    ) == 1
+    assert 4294967286 % 32 == 22
+    assert 4294967296 % 32 == 0
+
+
+def test_unop_semantics():
+    assert semantics.unop(OpKind.NEG, 5, U32) == -5
+    assert semantics.unop(OpKind.NOT, 0, U8) & 0xFF == 0xFF
+    assert semantics.unop(OpKind.LNOT, 0, U32) == 1
+    assert semantics.unop(OpKind.LNOT, 3, U32) == 0
+
+
+def test_cast_semantics():
+    assert semantics.cast(OpKind.SEXT, 0x80, I8) & 0xFFFF == 0xFF80
+    assert semantics.cast(OpKind.ZEXT, 0x80, U8) == 0x80
+    assert semantics.cast(OpKind.TRUNC, 0x1FF, CType(9, False)) == 0x1FF
+
+
+def test_narrow_width_ops():
+    five = CType(5, False)
+    r = semantics.binop(OpKind.ADD, 30, five, 5, five)
+    # promoted to >=32 bits before adding: no wrap at 5 bits mid-expression
+    assert r == 35
+
+
+def test_i64_boundary_values():
+    big = 2**63 - 1
+    r = semantics.binop(OpKind.ADD, big, I64, 1, I64)
+    assert r & (2**64 - 1) == 2**63

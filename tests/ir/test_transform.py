@@ -1,0 +1,110 @@
+"""Unit tests for DCE and block splitting."""
+
+from repro.ir.instr import Branch, Jump
+from repro.ir.ops import OpKind
+from repro.ir.transform import eliminate_dead_code, split_block_at
+from repro.ir.verify import verify_function
+from tests.helpers import interp_outputs, lower_one
+
+
+def test_dce_removes_unused_computation():
+    src = """
+void f(co_stream o) {
+  uint32 a; uint32 b;
+  a = 5;
+  b = a * 7 + 2;
+  co_stream_write(o, a);
+}
+"""
+    func = lower_one(src)
+    before = sum(1 for _ in func.instructions())
+    removed = eliminate_dead_code(func)
+    assert removed >= 2  # the mul, add and b's mov are dead
+    after = sum(1 for _ in func.instructions())
+    assert after == before - removed
+    verify_function(func)
+    _, outs = interp_outputs(func)
+    assert outs["o"] == [5]
+
+
+def test_dce_keeps_side_effects():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  uint8 buf[2];
+  a = 1;
+  buf[0] = a;
+  co_stream_write(o, 9);
+}
+"""
+    func = lower_one(src)
+    eliminate_dead_code(func)
+    assert func.count_ops(OpKind.STORE) == 1
+    assert func.count_ops(OpKind.STREAM_WRITE) == 1
+
+
+def test_dce_removes_dead_load_chains_transitively():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  uint8 buf[4] = {1, 2};
+  a = buf[1] + buf[2];
+  co_stream_write(o, 3);
+}
+"""
+    func = lower_one(src)
+    eliminate_dead_code(func)
+    assert func.count_ops(OpKind.LOAD) == 0
+
+
+def test_dce_keeps_branch_conditions():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  a = 3;
+  if (a > 1) { co_stream_write(o, 1); }
+}
+"""
+    func = lower_one(src)
+    eliminate_dead_code(func)
+    _, outs = interp_outputs(func)
+    assert outs["o"] == [1]
+
+
+def test_split_block_moves_tail_and_terminator():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  a = 1;
+  a = a + 1;
+  co_stream_write(o, a);
+}
+"""
+    func = lower_one(src)
+    entry = func.blocks[func.entry]
+    n = len(entry.instrs)
+    cont = split_block_at(func, func.entry, 1)
+    assert len(entry.instrs) == 1
+    assert len(cont.instrs) == n - 1
+    assert isinstance(entry.term, Jump) and entry.term.target == cont.name
+    verify_function(func)
+    _, outs = interp_outputs(func)
+    assert outs["o"] == [2]
+
+
+def test_split_preserves_branch_terminator():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  a = 7;
+  if (a > 3) { co_stream_write(o, 1); } else { co_stream_write(o, 2); }
+}
+"""
+    func = lower_one(src)
+    entry = func.blocks[func.entry]
+    assert isinstance(entry.term, Branch)
+    cont = split_block_at(func, func.entry, 1)
+    assert isinstance(cont.term, Branch)
+    assert isinstance(entry.term, Jump)
+    _, outs = interp_outputs(func)
+    assert outs["o"] == [1]

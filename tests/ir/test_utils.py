@@ -1,0 +1,49 @@
+"""Unit tests for shared utilities (tables, id generation, fingerprints)."""
+
+from repro.utils.idgen import IdGenerator, stable_fingerprint
+from repro.utils.tables import delta, pct, render_table
+
+
+def test_idgen_monotone_per_prefix():
+    g = IdGenerator()
+    assert [g.next("t"), g.next("t"), g.next("x"), g.next("t")] == [
+        "t0", "t1", "x0", "t2"
+    ]
+
+
+def test_fingerprint_stable_and_sensitive():
+    a = stable_fingerprint("design", 42, ["x"])
+    b = stable_fingerprint("design", 42, ["x"])
+    c = stable_fingerprint("design", 43, ["x"])
+    assert a == b
+    assert a != c
+    assert 0 <= a < 2**64
+
+
+def test_fingerprint_resists_concatenation_ambiguity():
+    assert stable_fingerprint("ab", "c") != stable_fingerprint("a", "bc")
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+    lines = text.split("\n")
+    assert lines[0].startswith("name")
+    assert lines[2].endswith("1")
+    assert lines[3].endswith("22")
+
+
+def test_render_table_title_and_separator():
+    text = render_table(["h"], [["x"]], title="TITLE")
+    assert text.startswith("TITLE\n=")
+
+
+def test_pct_and_delta_formats():
+    assert pct(1, 200) == "0.50%"
+    assert pct(1, 0) == "n/a"
+    assert delta(110, 100) == "+10 (+10.00%)"
+    assert delta(90, 100).startswith("-10")
+
+
+def test_render_table_ragged_rows_padded():
+    text = render_table(["a", "b", "c"], [["x"], ["y", 1, 2]])
+    assert "x" in text and "2" in text

@@ -1,0 +1,122 @@
+"""Unit tests for IR values, functions and cloning."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend.ctypes_ import U8, U32
+from repro.ir.function import IRFunction
+from repro.ir.instr import AssertionSite, Instr, Return
+from repro.ir.ops import OpKind
+from repro.ir.values import ArrayDecl, Const, Temp
+from tests.helpers import interp_outputs, lower_one
+
+
+def test_const_truncates_to_width():
+    c = Const(300, U8)
+    assert c.value == 44
+
+
+def test_temp_identity_by_name_and_type():
+    assert Temp("a", U32) == Temp("a", U32)
+    assert Temp("a", U32) != Temp("a", U8)
+
+
+def test_array_decl_bits():
+    arr = ArrayDecl("a", U8, 16)
+    assert arr.bits == 128
+
+
+def test_declare_scalar_rejects_redeclaration():
+    f = IRFunction(name="t")
+    f.declare_scalar("a", U32)
+    with pytest.raises(IRError):
+        f.declare_scalar("a", U8)
+    with pytest.raises(IRError):
+        f.declare_array("a", U8, 4)
+
+
+def test_new_temp_avoids_user_names():
+    f = IRFunction(name="t")
+    f.declare_scalar("t0", U32)
+    f.declare_scalar("t1", U32)
+    fresh = f.new_temp(U32, "t")
+    assert fresh.name not in ("t0", "t1")
+
+
+def test_assertion_site_message_format():
+    site = AssertionSite(0, "app.c", 42, "proc", "x < 10")
+    msg = site.message()
+    assert msg == "Assertion failed: x < 10, file app.c, line 42, function proc"
+
+
+def test_clone_is_deep_for_instructions():
+    src = """
+void f(co_stream o) {
+  uint32 a;
+  a = 1;
+  co_stream_write(o, a);
+}
+"""
+    func = lower_one(src)
+    clone = func.clone()
+    clone.blocks[clone.entry].instrs[0].args[0] = Const(99, U32)
+    _, outs = interp_outputs(func)
+    assert outs["o"] == [1]  # original untouched
+    _, outs2 = interp_outputs(clone)
+    assert outs2["o"] == [99]
+
+
+def test_clone_preserves_structure():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint8 rom[2] = {3, 4};
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) { co_stream_write(output, rom[x & 1]); }
+}
+"""
+    func = lower_one(src)
+    clone = func.clone()
+    assert clone.stream_names() == func.stream_names()
+    assert clone.arrays.keys() == func.arrays.keys()
+    assert [b.pipeline for b in clone.blocks.values()] == [
+        b.pipeline for b in func.blocks.values()
+    ]
+
+
+def test_count_ops_and_array_accesses():
+    src = """
+void f(co_stream o) {
+  uint8 a[4];
+  a[0] = 1;
+  a[1] = 2;
+  co_stream_write(o, a[0]);
+}
+"""
+    func = lower_one(src)
+    assert func.count_ops(OpKind.STORE) == 2
+    assert func.count_ops(OpKind.LOAD) == 1
+    assert len(func.array_accesses("a")) == 3
+
+
+def test_instr_copy_is_shallow_but_independent():
+    i = Instr(OpKind.MOV, [Temp("a", U32)], [Const(1, U32)], {"coord": ("f", 1)})
+    j = i.copy()
+    j.attrs["coord"] = ("g", 2)
+    assert i.attrs["coord"] == ("f", 1)
+
+
+def test_stream_lookup():
+    func = lower_one("void f(co_stream s) { co_stream_close(s); }")
+    assert func.stream("s").name == "s"
+    with pytest.raises(IRError):
+        func.stream("nope")
+
+
+def test_block_order_is_layout_order():
+    f = IRFunction(name="t")
+    b1 = f.new_block("x")
+    b2 = f.new_block("y")
+    b1.term = Return()
+    b2.term = Return()
+    assert [b.name for b in f.block_order()] == [b1.name, b2.name]

@@ -1,0 +1,139 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend.ctypes_ import U1, U32
+from repro.ir.function import IRFunction
+from repro.ir.instr import BasicBlock, Branch, Instr, Jump, Return
+from repro.ir.ops import OpKind
+from repro.ir.values import Const, StreamParam, Temp
+from repro.ir.verify import verify_function
+from tests.helpers import lower_one
+
+
+def minimal_func() -> IRFunction:
+    f = IRFunction(name="t")
+    b = BasicBlock("entry")
+    b.term = Return()
+    f.blocks["entry"] = b
+    f.entry = "entry"
+    return f
+
+
+def test_lowered_functions_verify():
+    src = """
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  uint8 buf[4];
+  while (co_stream_read(input, &x)) {
+    buf[x & 3] = x;
+    assert(buf[x & 3] > 0);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+    verify_function(lower_one(src))
+
+
+def test_missing_terminator_rejected():
+    f = minimal_func()
+    f.blocks["entry"].term = None
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_unknown_branch_target_rejected():
+    f = minimal_func()
+    t = f.declare_scalar("c", U1)
+    f.blocks["entry"].term = Branch(t, "nowhere", "entry")
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_missing_entry_rejected():
+    f = minimal_func()
+    f.entry = "nope"
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_undeclared_temp_rejected():
+    f = minimal_func()
+    ghost = Temp("ghost", U32)
+    f.blocks["entry"].instrs.append(Instr(OpKind.MOV, [ghost], [Const(1, U32)]))
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_type_mismatch_rejected():
+    f = minimal_func()
+    f.declare_scalar("a", U32)
+    wrong = Temp("a", U1)  # declared U32 but used as U1
+    f.blocks["entry"].instrs.append(Instr(OpKind.MOV, [wrong], [Const(0, U1)]))
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_bad_arity_rejected():
+    f = minimal_func()
+    a = f.declare_scalar("a", U32)
+    f.scalars["a"] = U32
+    f.blocks["entry"].instrs.append(Instr(OpKind.ADD, [a], [Const(1, U32)]))
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_unknown_array_rejected():
+    f = minimal_func()
+    a = f.declare_scalar("a", U32)
+    f.blocks["entry"].instrs.append(
+        Instr(OpKind.LOAD, [a], [Const(0, U32)], {"array": "nope"})
+    )
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_unknown_stream_rejected():
+    f = minimal_func()
+    f.blocks["entry"].instrs.append(
+        Instr(OpKind.STREAM_WRITE, [], [Const(0, U32)], {"stream": "nope"})
+    )
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_stream_read_needs_two_dests():
+    f = minimal_func()
+    f.streams.append(StreamParam("s"))
+    ok = f.declare_scalar("ok", U1)
+    f.blocks["entry"].instrs.append(
+        Instr(OpKind.STREAM_READ, [ok], [], {"stream": "s"})
+    )
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_assert_check_requires_site():
+    f = minimal_func()
+    c = f.declare_scalar("c", U1)
+    f.blocks["entry"].instrs.append(Instr(OpKind.ASSERT_CHECK, [], [c], {}))
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_tap_requires_channel():
+    f = minimal_func()
+    c = f.declare_scalar("c", U1)
+    f.blocks["entry"].instrs.append(Instr(OpKind.TAP, [], [c], {}))
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_jump_to_existing_block_ok():
+    f = minimal_func()
+    b2 = f.new_block("b")
+    b2.term = Return()
+    f.blocks["entry"].term = Jump(b2.name)
+    verify_function(f)

@@ -1,0 +1,67 @@
+"""Unit tests for the table-format overhead reports."""
+
+from repro.core.synth import synthesize
+from repro.platform.report import fit_report, overhead_report
+from repro.runtime.taskgraph import Application
+
+SRC = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x != 42);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def images():
+    app = Application("t")
+    app.add_c_process(SRC, name="p", filename="p.c")
+    app.feed("in", "p.input", data=[1])
+    app.sink("out", "p.output")
+    return (synthesize(app, assertions="none"),
+            synthesize(app, assertions="optimized"))
+
+
+def test_report_has_paper_rows():
+    orig, opt = images()
+    report = overhead_report(orig, opt)
+    rows = report.rows()
+    labels = [r[0] for r in rows]
+    assert any("Logic used" in lbl for lbl in labels)
+    assert any("Comb. ALUT" in lbl for lbl in labels)
+    assert any("Registers" in lbl for lbl in labels)
+    assert any("Block RAM" in lbl for lbl in labels)
+    assert any("interconnect" in lbl for lbl in labels)
+    assert labels[-1] == "Frequency (MHz)"
+
+
+def test_report_renders_with_title():
+    orig, opt = images()
+    text = report_text = overhead_report(orig, opt).render("TABLE X")
+    assert "TABLE X" in text
+    assert "Original" in text and "Assert" in text and "Overhead" in text
+    _ = report_text
+
+
+def test_percentages_are_of_device_capacity():
+    orig, opt = images()
+    report = overhead_report(orig, opt)
+    alut_row = next(r for r in report.rows() if "Comb. ALUT" in r[0])
+    # overhead cell looks like "+96 (+0.07%)"
+    assert alut_row[3].startswith("+")
+    assert "%" in alut_row[3]
+
+
+def test_summary_properties():
+    orig, opt = images()
+    report = overhead_report(orig, opt)
+    assert report.max_resource_overhead_pct < 0.2
+    assert abs(report.fmax_overhead_pct) < 5.0
+
+
+def test_fit_report_clean_for_small_design():
+    orig, _ = images()
+    assert fit_report(orig) == []

@@ -1,0 +1,94 @@
+"""Unit tests for the resource estimator."""
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.platform.device import EP2S60, EP2S180
+from repro.platform.resources import ResourceReport, estimate_image
+from repro.runtime.taskgraph import Application
+
+SRC = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint16 buf[64];
+  while (co_stream_read(input, &x)) {
+    buf[x & 63] = x;
+    assert(x < 10000);
+    co_stream_write(output, x * 3 + buf[x & 63]);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def make_image(level="none", **kw):
+    app = Application("t")
+    app.add_c_process(SRC, name="p", filename="p.c")
+    app.feed("in", "p.input", data=[1])
+    app.sink("out", "p.output")
+    return synthesize(app, assertions=level, **kw)
+
+
+def test_report_totals_positive_and_consistent():
+    res = estimate_image(make_image())
+    t = res.total
+    assert t.comb_aluts > 0 and t.registers > 0
+    assert t.bram_bits >= 64 * 16  # the buf array
+    assert t.interconnect > 0
+    assert t.logic >= max(t.comb_aluts, t.registers)
+
+
+def test_multiplier_maps_to_dsp():
+    res = estimate_image(make_image())
+    assert res.total.dsp_mults >= 1
+
+
+def test_channel_fifo_bits_match_paper_constant():
+    # a 32-bit CPU stream costs 16 x (32+4) = 576 block-RAM bits (the
+    # paper's observed +576-bit Block RAM overhead per channel)
+    res = estimate_image(make_image())
+    assert res.channel_bits >= 2 * 576
+
+
+def test_assertions_increase_resources():
+    base = estimate_image(make_image("none")).total
+    unopt = estimate_image(make_image("unoptimized")).total
+    opt = estimate_image(make_image("optimized")).total
+    assert unopt.comb_aluts > base.comb_aluts
+    assert opt.comb_aluts > base.comb_aluts
+    assert unopt.bram_bits > base.bram_bits  # the extra failure channel
+
+
+def test_overheads_are_small_fraction_of_device():
+    # abstract claim: < 0.13% of the EP2S180 for the case-study style app
+    base = estimate_image(make_image("none")).total
+    opt = estimate_image(make_image("optimized")).total
+    delta_pct = 100.0 * (opt.comb_aluts - base.comb_aluts) / EP2S180.aluts
+    assert delta_pct < 0.13
+
+
+def test_sharing_reduces_alut_overhead_with_many_assertions():
+    from repro.apps.loopback import build_loopback
+
+    app = build_loopback(16)
+    base = estimate_image(synthesize(app, assertions="none")).total
+    unopt = estimate_image(synthesize(app, assertions="unoptimized")).total
+    opt = estimate_image(synthesize(app, assertions="optimized")).total
+    assert (unopt.comb_aluts - base.comb_aluts) > 2 * (
+        opt.comb_aluts - base.comb_aluts
+    )
+
+
+def test_check_fits_flags_overflow():
+    r = ResourceReport(comb_aluts=10**9)
+    assert r.check_fits(EP2S60)
+    assert not ResourceReport(comb_aluts=10).check_fits(EP2S180)
+
+
+def test_per_process_breakdown_sums_to_design_minus_channels():
+    res = estimate_image(make_image("optimized"))
+    proc_aluts = sum(p.report.comb_aluts for p in res.processes)
+    assert proc_aluts <= res.total.comb_aluts  # channels/collectors add more
+
+
+def test_logic_used_packing_rule():
+    r = ResourceReport(comb_aluts=1000, registers=400)
+    assert r.logic == 1000 + int(0.46 * 400)

@@ -1,0 +1,119 @@
+"""Unit tests for the Fmax model."""
+
+from repro.core.synth import synthesize
+from repro.platform.timing import TimingParams, estimate_fmax
+from repro.runtime.taskgraph import Application
+
+
+def image_for(src, name="p", data=(1,)):
+    app = Application("t")
+    app.add_c_process(src, name=name, filename="t.c")
+    app.feed("in", f"{name}.input", data=list(data))
+    app.sink("out", f"{name}.output")
+    return synthesize(app, assertions="none")
+
+
+SIMPLE = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) { co_stream_write(output, x); }
+  co_stream_close(output);
+}
+"""
+
+DEEP = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    co_stream_write(output, ((((x + 1) ^ 3) + 5) & 255) + 9);
+  }
+  co_stream_close(output);
+}
+"""
+
+MEMORY = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint16 buf[32];
+  while (co_stream_read(input, &x)) {
+    buf[x & 31] = x;
+    co_stream_write(output, buf[x & 31] + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def test_fmax_positive_and_path_consistent():
+    t = estimate_fmax(image_for(SIMPLE))
+    assert 0 < t.fmax_mhz < 1000
+    assert abs(t.fmax_mhz - 1000.0 / t.critical_path_ns) < 1e-6
+
+
+def test_deeper_logic_is_slower():
+    # below the Fmax floor both designs saturate, so compare unfloored
+    params = TimingParams(t_floor=0.0)
+    shallow = estimate_fmax(image_for(SIMPLE), params=params)
+    deep = estimate_fmax(image_for(DEEP), params=params)
+    assert deep.fmax_mhz < shallow.fmax_mhz
+    assert deep.contributions["depth"] > shallow.contributions["depth"]
+
+
+def test_bram_on_path_costs_access_time():
+    plain = estimate_fmax(image_for(DEEP))
+    mem = estimate_fmax(image_for(MEMORY))
+    assert mem.contributions["embedded_ns"] > 0
+    assert plain.contributions["embedded_ns"] == 0
+    _ = mem
+
+
+def test_more_cpu_channels_lower_fmax():
+    from repro.apps.loopback import build_loopback
+
+    orig = estimate_fmax(synthesize(build_loopback(32), assertions="none"))
+    unopt = estimate_fmax(synthesize(build_loopback(32), assertions="unoptimized"))
+    assert unopt.fmax_mhz < orig.fmax_mhz
+    assert unopt.contributions["cpu_streams"] > orig.contributions["cpu_streams"]
+
+
+def test_shared_channels_recover_fmax():
+    from repro.apps.loopback import build_loopback
+
+    app = build_loopback(64)
+    orig = estimate_fmax(synthesize(app, assertions="none"))
+    unopt = estimate_fmax(synthesize(app, assertions="unoptimized"))
+    opt = estimate_fmax(synthesize(app, assertions="optimized"))
+    assert unopt.fmax_mhz < opt.fmax_mhz <= orig.fmax_mhz * 1.02
+
+
+def test_jitter_is_deterministic():
+    img = image_for(SIMPLE)
+    a = estimate_fmax(img)
+    b = estimate_fmax(img)
+    assert a.fmax_mhz == b.fmax_mhz
+
+
+def test_jitter_bounded():
+    t = estimate_fmax(image_for(SIMPLE))
+    assert abs(t.contributions["jitter_frac"]) <= 1.0
+
+
+def test_params_are_tunable():
+    img = image_for(SIMPLE)
+    fast = estimate_fmax(img, params=TimingParams(t_lut_level=0.1, t_floor=1.0))
+    slow = estimate_fmax(img, params=TimingParams(t_lut_level=4.0, t_floor=1.0))
+    assert fast.fmax_mhz > slow.fmax_mhz
+
+
+def test_floor_caps_trivial_designs():
+    img = image_for(SIMPLE)
+    t = estimate_fmax(img)
+    assert t.critical_path_ns >= TimingParams().t_floor * 0.985
+
+
+def test_process_fanout_knee():
+    from repro.apps.loopback import build_loopback
+
+    small = estimate_fmax(synthesize(build_loopback(8), assertions="none"))
+    big = estimate_fmax(synthesize(build_loopback(64), assertions="none"))
+    assert big.fmax_mhz < small.fmax_mhz

@@ -1,0 +1,56 @@
+"""Property-based tests for exact-width bit arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bit_length_for,
+    clog2,
+    mask,
+    sign_extend,
+    truncate,
+)
+
+widths = st.integers(min_value=1, max_value=64)
+values = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+@given(values, widths)
+def test_truncate_idempotent(v, w):
+    assert truncate(truncate(v, w), w) == truncate(v, w)
+
+
+@given(values, widths)
+def test_truncate_bounded(v, w):
+    assert 0 <= truncate(v, w) <= mask(w)
+
+
+@given(values, widths)
+def test_sign_extend_roundtrip(v, w):
+    s = sign_extend(v, w)
+    assert truncate(s, w) == truncate(v, w)
+    assert -(2 ** (w - 1)) <= s < 2 ** (w - 1)
+
+
+@given(widths)
+def test_mask_is_all_ones(w):
+    assert mask(w) == 2**w - 1
+    assert mask(w).bit_length() == w
+
+
+@given(st.integers(min_value=1, max_value=2**40))
+def test_clog2_bounds(n):
+    bits = clog2(n)
+    assert 2**bits >= n
+    assert bits == 0 or 2 ** (bits - 1) < n
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_bit_length_for_minimal(v):
+    w = bit_length_for(v)
+    assert truncate(v, w) == v
+    assert w == 1 or truncate(v, w - 1) != v
+
+
+@given(values, values, widths)
+def test_modular_addition_consistent(a, b, w):
+    assert truncate(a + b, w) == truncate(truncate(a, w) + truncate(b, w), w)

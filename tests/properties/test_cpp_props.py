@@ -1,0 +1,58 @@
+"""Property tests for the preprocessor: structure-preserving guarantees."""
+
+from hypothesis import given, strategies as st
+
+from repro.frontend.cpp import preprocess, strip_comments
+
+ident = st.from_regex(r"[A-Z][A-Z0-9_]{0,6}", fullmatch=True)
+code_line = st.from_regex(r"[a-z0-9 =+;]{0,20}", fullmatch=True)
+
+
+@given(st.lists(code_line, max_size=12))
+def test_line_count_preserved(lines):
+    src = "\n".join(lines)
+    res = preprocess(src)
+    assert len(res.text.split("\n")) == len(src.split("\n"))
+
+
+@given(ident, st.lists(code_line, min_size=1, max_size=6))
+def test_disabled_region_blanked_line_for_line(name, lines):
+    body = "\n".join(lines)
+    src = f"#ifdef {name}\n{body}\n#endif\ntail"
+    res = preprocess(src)
+    out = res.text.split("\n")
+    assert len(out) == len(src.split("\n"))
+    assert out[-1] == "tail"
+    for line, orig in zip(out[1:-2], lines):
+        if orig.strip():
+            assert line == ""
+
+
+@given(ident, st.integers(min_value=0, max_value=999))
+def test_define_expansion_value(name, value):
+    src = f"#define {name} {value}\nint a[{name}];"
+    res = preprocess(src)
+    assert f"int a[{value}];" in res.text
+
+
+@given(st.lists(code_line, max_size=8))
+def test_strip_comments_idempotent(lines):
+    src = "\n".join(lines)
+    once = strip_comments(src)
+    assert strip_comments(once) == once
+
+
+@given(st.text(alphabet="ab/*\n ", max_size=60))
+def test_strip_comments_preserves_line_count(text):
+    assert strip_comments(text).count("\n") == text.count("\n")
+
+
+@given(ident)
+def test_ifdef_else_exactly_one_branch(name):
+    src = f"#ifdef {name}\nbranch_a\n#else\nbranch_b\n#endif"
+    res_without = preprocess(src)
+    res_with = preprocess(src, defines={name: ""})
+    assert ("branch_a" in res_with.text) and ("branch_b" not in res_with.text)
+    assert ("branch_b" in res_without.text) and (
+        "branch_a" not in res_without.text
+    )

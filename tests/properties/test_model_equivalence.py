@@ -1,0 +1,106 @@
+"""Property tests: the three execution models agree on program behaviour.
+
+Random straight-line-plus-loop programs in the dialect are run through:
+
+* the IR interpreter (software-simulation semantics),
+* the schedule-level cycle model (hardware timing semantics), and
+* the RTL simulator (for non-pipelined programs),
+
+and their stream outputs must be identical — the core soundness property
+of the whole reproduction: *absent injected faults, hardware behaviour
+equals source behaviour*, so any divergence an assertion catches is a real
+injected bug, never a toolchain artifact.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hls.cyclemodel import Channel
+from repro.rtl.sim import RtlSim
+from tests.helpers import compile_one, interp_outputs, lower_one, run_cycle_model
+
+ops = st.sampled_from(["+", "-", "*", "^", "&", "|"])
+small = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def straightline_program(draw):
+    n_stmts = draw(st.integers(min_value=1, max_value=6))
+    lines = []
+    names = ["x"]
+    for i in range(n_stmts):
+        op = draw(ops)
+        lhs = draw(st.sampled_from(names))
+        rhs = draw(small)
+        name = f"v{i}"
+        lines.append(f"    {name} = ({lhs} {op} {rhs}) & 65535;")
+        names.append(name)
+    decls = "\n".join(f"  uint32 v{i};" for i in range(n_stmts))
+    body = "\n".join(lines)
+    out = names[-1]
+    return f"""
+void f(co_stream input, co_stream output) {{
+  uint32 x;
+{decls}
+  while (co_stream_read(input, &x)) {{
+{body}
+    co_stream_write(output, {out});
+  }}
+  co_stream_close(output);
+}}
+"""
+
+
+@settings(max_examples=30, deadline=None)
+@given(straightline_program(), st.lists(small, min_size=1, max_size=6))
+def test_interp_equals_cycle_model(src, data):
+    func = lower_one(src)
+    _, sw = interp_outputs(func, {"input": list(data)})
+    cp = compile_one(src)
+    _, hw = run_cycle_model(cp, {"input": list(data)})
+    assert hw["output"] == sw["output"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(straightline_program(), st.lists(small, min_size=1, max_size=4))
+def test_cycle_model_equals_rtl_sim(src, data):
+    cp = compile_one(src)
+    _, hw = run_cycle_model(cp, {"input": list(data)})
+
+    cin = Channel("i", depth=4096)
+    cout = Channel("o", depth=1_000_000)
+    for v in data:
+        cin.push(v)
+    cin.close()
+    sim = RtlSim(cp.rtl, {"input": cin, "output": cout})
+    sim.run()
+    assert list(cout.queue) == hw["output"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=999), min_size=1,
+                max_size=8))
+def test_assertion_levels_preserve_pass_behaviour(data):
+    """Whatever the assertion level, a passing program's outputs match."""
+    from repro.core.synth import synthesize
+    from repro.runtime.hwexec import execute
+    from repro.runtime.taskgraph import Application
+
+    src = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 1000);
+    co_stream_write(output, x + 7);
+  }
+  co_stream_close(output);
+}
+"""
+    expected = [x + 7 for x in data]
+    for level in ("none", "unoptimized", "optimized"):
+        app = Application("t")
+        app.add_c_process(src, name="p", filename="p.c")
+        app.feed("in", "p.input", data=list(data))
+        app.sink("out", "p.output")
+        hw = execute(synthesize(app, assertions=level))
+        assert hw.completed
+        assert hw.outputs["out"] == expected

@@ -1,0 +1,96 @@
+"""Property tests: IR op semantics agree with Python big-int arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.frontend.ctypes_ import CType
+from repro.ir import semantics
+from repro.ir.ops import OpKind
+from repro.utils.bitops import sign_extend, truncate
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def typed_value(draw):
+    w = draw(widths)
+    signed = draw(st.booleans())
+    v = draw(st.integers(min_value=0, max_value=(1 << w) - 1))
+    return v, CType(w, signed)
+
+
+def as_math(v, ty):
+    return sign_extend(v, ty.width) if ty.signed else v
+
+
+@given(typed_value(), typed_value())
+def test_add_matches_python(a, b):
+    (av, at), (bv, bt) = a, b
+    from repro.frontend.ctypes_ import common_type
+
+    ct = common_type(at, bt)
+    r = semantics.binop(OpKind.ADD, av, at, bv, bt)
+    expected = truncate(
+        semantics.interpret(truncate(as_math(av, at), ct.width), ct)
+        + semantics.interpret(truncate(as_math(bv, bt), ct.width), ct),
+        ct.width,
+    )
+    assert truncate(r, ct.width) == expected
+
+
+@given(typed_value(), typed_value())
+def test_compare_antisymmetry(a, b):
+    (av, at), (bv, bt) = a, b
+    lt = semantics.compare(OpKind.LT, av, at, bv, bt)
+    gt = semantics.compare(OpKind.GT, av, at, bv, bt)
+    eq = semantics.compare(OpKind.EQ, av, at, bv, bt)
+    assert lt + gt + eq == 1
+
+
+@given(typed_value(), typed_value())
+def test_compare_le_is_lt_or_eq(a, b):
+    (av, at), (bv, bt) = a, b
+    le = semantics.compare(OpKind.LE, av, at, bv, bt)
+    lt = semantics.compare(OpKind.LT, av, at, bv, bt)
+    eq = semantics.compare(OpKind.EQ, av, at, bv, bt)
+    assert le == (lt or eq)
+
+
+@given(typed_value(), typed_value(), st.integers(min_value=1, max_value=63))
+def test_force_width_compare_only_sees_low_bits(a, b, fw):
+    (av, at), (bv, bt) = a, b
+    r = semantics.compare(OpKind.EQ, av, at, bv, bt, force_width=fw)
+    assert r == int(
+        truncate(as_math(av, at), fw) == truncate(as_math(bv, bt), fw)
+    )
+
+
+@given(typed_value())
+def test_double_negation_identity(a):
+    av, at = a
+    r = semantics.unop(OpKind.NEG, truncate(semantics.unop(OpKind.NEG, av, at),
+                                            at.width), at)
+    assert truncate(r, at.width) == av
+
+
+@given(typed_value())
+def test_lnot_is_boolean(a):
+    av, at = a
+    r = semantics.unop(OpKind.LNOT, av, at)
+    assert r == (0 if av else 1)
+
+
+@given(typed_value(), typed_value())
+def test_division_reconstruction(a, b):
+    (av, at), (bv, bt) = a, b
+    from repro.frontend.ctypes_ import common_type
+
+    if truncate(bv, bt.width) == 0:
+        return
+    ct = common_type(at, bt)
+    q = semantics.binop(OpKind.DIV, av, at, bv, bt)
+    r = semantics.binop(OpKind.MOD, av, at, bv, bt)
+    x = semantics.interpret(truncate(as_math(av, at), ct.width), ct)
+    y = semantics.interpret(truncate(as_math(bv, bt), ct.width), ct)
+    if y != 0:
+        assert q * y + r == x
+        assert abs(r) < abs(y)

@@ -1,0 +1,172 @@
+"""Unit tests for Verilog emission."""
+
+from repro.rtl import core as R
+from repro.rtl.verilog import emit_expr, emit_module
+from tests.helpers import compile_one
+
+SRC = """
+void acc(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 total;
+  uint8 lut[4] = {1, 2, 3, 4};
+  total = 0;
+  while (co_stream_read(input, &x)) {
+    total += lut[x & 3];
+    co_stream_write(output, total);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def emitted():
+    return compile_one(SRC).verilog()
+
+
+def test_module_header_and_ports():
+    v = emitted()
+    assert v.startswith("module acc (")
+    for port in ("input_data", "input_empty", "input_eos", "input_re",
+                 "output_data", "output_full", "output_we", "output_close"):
+        assert port in v
+
+
+def test_clk_rst_and_state_machine():
+    v = emitted()
+    assert "input clk;" in v
+    assert "always @(posedge clk)" in v
+    assert "case (state)" in v
+    assert "state <= 0;" in v  # reset
+
+
+def test_memory_declared_and_initialized():
+    v = emitted()
+    assert "reg [7:0] lut [0:3];" in v
+    assert "lut[0] = 1;" in v
+    assert "lut[3] = 4;" in v
+
+
+def test_registers_declared_with_widths():
+    v = emitted()
+    assert "reg [31:0] r_total;" in v
+    assert "reg r_ok0;" in v
+
+
+def test_strobe_assignments_present():
+    v = emitted()
+    assert "assign input_re =" in v
+    assert "assign output_we =" in v
+    assert "assign output_close =" in v
+
+
+def test_stall_guards_stream_states():
+    v = emitted()
+    assert "input_empty && (!input_eos)" in v.replace("  ", " ") or \
+        "(input_empty && (!input_eos))" in v
+
+
+def test_emit_expr_literals_and_ops():
+    assert emit_expr(R.Lit(5, 8)) == "8'd5"
+    e = R.BinExpr("+", R.Lit(1, 8), R.Lit(2, 8), 8)
+    assert emit_expr(e) == "(8'd1 + 8'd2)"
+    s = R.SliceExpr(R.Ref(R.Signal("x", 8)), 3, 0)
+    assert emit_expr(s) == "x[3:0]"
+    bit = R.SliceExpr(R.Ref(R.Signal("x", 8)), 3, 3)
+    assert emit_expr(bit) == "x[3]"
+
+
+def test_emit_signed_compare_uses_dollar_signed():
+    e = R.BinExpr("<", R.Ref(R.Signal("a", 8)), R.Ref(R.Signal("b", 8)), 1,
+                  signed_cmp=True)
+    assert "$signed(a)" in emit_expr(e)
+
+
+def test_emit_extensions():
+    z = R.UnExpr("zext", R.Ref(R.Signal("a", 4)), 8)
+    assert emit_expr(z) == "{{4{1'b0}}, a}"
+    s = R.UnExpr("sext", R.Ref(R.Signal("a", 4)), 8)
+    assert emit_expr(s) == "{{4{a[3]}}, a}"
+
+
+def test_narrow_compare_fault_visible_in_verilog():
+    # the injected 5-bit comparison must appear in the emitted RTL
+    from repro.hls.compiler import compile_process
+    from repro.hls.constraints import HLSConfig
+    from repro.hls.faults import NarrowCompare
+    from tests.helpers import lower_one
+
+    src = """
+void f(co_stream output) {
+  uint64 c1; uint64 c2;
+  c1 = 4294967296;
+  c2 = 4294967286;
+  co_stream_write(output, c2 > c1);
+}
+"""
+    cp = compile_process(lower_one(src),
+                         HLSConfig(faults=(NarrowCompare(width=5),)))
+    v = cp.verilog()
+    assert "[4:0]" in v  # the 5-bit slices of the faulty comparison
+
+
+def test_pipelined_module_emits_stage_comment():
+    src = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) { co_stream_write(output, x + 1); }
+}
+"""
+    v = compile_one(src).verilog()
+    assert "pipelined loop" in v
+    assert "II=1" in v
+
+
+def test_emitted_verilog_balanced_blocks():
+    v = emitted()
+    assert v.count("module ") == v.count("endmodule")
+    assert v.count(" begin") >= v.count(" end") - v.count("endmodule")
+
+
+def test_pipeline_stage_registers_emitted():
+    src = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 acc;
+  acc = 0;
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    acc = acc + x;
+    co_stream_write(output, acc);
+  }
+  co_stream_close(output);
+}
+"""
+    v = compile_one(src).verilog()
+    # valid shift register + initiation counter
+    assert "while0_valid" in v and "while0_go" in v
+    # stage-suffixed pipeline registers
+    assert "p_x_s0" in v and "p_x_s1 <= p_x_s0;" in v
+    # loop-carried value reads the architectural register and commits back
+    assert "(r_acc + p_x_s1)" in v
+    assert "r_acc <= p_acc_s1;" in v
+
+
+def test_pipeline_predicated_store_guarded():
+    src = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 buf[4];
+  #pragma CO PIPELINE
+  while (co_stream_read(input, &x)) {
+    if (x > 2) { buf[x & 3] = x; }
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+    v = compile_one(src).verilog()
+    assert "buf[" in v
+    # the store sits inside a predicate guard within its stage
+    store_region = v[v.index("// pipelined loop"):]
+    assert "if (" in store_region

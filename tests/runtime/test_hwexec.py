@@ -1,0 +1,137 @@
+"""Unit tests for hardware execution (board, collectors, notifier)."""
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.runtime.hwexec import execute
+from repro.runtime.swsim import software_sim
+from repro.runtime.taskgraph import Application
+
+SRC = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x * 2);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def make_app(data, nprocs=1):
+    app = Application("t")
+    prev = None
+    for i in range(nprocs):
+        app.add_c_process(SRC.replace("void p(", f"void p{i}("), name=f"p{i}")
+        if prev is None:
+            app.feed("in", f"p{i}.input", data=data)
+        else:
+            app.connect(f"l{i}", f"{prev}.output", f"p{i}.input")
+        prev = f"p{i}"
+    app.sink("out", f"{prev}.output")
+    return app
+
+
+def test_execute_matches_software_sim_outputs():
+    app = make_app([1, 2, 3, 4])
+    sw = software_sim(app)
+    for level in ("none", "unoptimized", "optimized"):
+        hw = execute(synthesize(app, assertions=level))
+        assert hw.completed, level
+        assert hw.outputs["out"] == sw.outputs["out"], level
+
+
+def test_multiprocess_chain_over_board():
+    app = make_app([5, 6], nprocs=3)
+    hw = execute(synthesize(app, assertions="optimized"))
+    assert hw.completed
+    assert hw.outputs["out"] == [40, 48]
+
+
+def test_failure_aborts_at_every_level():
+    for level in ("unoptimized", "optimized"):
+        hw = execute(synthesize(make_app([1, 500, 3]), assertions=level))
+        assert hw.aborted, level
+        assert "Assertion failed: x < 100" in hw.stderr[0]
+
+
+def test_optimized_without_share_reports_failures_too():
+    hw = execute(
+        synthesize(make_app([500]), assertions="optimized",
+                   options=SynthesisOptions(share=False))
+    )
+    assert hw.aborted
+    assert "x < 100" in hw.stderr[0]
+
+
+def test_nabort_collects_all_failures():
+    hw = execute(synthesize(make_app([500, 1, 600]), assertions="optimized",
+                            nabort=True))
+    assert hw.completed and not hw.aborted
+    assert len(hw.failures) >= 2
+    assert hw.outputs["out"] == [1000, 2, 1200]
+
+
+def test_level_none_never_fails():
+    hw = execute(synthesize(make_app([500]), assertions="none"))
+    assert hw.completed and not hw.failures
+    assert hw.outputs["out"] == [1000]
+
+
+def test_hang_detection_with_traces():
+    src = """
+void stuck(co_stream input, co_stream output) {
+  uint32 x;
+  co_stream_read(input, &x);
+  co_stream_read(input, &x);
+  co_stream_write(output, x);
+  co_stream_close(output);
+}
+"""
+    app = Application("t")
+    app.add_c_process(src, name="stuck")
+    # feeder supplies one word and never closes more: after EOS the second
+    # read returns immediately, so to force a hang we use an internal
+    # producer that stalls forever
+    producer = """
+void prod(co_stream input, co_stream output) {
+  uint32 x;
+  co_stream_read(input, &x);
+  co_stream_write(output, x);
+  while (x == x) { x = x; }
+}
+"""
+    app2 = Application("t2")
+    app2.add_c_process(producer, name="prod")
+    app2.add_c_process(src, name="stuck")
+    app2.feed("seed", "prod.input", data=[7])
+    app2.connect("mid", "prod.output", "stuck.input")
+    app2.sink("out", "stuck.output")
+    hw = execute(synthesize(app2, assertions="none"), max_cycles=5000,
+                 idle_limit=16)
+    assert hw.hung
+    assert any("stuck" in str(t) for t in hw.traces)
+
+
+def test_process_stats_recorded():
+    hw = execute(synthesize(make_app([1, 2]), assertions="optimized"))
+    assert "p0" in hw.process_stats
+    stats = hw.process_stats["p0"]
+    assert stats["cycles"] > 0
+    assert stats["stalls"] >= 0
+    # the checker process pipelines one initiation per tapped assertion
+    chk = hw.process_stats["p0__chk0"]
+    assert chk["iterations"] >= 2
+
+
+def test_board_single_word_per_cycle():
+    # feeding N words takes at least N cycles over the multiplexed link
+    n = 50
+    hw = execute(synthesize(make_app(list(range(1, n + 1))), assertions="none"))
+    assert hw.cycles >= n
+    assert len(hw.outputs["out"]) == n
+
+
+def test_empty_feed_closes_stream():
+    hw = execute(synthesize(make_app([]), assertions="optimized"))
+    assert hw.completed
+    assert hw.outputs["out"] == []
