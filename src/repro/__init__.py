@@ -25,15 +25,16 @@ Quick start::
 
 from repro.core.synth import SynthesisOptions, synthesize
 from repro.errors import ReproError
+from repro.faults import NarrowCompare, ReadForWrite
 from repro.hls.constraints import HLSConfig, ScheduleConfig
-from repro.hls.faults import NarrowCompare, ReadForWrite
 from repro.platform.device import EP2S180, XD1000
-from repro.platform.report import overhead_report
+from repro.platform.report import execution_summary, overhead_report
 from repro.platform.resources import estimate_image
 from repro.platform.timing import estimate_fmax
 from repro.runtime.hwexec import HardwareImage, HwResult, execute
 from repro.runtime.swsim import SimResult, software_sim
 from repro.runtime.taskgraph import Application
+from repro.runtime.watchdog import WatchdogConfig, WatchdogReport
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,8 @@ __all__ = [
     "ScheduleConfig",
     "NarrowCompare",
     "ReadForWrite",
+    "WatchdogConfig",
+    "WatchdogReport",
     "EP2S180",
     "XD1000",
     "ReproError",
@@ -54,6 +57,7 @@ __all__ = [
     "software_sim",
     "synthesize",
     "overhead_report",
+    "execution_summary",
     "estimate_image",
     "estimate_fmax",
     "__version__",

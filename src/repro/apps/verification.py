@@ -20,7 +20,7 @@ Two applications reproduce the paper's Figure 3 scenarios:
 
 from __future__ import annotations
 
-from repro.hls.faults import NarrowCompare, ReadForWrite
+from repro.faults import NarrowCompare, ReadForWrite
 from repro.runtime.taskgraph import Application
 
 #: line numbers inside DIVERGENCE_SOURCE (kept stable by the literal below)

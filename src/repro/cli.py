@@ -3,12 +3,15 @@
     python -m repro compile app.c [--assertions LEVEL] [-o OUTDIR]
     python -m repro report  app.c [--assertions LEVEL]
     python -m repro simulate app.c --feed 1,2,3 [--assertions LEVEL]
+    python -m repro campaign --app tripledes --seed 0 --count 8
 
 ``compile`` writes one ``.v`` file per process plus ``report.txt`` (area,
 Fmax, pipeline timing). ``report`` prints the original-vs-assert overhead
 table (the paper's Table 1/2 format). ``simulate`` runs the single-process
 application through software simulation and cycle-accurate hardware
-execution and diffs them.
+execution and diffs them. ``campaign`` sweeps seeded fault-injection
+scenarios across one of the paper's applications and prints the
+detection-coverage matrix (assertion vs. watchdog vs. silent).
 
 The C file must contain exactly one process whose first stream parameter
 is the input and second the output (the common case); richer task graphs
@@ -22,7 +25,7 @@ import os
 import sys
 
 from repro.core.synth import SynthesisOptions, synthesize
-from repro.platform.report import overhead_report
+from repro.platform.report import execution_summary, overhead_report
 from repro.platform.resources import estimate_image
 from repro.platform.timing import estimate_fmax
 from repro.runtime.hwexec import execute
@@ -120,20 +123,41 @@ def cmd_simulate(args) -> int:
                        options=_options(args))
     hw = execute(image, max_cycles=args.max_cycles)
     print(f"hardware execution:  completed={hw.completed} "
-          f"aborted={hw.aborted} hung={hw.hung} cycles={hw.cycles}")
+          f"reason={hw.reason} cycles={hw.cycles}")
     for name, values in sorted(hw.outputs.items()):
         print(f"  {name}: {values}")
     for line in hw.stderr:
         print(f"  stderr: {line}")
-    if hw.hung:
-        for trace in hw.traces:
-            print(f"  trace: {trace}")
+    for line in execution_summary(hw):
+        print(f"  {line}")
 
     data_match = all(
         hw.outputs.get(k) == v for k, v in sim.outputs.items() if v
     )
     print(f"outputs match: {data_match}")
     return 0 if (hw.completed or hw.aborted) else 1
+
+
+def cmd_campaign(args) -> int:
+    from repro.faults.campaign import builtin_targets, run_campaign
+
+    if args.app not in builtin_targets():
+        raise SystemExit(
+            f"unknown --app {args.app!r}; have {sorted(builtin_targets())}"
+        )
+    levels = tuple(args.levels.split(","))
+    for lv in levels:
+        if lv not in ("none", "unoptimized", "optimized"):
+            raise SystemExit(f"bad assertion level {lv!r} in --levels")
+    result = run_campaign(
+        args.app,
+        levels=levels,
+        seed=args.seed,
+        count=args.count,
+        nabort=args.nabort,
+    )
+    print(result.render())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -168,6 +192,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--feed", default="", help="comma-separated input words")
     p.add_argument("--max-cycles", type=int, default=2_000_000)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "campaign",
+        help="seeded fault-injection sweep with coverage matrix",
+    )
+    p.add_argument("--app", default="loopback",
+                   help="campaign target: loopback, edge or tripledes")
+    p.add_argument("--levels", default="none,optimized",
+                   help="comma-separated assertion levels to sweep")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--count", type=int, default=8,
+                   help="number of generated fault scenarios")
+    p.add_argument("--nabort", action="store_true",
+                   help="report-don't-halt mode with watchdog quarantine")
+    p.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -64,6 +64,16 @@ class DeadlockError(SimulationError):
         self.traces = dict(traces or {})
 
 
+class FaultError(ReproError):
+    """Raised when a fault injection is misconfigured — an IR fault whose
+    selector matches nothing, or a runtime fault naming an unknown channel,
+    process or register."""
+
+
+class CampaignError(ReproError):
+    """Raised for malformed fault-injection campaign configurations."""
+
+
 class PlatformError(ReproError):
     """Raised when a design does not fit the target device."""
 

@@ -1,0 +1,72 @@
+"""Fault injection: compile-time defects, runtime upsets, and campaigns.
+
+The paper's evaluation rests on two hand-written bugs (Section 5.1); this
+package generalizes them into a pluggable engine:
+
+* :mod:`repro.faults.ir` — translation faults applied to hardware-side IR
+  (:class:`NarrowCompare`, :class:`ReadForWrite`), the paper's bug class.
+* :mod:`repro.faults.runtime` — deterministic runtime faults (bit flips,
+  stuck-at bits, dropped/duplicated words, back-pressure storms, register
+  upsets) injected through hooks in the cycle model and the RTL simulator.
+* :mod:`repro.faults.campaign` — seeded campaign sweeps that measure
+  assertion/watchdog detection coverage across the paper's applications
+  (imported lazily; heavy app dependencies).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CampaignError, FaultError
+from repro.faults.ir import Fault, NarrowCompare, ReadForWrite, apply_faults
+from repro.faults.runtime import (
+    ChannelBitFlip,
+    DropWord,
+    DuplicateWord,
+    RegisterUpset,
+    RuntimeFault,
+    RuntimeFaultInjector,
+    StreamStall,
+    StuckAtBit,
+)
+
+__all__ = [
+    "CampaignError",
+    "Fault",
+    "FaultError",
+    "NarrowCompare",
+    "ReadForWrite",
+    "apply_faults",
+    "RuntimeFault",
+    "RuntimeFaultInjector",
+    "ChannelBitFlip",
+    "StuckAtBit",
+    "DropWord",
+    "DuplicateWord",
+    "StreamStall",
+    "RegisterUpset",
+    # lazy (repro.faults.campaign)
+    "CampaignResult",
+    "CampaignTarget",
+    "RunOutcome",
+    "Scenario",
+    "builtin_targets",
+    "generate_scenarios",
+    "run_campaign",
+]
+
+_CAMPAIGN_NAMES = {
+    "CampaignResult",
+    "CampaignTarget",
+    "RunOutcome",
+    "Scenario",
+    "builtin_targets",
+    "generate_scenarios",
+    "run_campaign",
+}
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_NAMES:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

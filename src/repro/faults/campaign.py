@@ -1,0 +1,464 @@
+"""Seeded fault-injection campaigns with assertion-coverage reporting.
+
+A campaign turns the paper's two bug anecdotes into a measured robustness
+evaluation: it sweeps a deterministic, seeded space of fault scenarios
+(translation faults plus runtime upsets) across an application at several
+assertion levels, executes each combination under the runtime watchdog,
+and reports a detection-coverage matrix. Every run is classified as
+
+* ``assertion-detected``  — a synthesized in-circuit assertion reported
+  the fault (the paper's mechanism); latency is the cycle at which the
+  first failure word reached the CPU notifier;
+* ``watchdog-detected``   — the run hung (deadlock/livelock/timeout) or a
+  process had to be quarantined: the fault was caught, but only by the
+  runtime safety net, not by an assertion;
+* ``silent-corruption``   — the run completed with outputs diverging from
+  the software-simulation golden reference and nobody noticed — the
+  coverage gap assertions are supposed to close;
+* ``benign``              — completed with correct outputs (e.g. a
+  back-pressure storm the schedule absorbed, or a fault whose selector
+  found nothing to break at this optimization level).
+
+Determinism: scenario generation uses only ``random.Random(seed)`` over
+sorted structures, and the simulators are seedless, so the same seed
+always reproduces the same matrix bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.errors import CampaignError, FaultError
+from repro.faults.ir import NarrowCompare, ReadForWrite
+from repro.faults.runtime import (
+    ChannelBitFlip,
+    DropWord,
+    DuplicateWord,
+    RegisterUpset,
+    StreamStall,
+    StuckAtBit,
+)
+from repro.ir.ops import COMPARISONS, OpKind
+from repro.runtime.hwexec import execute
+from repro.runtime.swsim import software_sim
+from repro.runtime.taskgraph import Application
+from repro.runtime.watchdog import HANG_REASONS, WatchdogConfig
+from repro.utils.tables import render_table
+
+__all__ = [
+    "ASSERTION_DETECTED",
+    "WATCHDOG_DETECTED",
+    "SILENT_CORRUPTION",
+    "BENIGN",
+    "CLASSIFICATIONS",
+    "Scenario",
+    "RunOutcome",
+    "CampaignResult",
+    "CampaignTarget",
+    "builtin_targets",
+    "generate_scenarios",
+    "run_campaign",
+]
+
+ASSERTION_DETECTED = "assertion-detected"
+WATCHDOG_DETECTED = "watchdog-detected"
+SILENT_CORRUPTION = "silent-corruption"
+BENIGN = "benign"
+CLASSIFICATIONS = (
+    ASSERTION_DETECTED,
+    WATCHDOG_DETECTED,
+    SILENT_CORRUPTION,
+    BENIGN,
+)
+
+
+@dataclass
+class Scenario:
+    """One injected-fault configuration, reusable across assertion levels.
+
+    ``ir_faults`` maps process names to translation-fault tuples (passed
+    to :func:`repro.core.synth.synthesize`); ``runtime_faults`` are
+    :mod:`repro.faults.runtime` objects (passed to
+    :func:`repro.runtime.hwexec.execute`, which rearms them per run).
+    """
+
+    name: str
+    description: str
+    ir_faults: dict[str, tuple] = field(default_factory=dict)
+    runtime_faults: tuple = ()
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One (scenario, assertion level) execution, classified."""
+
+    scenario: str
+    level: str
+    classification: str
+    reason: str
+    cycles: int
+    detection_latency: int | None = None
+    failures: int = 0
+    quarantined: tuple[str, ...] = ()
+    events: tuple[str, ...] = ()
+
+    @property
+    def cell(self) -> str:
+        """Compact matrix-cell rendering."""
+        if self.classification == ASSERTION_DETECTED:
+            return f"assert@{self.detection_latency}"
+        if self.classification == WATCHDOG_DETECTED:
+            return f"watchdog@{self.detection_latency}"
+        if self.classification == SILENT_CORRUPTION:
+            return "SILENT"
+        return "benign"
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured, plus table renderers."""
+
+    app: str
+    seed: int
+    levels: tuple[str, ...]
+    scenarios: list[Scenario]
+    outcomes: list[RunOutcome]
+
+    def outcome(self, scenario: str, level: str) -> RunOutcome:
+        for oc in self.outcomes:
+            if oc.scenario == scenario and oc.level == level:
+                return oc
+        raise CampaignError(f"no outcome for {scenario!r} at {level!r}")
+
+    def summary(self, level: str | None = None) -> dict[str, int]:
+        counts = {c: 0 for c in CLASSIFICATIONS}
+        for oc in self.outcomes:
+            if level is None or oc.level == level:
+                counts[oc.classification] += 1
+        return counts
+
+    def detection_rate(self, level: str) -> float:
+        """Fraction of non-benign scenarios detected (assertion or watchdog)."""
+        harmful = detected = 0
+        for oc in self.outcomes:
+            if oc.level != level or oc.classification == BENIGN:
+                continue
+            harmful += 1
+            if oc.classification in (ASSERTION_DETECTED, WATCHDOG_DETECTED):
+                detected += 1
+        return detected / harmful if harmful else 1.0
+
+    def matrix(self) -> str:
+        headers = ["scenario"] + [f"level={lv}" for lv in self.levels]
+        rows = []
+        for sc in self.scenarios:
+            rows.append(
+                [sc.name]
+                + [self.outcome(sc.name, lv).cell for lv in self.levels]
+            )
+        return render_table(
+            headers, rows,
+            title=f"FAULT CAMPAIGN {self.app} (seed={self.seed}, "
+                  f"{len(self.scenarios)} scenarios)",
+        )
+
+    def render(self) -> str:
+        lines = [self.matrix(), ""]
+        for lv in self.levels:
+            counts = self.summary(lv)
+            parts = ", ".join(f"{c}={counts[c]}" for c in CLASSIFICATIONS)
+            lines.append(
+                f"level={lv}: {parts}; "
+                f"detection rate {100.0 * self.detection_rate(lv):.0f}%"
+            )
+        lines.append("")
+        for sc in self.scenarios:
+            lines.append(f"{sc.name}: {sc.description}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignTarget:
+    """An application under campaign, with execution budgets tuned to it."""
+
+    name: str
+    build: Callable[[], Application]
+    watchdog: WatchdogConfig
+
+
+def builtin_targets() -> dict[str, CampaignTarget]:
+    """The paper's applications, sized for quick sweeps.
+
+    ``livelock_window`` is tuned per app: Triple-DES legitimately computes
+    ~30k stream-quiet cycles per block, the loopback is stream-chatty.
+    """
+    from repro.apps.edge_detect import build_edge_app
+    from repro.apps.loopback import build_loopback
+    from repro.apps.tripledes import build_tdes_app
+
+    return {
+        "loopback": CampaignTarget(
+            "loopback",
+            lambda: build_loopback(3, data=list(range(1, 17))),
+            WatchdogConfig(max_cycles=60_000, idle_limit=64,
+                           livelock_window=4_000, quarantine=True),
+        ),
+        "edge": CampaignTarget(
+            "edge",
+            lambda: build_edge_app(width=16, height=8),
+            WatchdogConfig(max_cycles=120_000, idle_limit=64,
+                           livelock_window=8_000, quarantine=True),
+        ),
+        "tripledes": CampaignTarget(
+            "tripledes",
+            lambda: build_tdes_app(text=b"In-circuit!"),
+            WatchdogConfig(max_cycles=400_000, idle_limit=64,
+                           livelock_window=60_000, quarantine=True),
+        ),
+    }
+
+
+# ---- scenario generation ---------------------------------------------------
+
+
+def _ir_candidates(app: Application):
+    """(process, width) narrow-compare and (process, array) store targets."""
+    compares: list[tuple[str, int]] = []
+    stores: list[tuple[str, str]] = []
+    for pd in sorted(app.fpga_processes(), key=lambda p: p.name):
+        widths = {
+            max(a.ty.width for a in instr.args)
+            for instr in pd.func.instructions()
+            if instr.op in COMPARISONS
+        }
+        for w in (4, 5, 8):
+            if any(mw > w for mw in widths):
+                compares.append((pd.name, w))
+        stored = {
+            instr.attrs.get("array")
+            for instr in pd.func.instructions()
+            if instr.op == OpKind.STORE
+        }
+        for arr in sorted(a for a in stored if a):
+            stores.append((pd.name, arr))
+    return compares, stores
+
+
+def generate_scenarios(
+    app: Application,
+    seed: int = 0,
+    count: int = 8,
+    include_ir: bool = True,
+) -> list[Scenario]:
+    """Deterministically derive ``count`` fault scenarios for ``app``.
+
+    Only the seed and the (sorted) application structure feed the RNG, so
+    the same ``(app, seed, count)`` always yields the same scenarios.
+    """
+    rng = random.Random(seed)
+    streams = sorted(
+        sd.name for sd in app.streams.values() if sd.role is None
+    )
+    if not streams:
+        raise CampaignError(f"{app.name}: no data streams to inject into")
+    procs = sorted(pd.name for pd in app.fpga_processes())
+    widths = {sd.name: sd.width for sd in app.streams.values()}
+    fed_lengths = [
+        len(sd.feeder_data or ()) for sd in app.streams.values() if sd.cpu_fed
+    ]
+    words_hint = max(1, min(fed_lengths or [8]))
+
+    compares, stores = _ir_candidates(app) if include_ir else ([], [])
+    kinds = ["bitflip", "stuckat", "drop", "duplicate", "stall", "upset"]
+    if compares:
+        kinds.append("narrow_compare")
+    if stores:
+        kinds.append("read_for_write")
+
+    scenarios: list[Scenario] = []
+    for i in range(count):
+        kind = kinds[i % len(kinds)]
+        stream = rng.choice(streams)
+        word = rng.randrange(words_hint)
+        bit = rng.randrange(widths.get(stream, 32))
+        if kind == "bitflip":
+            sc = Scenario(
+                f"s{i:02d}-bitflip",
+                f"flip bit {bit} of word {word} on stream {stream!r}",
+                runtime_faults=(
+                    ChannelBitFlip(target=stream, word_index=word, bit=bit),
+                ),
+            )
+        elif kind == "stuckat":
+            stuck = rng.randrange(2)
+            sc = Scenario(
+                f"s{i:02d}-stuckat",
+                f"bit {bit} of stream {stream!r} stuck at {stuck}",
+                runtime_faults=(
+                    StuckAtBit(target=stream, bit=bit, stuck_value=stuck),
+                ),
+            )
+        elif kind == "drop":
+            sc = Scenario(
+                f"s{i:02d}-drop",
+                f"drop word {word} of stream {stream!r}",
+                runtime_faults=(DropWord(target=stream, word_index=word),),
+            )
+        elif kind == "duplicate":
+            sc = Scenario(
+                f"s{i:02d}-duplicate",
+                f"duplicate word {word} of stream {stream!r}",
+                runtime_faults=(DuplicateWord(target=stream, word_index=word),),
+            )
+        elif kind == "stall":
+            start = rng.randrange(16, 400)
+            duration = rng.randrange(8, 128)
+            sc = Scenario(
+                f"s{i:02d}-stall",
+                f"back-pressure storm on {stream!r}: cycles "
+                f"{start}..{start + duration}",
+                runtime_faults=(
+                    StreamStall(target=stream, start_cycle=start,
+                                duration=duration),
+                ),
+            )
+        elif kind == "upset":
+            proc = rng.choice(procs)
+            cycle = rng.randrange(32, 2_000)
+            reg_index = rng.randrange(16)
+            sc = Scenario(
+                f"s{i:02d}-upset",
+                f"register upset in {proc!r} at cycle {cycle} "
+                f"(reg index {reg_index}, bit {bit % 32})",
+                runtime_faults=(
+                    RegisterUpset(target=proc, cycle=cycle,
+                                  reg_index=reg_index, bit=bit % 32),
+                ),
+            )
+        elif kind == "narrow_compare":
+            proc, width = rng.choice(compares)
+            sc = Scenario(
+                f"s{i:02d}-narrowcmp",
+                f"comparisons in {proc!r} mistranslated to {width} bits",
+                ir_faults={proc: (NarrowCompare(width=width),)},
+            )
+        else:  # read_for_write
+            proc, arr = rng.choice(stores)
+            sc = Scenario(
+                f"s{i:02d}-readforwrite",
+                f"stores to {proc!r}.{arr} emitted as reads",
+                ir_faults={proc: (ReadForWrite(array=arr),)},
+            )
+        scenarios.append(sc)
+    return scenarios
+
+
+# ---- execution -------------------------------------------------------------
+
+
+def classify_outcome(result, golden: dict) -> tuple[str, int | None]:
+    """Map one HwResult onto the coverage taxonomy (with latency)."""
+    if result.failures:
+        return ASSERTION_DETECTED, result.first_failure_cycle
+    if result.reason in HANG_REASONS or result.quarantined:
+        latency = (
+            result.watchdog.fired_at_cycle
+            if result.watchdog is not None else result.cycles
+        )
+        return WATCHDOG_DETECTED, latency
+    if any(result.outputs.get(name) != words for name, words in golden.items()):
+        return SILENT_CORRUPTION, None
+    return BENIGN, None
+
+
+def _run_one(
+    target: CampaignTarget,
+    app: Application,
+    scenario: Scenario,
+    level: str,
+    golden: dict,
+    nabort: bool,
+    options: SynthesisOptions | None,
+) -> RunOutcome:
+    try:
+        image = synthesize(
+            app,
+            assertions=level,
+            faults=scenario.ir_faults or None,
+            nabort=True if nabort else None,
+            options=options,
+        )
+    except FaultError:
+        # the fault's selector found nothing at this level (e.g. the
+        # targeted comparison was optimized away): nothing was injected
+        return RunOutcome(
+            scenario=scenario.name, level=level, classification=BENIGN,
+            reason="not-injected", cycles=0,
+        )
+    result = execute(
+        image, watchdog=target.watchdog, faults=scenario.runtime_faults
+    )
+    classification, latency = classify_outcome(result, golden)
+    return RunOutcome(
+        scenario=scenario.name,
+        level=level,
+        classification=classification,
+        reason=result.reason,
+        cycles=result.cycles,
+        detection_latency=latency,
+        failures=len(result.failures),
+        quarantined=tuple(result.quarantined),
+        events=tuple(result.fault_events),
+    )
+
+
+def run_campaign(
+    target: str | CampaignTarget = "loopback",
+    levels: tuple[str, ...] = ("none", "optimized"),
+    seed: int = 0,
+    count: int = 8,
+    nabort: bool = False,
+    scenarios: list[Scenario] | None = None,
+    options: SynthesisOptions | None = None,
+) -> CampaignResult:
+    """Sweep ``count`` seeded scenarios across assertion ``levels``.
+
+    ``target`` is a :func:`builtin_targets` key or a custom
+    :class:`CampaignTarget`. ``nabort`` runs the whole campaign in
+    report-don't-halt mode, enabling watchdog quarantine (graceful
+    degradation) for hanging scenarios.
+    """
+    if isinstance(target, str):
+        try:
+            target = builtin_targets()[target]
+        except KeyError:
+            raise CampaignError(
+                f"unknown campaign target {target!r}; "
+                f"have {sorted(builtin_targets())}"
+            ) from None
+    app = target.build()
+    sim = software_sim(app)
+    if not sim.completed:
+        raise CampaignError(
+            f"{target.name}: golden software simulation did not complete"
+        )
+    golden = {name: list(words) for name, words in sim.outputs.items()}
+    scenarios = (
+        list(scenarios) if scenarios is not None
+        else generate_scenarios(app, seed=seed, count=count)
+    )
+    outcomes = [
+        _run_one(target, app, scenario, level, golden, nabort, options)
+        for scenario in scenarios
+        for level in levels
+    ]
+    return CampaignResult(
+        app=target.name,
+        seed=seed,
+        levels=tuple(levels),
+        scenarios=scenarios,
+        outcomes=outcomes,
+    )

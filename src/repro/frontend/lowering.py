@@ -25,7 +25,7 @@ fields). How that pseudo-op becomes hardware is the subject of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from pycparser import c_ast, c_generator
 

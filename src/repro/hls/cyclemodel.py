@@ -38,6 +38,14 @@ class Channel:
     HDL instrumentation connects assertion data with dedicated wires/FIFOs
     sized so the checker (which pipelines at the application's rate) never
     back-pressures the application; the area model charges a fixed FIFO.
+
+    ``faults`` holds runtime-fault hooks (:mod:`repro.faults.runtime`)
+    attached by a :class:`~repro.faults.runtime.RuntimeFaultInjector`;
+    ``clock`` is that injector (supplying the current cycle). Both the
+    cycle model and the RTL simulator move words through these methods, so
+    an attached fault is honored identically by either backend. A
+    duplicated word may transiently exceed ``depth`` by one entry; the
+    FIFO then back-pressures until it drains.
     """
 
     def __init__(self, name: str, width: int = 32, depth: int = 16,
@@ -51,15 +59,29 @@ class Channel:
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
+        self.faults: list = []
+        self.clock = None
+
+    def _now(self) -> int:
+        return self.clock.cycle if self.clock is not None else 0
 
     def can_push(self) -> bool:
+        if self.faults:
+            now = self._now()
+            if any(f.blocks_push(self, now) for f in self.faults):
+                return False
         return self.unbounded or len(self.queue) < self.depth
 
     def push(self, value) -> None:
         if not self.can_push():
             raise SimulationError(f"push to full channel {self.name}")
-        self.queue.append(value)
         self.pushes += 1
+        values = [value]
+        if self.faults:
+            now = self._now()
+            for fault in self.faults:
+                values = [out for v in values for out in fault.on_push(v, self, now)]
+        self.queue.extend(values)
         self.max_occupancy = max(self.max_occupancy, len(self.queue))
 
     def can_pop(self) -> bool:
@@ -143,7 +165,11 @@ class ProcessExec:
         self.cycles = 0
         self.stall_cycles = 0
         self.iterations_started = 0
+        #: successful stream handshakes (reads that popped, writes) — the
+        #: forward-progress signal the runtime watchdog monitors
+        self.stream_ops = 0
         self.done = False
+        self.quarantined = False
         # pipeline state
         self._pipe = None
         self._inflight: list[dict] = []
@@ -255,6 +281,7 @@ class ProcessExec:
             ch = self._channel_for(instr)
             ok_t, val_t = instr.dests
             if ch.can_pop():
+                self.stream_ops += 1
                 self._write(ok_t, 1, overlay)
                 self._write(val_t, int(ch.pop()), overlay)
             else:  # closed and drained: end of stream
@@ -273,6 +300,7 @@ class ProcessExec:
         elif op == OpKind.STREAM_WRITE:
             ch = self._channel_for(instr)
             ch.push(truncate(self._read(instr.args[0], overlay), ch.width))
+            self.stream_ops += 1
         elif op == OpKind.STREAM_CLOSE:
             self._channel_for(instr).close()
         elif op == OpKind.TAP:
@@ -407,11 +435,42 @@ class ProcessExec:
             self._enter_block(ps.exit_block)
         return "active"
 
+    # ---- fault / watchdog hooks -------------------------------------------
+
+    def upset_register(self, reg_index: int, bit: int) -> tuple[str, int]:
+        """Single-event-upset hook: flip one bit of one live register.
+
+        The register is addressed by index into the sorted register file
+        (names are unstable across instrumentation levels; indices are
+        stable for a given compiled design). Returns what was flipped.
+        """
+        names = sorted(self.env)
+        if not names:
+            return "", 0
+        reg = names[reg_index % len(names)]
+        ty = self.func.scalars.get(reg)
+        width = ty.width if ty is not None else 32
+        pos = bit % width
+        self.env[reg] = truncate(self.env[reg] ^ (1 << pos), width)
+        return reg, pos
+
+    def quarantine(self) -> None:
+        """Graceful-degradation hook: retire this process immediately.
+
+        The watchdog quarantines a faulted process (under ``NABORT``) so
+        the rest of the application can drain to completion; the caller is
+        responsible for closing the channels this process produced.
+        """
+        self.done = True
+        self.quarantined = True
+
     # ---- diagnostics ----------------------------------------------------------
 
     def trace(self) -> ProcessTrace:
         waiting: list[str] = []
         lines: list[tuple[str, int]] = []
+        if self.quarantined:
+            return ProcessTrace(self.name, "quarantined", "-")
         if self.done:
             return ProcessTrace(self.name, "done", "-")
         if self.mode == "seq":

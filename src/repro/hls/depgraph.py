@@ -125,7 +125,6 @@ def build_depgraph(block: BasicBlock) -> DepGraph:
     last_tap: dict[str, int] = {}
 
     for i, instr in enumerate(instrs):
-        info = instr.info
         # RAW on temps
         for u in instr.uses():
             j = last_def.get(u.name)

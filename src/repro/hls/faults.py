@@ -1,105 +1,20 @@
-"""Translation-fault injection: reproducing the paper's Section 5.1 bugs.
+"""Backward-compatibility shim: translation faults moved to ``repro.faults``.
 
-The whole point of in-circuit assertions is catching behaviour that differs
-between software simulation and the synthesized circuit. Since our HLS flow
-is (intentionally) correct, the paper's two bug case studies are reproduced
-by *injecting* the documented Impulse-C defects into the hardware-side IR
-only. Software simulation still executes the clean source semantics, so an
-assertion passes in simulation and fails in circuit — exactly the scenario
-of Figure 3.
-
-* :class:`NarrowCompare` — "Impulse-C performs an erroneous 5-bit
-  comparison of c2 and c1 … The 64-bit comparison of 4294967286 >
-  4294967296 (which evaluates to false) becomes a 5-bit comparison of
-  22 > 0 (which evaluates to true)". We tag matching comparison
-  instructions with ``force_compare_width``; the cycle model and the
-  emitted Verilog then compare only the low bits.
-
-* :class:`ReadForWrite` — the DES hang: "the memory read should have been
-  a memory write". A selected store is turned into a read, so the flag the
-  loop polls is never written and the process hangs in hardware while
-  completing in software simulation.
+The fault engine grew beyond the two Section 5.1 translation bugs into a
+full package (:mod:`repro.faults`) with runtime faults and campaign
+machinery. The IR-level faults historically imported from here live in
+:mod:`repro.faults.ir`; this module re-exports them so existing imports
+keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.faults.ir import (  # noqa: F401
+    Fault,
+    FaultError,
+    NarrowCompare,
+    ReadForWrite,
+    apply_faults,
+)
 
-from repro.errors import ReproError
-from repro.ir.function import IRFunction
-from repro.ir.instr import Instr
-from repro.ir.ops import COMPARISONS, OpKind
-
-
-class FaultError(ReproError):
-    """Raised when a fault's selector matches nothing (misconfiguration)."""
-
-
-def _coord_line(instr: Instr) -> int | None:
-    coord = instr.attrs.get("coord")
-    return coord[1] if coord else None
-
-
-@dataclass(frozen=True)
-class NarrowCompare:
-    """Truncate matching comparisons to ``width`` bits in hardware.
-
-    ``line`` restricts the fault to comparisons lowered from that source
-    line; ``None`` hits every comparison whose operands are wider than
-    ``width`` (rarely what an experiment wants, but useful for chaos
-    testing).
-    """
-
-    width: int = 5
-    line: int | None = None
-
-    def apply(self, func: IRFunction) -> int:
-        hits = 0
-        for block in func.blocks.values():
-            for instr in block.instrs:
-                if instr.op not in COMPARISONS:
-                    continue
-                if self.line is not None and _coord_line(instr) != self.line:
-                    continue
-                if max(a.ty.width for a in instr.args) <= self.width:
-                    continue
-                instr.attrs["force_compare_width"] = self.width
-                hits += 1
-        return hits
-
-
-@dataclass(frozen=True)
-class ReadForWrite:
-    """Replace a store to ``array`` with a read (write is lost) in hardware."""
-
-    array: str
-    line: int | None = None
-
-    def apply(self, func: IRFunction) -> int:
-        hits = 0
-        for block in func.blocks.values():
-            for idx, instr in enumerate(block.instrs):
-                if instr.op != OpKind.STORE or instr.attrs.get("array") != self.array:
-                    continue
-                if self.line is not None and _coord_line(instr) != self.line:
-                    continue
-                dummy = func.new_temp(func.arrays[self.array].elem, "fault")
-                replacement = Instr(
-                    OpKind.LOAD,
-                    [dummy],
-                    [instr.args[0]],
-                    {"array": self.array, "coord": instr.attrs.get("coord")},
-                )
-                block.instrs[idx] = replacement
-                hits += 1
-        return hits
-
-
-def apply_faults(func: IRFunction, faults) -> IRFunction:
-    """Clone ``func`` and apply each fault; raises if a fault matched nothing."""
-    hw = func.clone()
-    for fault in faults:
-        hits = fault.apply(hw)
-        if hits == 0:
-            raise FaultError(f"{fault!r} matched nothing in {func.name!r}")
-    return hw
+__all__ = ["Fault", "FaultError", "NarrowCompare", "ReadForWrite", "apply_faults"]

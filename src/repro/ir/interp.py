@@ -25,7 +25,7 @@ from typing import Callable, Generator
 
 from repro.errors import SimulationError
 from repro.ir import semantics
-from repro.frontend.ctypes_ import CType, common_type
+from repro.frontend.ctypes_ import CType
 from repro.ir.function import IRFunction
 from repro.ir.instr import AssertionSite, Branch, Jump, Return
 from repro.ir.ops import OpKind

@@ -102,3 +102,29 @@ def overhead_report(
 def fit_report(image, device: DeviceModel = EP2S180) -> list[str]:
     """Does the design fit the device? Empty list means yes."""
     return estimate_image(image, device).total.check_fits(device)
+
+
+def execution_summary(result) -> list[str]:
+    """Human-readable lines for a :class:`repro.runtime.hwexec.HwResult`.
+
+    Surfaces the watchdog's termination classification (completed /
+    aborted / deadlock / livelock / timeout) instead of the legacy binary
+    ``hung`` flag, plus detection latency, quarantine and triage detail.
+    """
+    lines = [f"termination: {result.reason} after {result.cycles} cycles"]
+    if result.failures:
+        lines.append(
+            f"assertion failures: {len(result.failures)} "
+            f"(first at cycle {result.first_failure_cycle})"
+        )
+    if result.aborted_by is not None:
+        lines.append(f"aborted by: {result.aborted_by.message()}")
+    if result.quarantined:
+        lines.append(f"quarantined processes: {', '.join(result.quarantined)}")
+    if result.watchdog is not None:
+        lines.extend(result.watchdog.render())
+    elif result.hung:
+        lines.extend(f"  trace: {t}" for t in result.traces)
+    for event in result.fault_events:
+        lines.append(f"fault event: {event}")
+    return lines

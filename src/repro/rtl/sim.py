@@ -36,6 +36,7 @@ class RtlSim:
         module: R.Module,
         streams: dict[str, Channel],
         ext_hdl: Callable[[int], int] | None = None,
+        injector=None,
     ) -> None:
         if module.meta.get("pipelines"):
             raise SimulationError(
@@ -45,6 +46,13 @@ class RtlSim:
         self.module = module
         self.streams = streams
         self.ext_hdl = ext_hdl or (lambda v: v)
+        #: runtime-fault injector (repro.faults.runtime); channel faults it
+        #: attached to ``streams`` are honored because this simulator moves
+        #: every word through Channel.push/pop, and ticking it here keeps
+        #: cycle-armed faults (stalls) aligned with the RTL clock
+        self.injector = injector
+        if injector is not None:
+            injector.attach(streams, execs={})
         self.regs: dict[str, int] = {"state": 0}
         port_set = set()
         for p in module.ports:
@@ -202,6 +210,8 @@ class RtlSim:
             self.done = True
             return "done"
         self.cycles += 1
+        if self.injector is not None:
+            self.injector.tick()
         sc = self._state_by_index.get(state)
         if sc is None:
             raise SimulationError(f"{self.module.name}: no state {state}")

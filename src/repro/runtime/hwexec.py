@@ -9,19 +9,37 @@ failure channels, and the CPU-side assertion notification function that
 decodes failure words, prints the ANSI-C message and halts the application
 (unless ``NABORT``).
 
-A hang — every circuit stalled, the board idle — is detected and reported
-with per-process traces naming the blocked source lines, which is exactly
-the debugging workflow of the paper's Section 5.1 second example.
+Terminations are classified by the runtime watchdog
+(:mod:`repro.runtime.watchdog`): ``completed``, ``aborted`` (assertion
+halt), ``deadlock`` (everything stalled — reported with per-process traces
+naming the blocked source lines, exactly the debugging workflow of the
+paper's Section 5.1 second example), ``livelock`` (active but no stream
+progress — the DES polling hang), and ``timeout`` (cycle budget exhausted
+mid-progress). Runtime faults (:mod:`repro.faults.runtime`) can be
+injected into the channel fabric and process registers, and under
+``NABORT`` the watchdog can quarantine stuck processes so the rest of the
+application — including in-flight assertion notifications — drains to
+completion.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.runtime import RuntimeFaultInjector
 from repro.hls.compiler import CompiledProcess
 from repro.hls.cyclemodel import Channel, ProcessExec, ProcessTrace
 from repro.ir.instr import AssertionSite
-from repro.runtime.taskgraph import Application, StreamDef
+from repro.runtime.taskgraph import Application
+from repro.runtime.watchdog import (
+    ABORTED,
+    COMPLETED,
+    HANG_REASONS,
+    TIMEOUT,
+    Watchdog,
+    WatchdogConfig,
+    WatchdogReport,
+)
 
 
 @dataclass
@@ -69,16 +87,25 @@ class HardwareImage:
         if decode.mode == "code":
             hit = decode.table.get(word)
             return [hit] if hit is not None else []
+        # the bit range is defined by the decode table itself: a shared
+        # failure channel wider than 32 assertions (wide share_word_width)
+        # must not silently drop the high bits
         hits = []
-        for bit in range(32):
-            if word & (1 << bit) and bit in decode.table:
+        for bit in sorted(decode.table):
+            if (word >> bit) & 1:
                 hits.append(decode.table[bit])
         return hits
 
 
 @dataclass
 class HwResult:
-    """Outcome of a hardware execution."""
+    """Outcome of a hardware execution.
+
+    ``reason`` is one of :data:`repro.runtime.watchdog.TERMINATIONS`:
+    ``completed`` / ``aborted`` / ``deadlock`` / ``livelock`` /
+    ``timeout`` — the legacy ``hung`` flag (which conflated the last
+    three) survives as a derived property.
+    """
 
     completed: bool
     cycles: int
@@ -86,13 +113,25 @@ class HwResult:
     stderr: list[str] = field(default_factory=list)
     failures: list[tuple[str, AssertionSite]] = field(default_factory=list)
     aborted_by: AssertionSite | None = None
-    hung: bool = False
+    reason: str = COMPLETED
     traces: list[ProcessTrace] = field(default_factory=list)
     process_stats: dict[str, dict] = field(default_factory=dict)
+    #: cycle at which the first assertion failure reached the CPU notifier
+    #: (detection latency for fault campaigns); None if none arrived
+    first_failure_cycle: int | None = None
+    #: processes retired by the watchdog's NABORT graceful degradation
+    quarantined: list[str] = field(default_factory=list)
+    watchdog: WatchdogReport | None = None
+    #: what injected runtime faults actually did, in firing order
+    fault_events: list[str] = field(default_factory=list)
 
     @property
     def aborted(self) -> bool:
         return self.aborted_by is not None
+
+    @property
+    def hung(self) -> bool:
+        return self.reason in HANG_REASONS
 
 
 class _Arbiter:
@@ -187,8 +226,19 @@ def execute(
     image: HardwareImage,
     max_cycles: int = 2_000_000,
     idle_limit: int = 64,
+    watchdog: WatchdogConfig | None = None,
+    faults=(),
 ) -> HwResult:
-    """Run the synthesized application cycle by cycle."""
+    """Run the synthesized application cycle by cycle.
+
+    ``watchdog`` overrides the termination watchdog configuration (the
+    ``max_cycles``/``idle_limit`` arguments are folded into a default
+    config when it is None). ``faults`` is an iterable of runtime faults
+    (:mod:`repro.faults.runtime`) injected into the channel fabric and
+    process registers for this run only.
+    """
+    cfg = watchdog or WatchdogConfig(max_cycles=max_cycles,
+                                     idle_limit=idle_limit)
     app = image.app
     app.validate()
 
@@ -230,12 +280,14 @@ def execute(
         if pd.kind == "arbiter" and pd.collector_spec is not None
     )
 
-    result = HwResult(completed=False, cycles=0)
+    injector = RuntimeFaultInjector(faults)
+    injector.attach(channels, execs)
+
+    result = HwResult(completed=False, cycles=0, reason=TIMEOUT)
     fed_order = sorted(feeders)
     sink_order = sorted(cpu_outputs)
     feed_rr = 0
     sink_rr = 0
-    idle = 0
     halted = False
 
     def board_tick() -> bool:
@@ -273,6 +325,8 @@ def execute(
         sd = app.streams[stream]
         if sd.role in ("assert_code", "assert_bitmask"):
             hits = image.decode_failure(stream, word)
+            if hits and result.first_failure_cycle is None:
+                result.first_failure_cycle = result.cycles
             for proc, site in hits:
                 result.failures.append((proc, site))
                 result.stderr.append(site.message())
@@ -285,9 +339,12 @@ def execute(
     monitors = [
         _LatencyMonitor(region, taps) for region in image.latency_regions
     ]
+    wd = Watchdog(cfg, app=app, execs=execs, channels=channels)
+    quarantine_rounds = 0
 
-    for _cycle in range(max_cycles):
+    for _cycle in range(cfg.max_cycles):
         result.cycles += 1
+        injector.tick()
         active = board_tick()
         for collector in collectors:
             if collector.tick():
@@ -300,6 +357,8 @@ def execute(
             if monitor.tick(result.cycles):
                 active = True
             for region, elapsed in monitor.violations:
+                if result.first_failure_cycle is None:
+                    result.first_failure_cycle = result.cycles
                 result.failures.append((region.process, region.site))
                 result.stderr.append(region.message(elapsed))
                 if not image.nabort:
@@ -307,6 +366,7 @@ def execute(
                     halted = True
             monitor.violations.clear()
         if halted:
+            result.reason = ABORTED
             break
         blocking = [
             pd.name for pd in app.fpga_processes()
@@ -324,18 +384,39 @@ def execute(
             )
             if drained:
                 result.completed = True
+                result.reason = COMPLETED
                 break
-        if active:
-            idle = 0
-        else:
-            idle += 1
-            if idle >= idle_limit:
-                result.hung = True
-                result.traces = [pe.trace() for pe in execs.values()]
-                break
+        verdict = wd.observe(active)
+        if verdict is not None:
+            # graceful degradation: under NABORT the stuck processes are
+            # quarantined (retired, their output streams closed) so the
+            # survivors — and every failure word still in flight — drain
+            if (cfg.quarantine and image.nabort
+                    and quarantine_rounds < cfg.max_quarantine_rounds):
+                victims = wd.victims(verdict)
+                if victims:
+                    quarantine_rounds += 1
+                    if result.watchdog is None:
+                        # triage snapshot from the moment the watchdog
+                        # fired, even if the run then drains to completion
+                        result.watchdog = wd.report(verdict)
+                    for name in victims:
+                        execs[name].quarantine()
+                        for sd in app.streams.values():
+                            if (sd.source is not None
+                                    and sd.source.process == name):
+                                channels[sd.name].close()
+                    result.quarantined.extend(victims)
+                    wd.reset_after_quarantine(victims)
+                    continue
+            result.reason = verdict
+            result.traces = [pe.trace() for pe in execs.values()]
+            result.watchdog = wd.report(verdict)
+            break
     else:
-        result.hung = True
+        result.reason = TIMEOUT
         result.traces = [pe.trace() for pe in execs.values()]
+        result.watchdog = wd.report(TIMEOUT)
 
     for name in sink_order:
         sd = app.streams[name]
@@ -346,5 +427,9 @@ def execute(
             "cycles": pe.cycles,
             "stalls": pe.stall_cycles,
             "iterations": pe.iterations_started,
+            "stream_ops": pe.stream_ops,
+            "quarantined": pe.quarantined,
         }
+    result.fault_events = injector.event_log()
+    injector.detach()
     return result

@@ -5,7 +5,7 @@ from repro.hls.compiler import compile_process
 from repro.ir.ops import OpKind
 from repro.ir.transform import eliminate_dead_code
 from repro.ir.verify import verify_function
-from tests.helpers import interp_outputs, lower_one, run_cycle_model
+from tests.helpers import lower_one, run_cycle_model
 
 SRC = """
 void f(co_stream input, co_stream output) {

@@ -5,7 +5,6 @@ from repro.core.replicate import replicate_arrays
 from repro.core.share import build_collectors
 from repro.core.registry import AssertionRegistry
 from repro.hls.compiler import compile_process
-from repro.ir.ops import OpKind
 from repro.ir.transform import eliminate_dead_code
 from repro.ir.verify import verify_function
 from repro.runtime.taskgraph import Application

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hls.faults import FaultError, NarrowCompare, ReadForWrite, apply_faults
 from repro.ir.ops import COMPARISONS, OpKind
-from tests.helpers import compile_one, interp_outputs, lower_one, run_cycle_model
+from tests.helpers import interp_outputs, lower_one, run_cycle_model
 from repro.hls.compiler import compile_process
 from repro.hls.constraints import HLSConfig
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SchedulingError
 from repro.hls.constraints import ScheduleConfig
 from repro.hls.schedule import schedule_function
-from repro.ir.ops import OpKind
 from tests.helpers import lower_one
 
 

@@ -1,6 +1,6 @@
 """Unit tests for the resource estimator."""
 
-from repro.core.synth import SynthesisOptions, synthesize
+from repro.core.synth import synthesize
 from repro.platform.device import EP2S60, EP2S180
 from repro.platform.resources import ResourceReport, estimate_image
 from repro.runtime.taskgraph import Application

@@ -1,7 +1,7 @@
 """Unit tests for Verilog emission."""
 
 from repro.rtl import core as R
-from repro.rtl.verilog import emit_expr, emit_module
+from repro.rtl.verilog import emit_expr
 from tests.helpers import compile_one
 
 SRC = """

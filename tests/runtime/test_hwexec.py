@@ -135,3 +135,67 @@ def test_empty_feed_closes_stream():
     hw = execute(synthesize(make_app([]), assertions="optimized"))
     assert hw.completed
     assert hw.outputs["out"] == []
+
+
+def test_bitmask_decode_handles_more_than_32_assertions():
+    # regression: the notifier used to scan a hard-coded 32-bit range, so
+    # assertions packed above bit 31 of a wide shared word were dropped
+    from repro.apps.loopback import build_loopback
+
+    app = build_loopback(40, data=[0, 5])  # 0 violates `> 0` in all stages
+    image = synthesize(app, assertions="optimized", nabort=True,
+                       options=SynthesisOptions(share_word_width=64))
+    decode = image.assert_decode["__collect0_out"]
+    assert decode.mode == "bitmask"
+    assert max(decode.table) == 39  # 40 assertions share one word
+
+    # unit level: a word with only high bits set must still decode
+    high_word = (1 << 39) | (1 << 32)
+    hits = image.decode_failure("__collect0_out", high_word)
+    assert len(hits) == 2
+
+    # end to end: every stage's failure reaches the CPU notifier
+    hw = execute(image)
+    assert hw.completed
+    assert len(hw.failures) == 40
+    assert {site.ordinal for _, site in hw.failures} == {0}
+    assert len({proc for proc, _ in hw.failures}) == 40
+
+
+def test_nabort_failure_words_drain_after_processes_finish():
+    # the data path finishes quickly; sticky failure words must still be
+    # in flight through collectors and the multiplexed link, and the drain
+    # condition has to wait for them rather than cut the run short
+    data = [500] * 6  # every word violates x < 100 in every stage
+    hw = execute(synthesize(make_app(data, nprocs=3), assertions="optimized",
+                            nabort=True))
+    assert hw.completed and not hw.aborted
+    assert hw.reason == "completed"
+    assert hw.outputs["out"] == [v * 8 for v in data]
+    # one sticky failure per (stage, violating word) batch at minimum:
+    # each of the 3 stages must have reported its assertion at least once
+    assert {proc for proc, _ in hw.failures} == {"p0", "p1", "p2"}
+    assert hw.first_failure_cycle is not None
+    assert hw.first_failure_cycle <= hw.cycles
+
+
+def test_timeout_and_deadlock_reasons_distinguishable():
+    # same spinning-producer app as test_hang_detection_with_traces: the
+    # spin is *active*, so a tight cycle budget ends in `timeout`, never
+    # the idle-counter `deadlock`
+    producer = """
+void prod(co_stream input, co_stream output) {
+  uint32 x;
+  co_stream_read(input, &x);
+  while (x == x) { x = x; }
+}
+"""
+    app = Application("t3")
+    app.add_c_process(producer, name="prod")
+    app.feed("seed", "prod.input", data=[7])
+    app.sink("out", "prod.output")
+    hw = execute(synthesize(app, assertions="none"), max_cycles=3000,
+                 idle_limit=16)
+    assert hw.hung
+    assert hw.reason == "timeout"
+    assert hw.watchdog is not None and hw.watchdog.reason == "timeout"
