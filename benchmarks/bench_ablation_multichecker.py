@@ -9,41 +9,52 @@ application tasks, and an appropriate partitioning of assertions into
 assertion checker circuits, which we leave as future work."
 
 We measure per-assertion checker overhead (one pipelined checker per
-assertion) against the merged round-robin checker across group sizes:
-merging pays off in process overhead (FSMs, pipeline controllers) and
-keeps notification latency bounded (a failure waits at most group-size
-cycles in its FIFO).
+assertion) against the merged round-robin checker across group sizes
+(each organization is one cached, executed lab point): merging pays off
+in process overhead (FSMs, pipeline controllers) and keeps notification
+latency bounded (a failure waits at most group-size cycles in its FIFO).
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.loopback import build_loopback
-from repro.core.synth import SynthesisOptions, synthesize
+from repro.core.synth import SynthesisOptions
+from repro.lab.bench import synth
 from repro.platform.resources import estimate_image
 from repro.runtime.hwexec import execute
 from repro.utils.tables import render_table
 
 N = 32
+DATA = (7, 3, 9)
+
+CONFIGS = [
+    ("per-assertion checkers", SynthesisOptions(multichecker=False)),
+    ("round-robin, groups of 8",
+     SynthesisOptions(multichecker=True, multichecker_group=8)),
+    ("round-robin, one group of 32",
+     SynthesisOptions(multichecker=True, multichecker_group=32)),
+]
+
+
+def _point(args: tuple) -> tuple:
+    label, opts = args
+    app = build_loopback(N, data=list(DATA))
+    if label == "base":
+        return ("base", estimate_image(synth(app, assertions="none")).total)
+    img = synth(app, assertions="optimized", options=opts)
+    res = estimate_image(img).total
+    n_procs = len(img.compiled)
+    hw = execute(img)
+    assert hw.completed and hw.outputs["drain"] == list(DATA)
+    return (label, n_procs, res)
 
 
 def sweep():
-    app = build_loopback(N, data=[7, 3, 9])
-    base = estimate_image(synthesize(app, assertions="none")).total
+    results = lab_map(_point, [("base", None), *CONFIGS])
+    base = results[0][1]
     rows = []
     outcomes = {}
-    configs = [
-        ("per-assertion checkers", SynthesisOptions(multichecker=False)),
-        ("round-robin, groups of 8",
-         SynthesisOptions(multichecker=True, multichecker_group=8)),
-        ("round-robin, one group of 32",
-         SynthesisOptions(multichecker=True, multichecker_group=32)),
-    ]
-    for label, opts in configs:
-        img = synthesize(app, assertions="optimized", options=opts)
-        res = estimate_image(img).total
-        n_procs = len(img.compiled)
-        hw = execute(img)
-        assert hw.completed and hw.outputs["drain"] == [7, 3, 9]
+    for label, n_procs, res in results[1:]:
         rows.append([
             label,
             n_procs,

@@ -8,14 +8,15 @@ seven cycles to a single cycle."
 
 This ablation sweeps assertion-condition complexity in a non-pipelined
 loop and measures cycles/iteration for inline (unoptimized) vs
-parallelized assertions. Inline cost grows with complexity (extra states
-for chained logic and serialized array reads); the parallelized cost stays
-flat at the data-extraction cost.
+parallelized assertions, fanning the (condition, level, payload) grid out
+across lab workers with cached synthesis. Inline cost grows with
+complexity (extra states for chained logic and serialized array reads);
+the parallelized cost stays flat at the data-extraction cost.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.runtime.hwexec import execute
 from repro.runtime.taskgraph import Application
 from repro.utils.tables import render_table
@@ -44,27 +45,38 @@ void p(co_stream input, co_stream output) {{
 }}
 """
 
+LEVELS = ("none", "unoptimized", "optimized")
+N1, N2 = 32, 96
 
-def cycles_per_iter(cond: str, level: str) -> float:
-    def run(n: int) -> int:
-        app = Application("abl")
-        app.add_c_process(TEMPLATE.format(cond=cond), name="p", filename="a.c")
-        app.feed("in", "p.input", data=list(range(1, n + 1)))
-        app.sink("out", "p.output")
-        res = execute(synthesize(app, assertions=level), max_cycles=400_000)
-        assert res.completed
-        return res.cycles
 
-    n1, n2 = 32, 96
-    return (run(n2) - run(n1)) / (n2 - n1)
+def _run_cycles(args: tuple) -> int:
+    cond, level, n = args
+    app = Application("abl")
+    app.add_c_process(TEMPLATE.format(cond=cond), name="p", filename="a.c")
+    app.feed("in", "p.input", data=list(range(1, n + 1)))
+    app.sink("out", "p.output")
+    res = execute(synth(app, assertions=level), max_cycles=400_000)
+    assert res.completed
+    return res.cycles
 
 
 def sweep():
+    points = [
+        (cond, level, n)
+        for cond, _label in CONDITIONS
+        for level in LEVELS
+        for n in (N1, N2)
+    ]
+    cycles = dict(zip(points, lab_map(_run_cycles, points)))
+
+    def per_iter(cond: str, level: str) -> float:
+        return (cycles[(cond, level, N2)] - cycles[(cond, level, N1)]) / (N2 - N1)
+
     rows = []
     for cond, label in CONDITIONS:
-        base = cycles_per_iter(cond, "none")
-        unopt = cycles_per_iter(cond, "unoptimized")
-        opt = cycles_per_iter(cond, "optimized")
+        base = per_iter(cond, "none")
+        unopt = per_iter(cond, "unoptimized")
+        opt = per_iter(cond, "optimized")
         rows.append([label, round(base, 1), round(unopt - base, 1),
                      round(opt - base, 1)])
     return rows

@@ -4,13 +4,15 @@
 at the cost of increased area overhead."
 
 We compare the optimized pipelined-array assertion with and without the
-replication pass: replication buys back the initiation interval (rate) at
-the price of a shadow block RAM and its write port.
+replication pass (each configuration is one cached lab point): replication
+buys back the initiation interval (rate) at the price of a shadow block
+RAM and its write port.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
-from repro.core.synth import SynthesisOptions, synthesize
+from repro.core.synth import SynthesisOptions
+from repro.lab.bench import synth
 from repro.platform.resources import estimate_image
 from repro.runtime.taskgraph import Application
 from repro.utils.tables import render_table
@@ -32,27 +34,30 @@ void p(co_stream input, co_stream output) {
 }
 """
 
+CONFIGS = [
+    ("original (no assertions)", "none", True),
+    ("optimized, no replication", "optimized", False),
+    ("optimized + replication", "optimized", True),
+]
 
-def build(level, replicate=True):
+
+def _point(args: tuple) -> tuple:
+    label, level, replicate = args
     app = Application("abl")
     app.add_c_process(SRC, name="p", filename="a.c")
     app.feed("in", "p.input", data=[1])
     app.sink("out", "p.output")
-    return synthesize(app, assertions=level,
-                      options=SynthesisOptions(replicate=replicate))
+    img = synth(app, assertions=level,
+                options=SynthesisOptions(replicate=replicate))
+    latency, rate = next(iter(img.compiled["p"].pipeline_report().values()))
+    bram = estimate_image(img).total.bram_bits
+    return label, latency, rate, bram
 
 
 def sweep():
     rows = []
     results = {}
-    for label, level, rep in [
-        ("original (no assertions)", "none", True),
-        ("optimized, no replication", "optimized", False),
-        ("optimized + replication", "optimized", True),
-    ]:
-        img = build(level, rep)
-        latency, rate = next(iter(img.compiled["p"].pipeline_report().values()))
-        bram = estimate_image(img).total.bram_bits
+    for label, latency, rate, bram in lab_map(_point, CONFIGS):
         rows.append([label, latency, rate, bram])
         results[label] = (latency, rate, bram)
     return rows, results

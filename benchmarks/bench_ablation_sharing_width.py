@@ -3,13 +3,15 @@
 The paper packs 32 assertions per 32-bit stream. This ablation sweeps the
 packing width to show the tradeoff: narrower words need more collector
 processes and CPU streams (area + Fmax pressure); a single wide word is
-the knee the paper chose.
+the knee the paper chose. Each width is one cached lab point evaluated in
+parallel workers.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.loopback import build_loopback
-from repro.core.synth import SynthesisOptions, synthesize
+from repro.core.synth import SynthesisOptions
+from repro.lab.bench import synth
 from repro.platform.resources import estimate_image
 from repro.platform.timing import estimate_fmax
 from repro.utils.tables import render_table
@@ -18,27 +20,35 @@ N = 64
 WIDTHS = (1, 4, 8, 16, 32)
 
 
-def sweep():
+def _point(width: int | None) -> tuple:
     app = build_loopback(N)
-    base = estimate_image(synthesize(app, assertions="none")).total.comb_aluts
+    if width is None:  # the assertion-free baseline
+        base = estimate_image(synth(app, assertions="none")).total.comb_aluts
+        return ("base", base)
+    img = synth(
+        app,
+        assertions="optimized",
+        options=SynthesisOptions(share=True, share_word_width=width),
+    )
+    res = estimate_image(img)
+    fmax = estimate_fmax(img, resources=res)
+    n_streams = sum(
+        1 for sd in img.app.streams.values()
+        if sd.role == "assert_bitmask"
+    )
+    return (width, n_streams, res.total.comb_aluts, fmax.fmax_mhz)
+
+
+def sweep():
+    results = lab_map(_point, [None, *WIDTHS])
+    base = results[0][1]
     rows = []
-    for width in WIDTHS:
-        img = synthesize(
-            app,
-            assertions="optimized",
-            options=SynthesisOptions(share=True, share_word_width=width),
-        )
-        res = estimate_image(img)
-        fmax = estimate_fmax(img, resources=res)
-        n_streams = sum(
-            1 for sd in img.app.streams.values()
-            if sd.role == "assert_bitmask"
-        )
+    for width, n_streams, aluts, fmax_mhz in results[1:]:
         rows.append([
             width,
             n_streams,
-            res.total.comb_aluts - base,
-            f"{fmax.fmax_mhz:.1f}",
+            aluts - base,
+            f"{fmax_mhz:.1f}",
         ])
     return rows
 

@@ -6,28 +6,32 @@ Fmax from 190.6 to 154 MHz (-18.8%), while the resource-sharing
 optimization (32 assertions per 32-bit stream) recovered it to 189.3 MHz.
 Frequencies were flat until ~32 processes.
 
-This bench sweeps 1..128 processes across the three configurations and
-prints the Fmax series.
+This bench sweeps 1..128 processes across the three configurations in
+parallel lab workers (one worker per size) and prints the Fmax series.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.loopback import build_loopback
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.platform.timing import estimate_fmax
 from repro.utils.tables import render_table
 
 SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+def _point(n: int) -> dict:
+    app = build_loopback(n)
+    return {
+        level: estimate_fmax(synth(app, assertions=level)).fmax_mhz
+        for level in ("none", "unoptimized", "optimized")
+    }
+
+
 def sweep():
     rows = []
     series = {}
-    for n in SIZES:
-        app = build_loopback(n)
-        fmax = {}
-        for level in ("none", "unoptimized", "optimized"):
-            fmax[level] = estimate_fmax(synthesize(app, assertions=level)).fmax_mhz
+    for n, fmax in zip(SIZES, lab_map(_point, SIZES)):
         series[n] = fmax
         rows.append([
             n,

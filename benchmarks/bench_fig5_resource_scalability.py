@@ -5,10 +5,10 @@ the EP2S180's ALUTs; sharing the failure channels (one 32-bit stream per
 32 assertions) reduced that to 1.34% — "over a 3x improvement".
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.loopback import build_loopback
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.platform.device import EP2S180
 from repro.platform.resources import estimate_image
 from repro.utils.tables import render_table
@@ -16,15 +16,18 @@ from repro.utils.tables import render_table
 SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+def _point(n: int) -> dict:
+    app = build_loopback(n)
+    return {
+        level: estimate_image(synth(app, assertions=level)).total.comb_aluts
+        for level in ("none", "unoptimized", "optimized")
+    }
+
+
 def sweep():
     rows = []
     overheads = {}
-    for n in SIZES:
-        app = build_loopback(n)
-        aluts = {}
-        for level in ("none", "unoptimized", "optimized"):
-            img = synthesize(app, assertions=level)
-            aluts[level] = estimate_image(img).total.comb_aluts
+    for n, aluts in zip(SIZES, lab_map(_point, SIZES)):
         unopt_pct = 100.0 * (aluts["unoptimized"] - aluts["none"]) / EP2S180.aluts
         opt_pct = 100.0 * (aluts["optimized"] - aluts["none"]) / EP2S180.aluts
         overheads[n] = (unopt_pct, opt_pct)

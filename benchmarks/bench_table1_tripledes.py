@@ -8,19 +8,25 @@ This bench regenerates the table with our flow: the 'Original' column is
 the application synthesized with assertions stripped (NDEBUG), the
 'Assert' column uses the optimized in-circuit assertions (separate checker
 pipeline + shared failure channel), matching the paper's configuration.
+Both columns synthesize through the lab cache (conftest), so a warm rerun
+reloads the images instead of recompiling them.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.tripledes import build_tdes_app
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.platform.report import overhead_report
+
+TEXT = b"Now is the time for all good men"
+
+
+def _synth_level(level: str):
+    return synth(build_tdes_app(TEXT), assertions=level)
 
 
 def build_report():
-    app = build_tdes_app(b"Now is the time for all good men")
-    original = synthesize(app, assertions="none")
-    asserted = synthesize(app, assertions="optimized")
+    original, asserted = lab_map(_synth_level, ["none", "optimized"])
     return overhead_report(original, asserted)
 
 

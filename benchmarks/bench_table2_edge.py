@@ -6,17 +6,19 @@ at most +0.06% of the EP2S180 and left Fmax essentially unchanged (the
 noise, which our deterministic placement jitter reproduces in kind).
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
 from repro.apps.edge_detect import build_edge_app
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.platform.report import overhead_report
 
 
+def _synth_level(level: str):
+    return synth(build_edge_app(width=128, height=64), assertions=level)
+
+
 def build_report():
-    app = build_edge_app(width=128, height=64)
-    original = synthesize(app, assertions="none")
-    asserted = synthesize(app, assertions="optimized")
+    original, asserted = lab_map(_synth_level, ["none", "optimized"])
     return overhead_report(original, asserted)
 
 

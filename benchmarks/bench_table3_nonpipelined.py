@@ -8,14 +8,15 @@ Paper (latency overhead in cycles per assertion execution):
     Array (consecutive)             2            1
 
 The numbers here are *measured*: each variant is synthesized at the three
-assertion levels and executed cycle-accurately with two payload sizes; the
-slope gives exact steady-state cycles per loop iteration, so the overhead
-columns are cycle-true, not estimated.
+assertion levels (through the lab cache) and executed cycle-accurately
+with two payload sizes in parallel lab workers; the slope gives exact
+steady-state cycles per loop iteration, so the overhead columns are
+cycle-true, not estimated.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.runtime.hwexec import execute
 from repro.runtime.taskgraph import Application
 from repro.utils.tables import render_table
@@ -70,28 +71,39 @@ ROWS = [
     ("Array (consecutive)", ARRAY_CONSECUTIVE, 2, 1),
 ]
 
+LEVELS = ("none", "unoptimized", "optimized")
+N1, N2 = 32, 96
 
-def cycles_per_iteration(src: str, level: str) -> float:
-    def run(n: int) -> int:
-        app = Application("t3")
-        app.add_c_process(src, name="p", filename="t3.c")
-        app.feed("in", "p.input", data=list(range(1, n + 1)))
-        app.sink("out", "p.output")
-        result = execute(synthesize(app, assertions=level), max_cycles=200_000)
-        assert result.completed
-        return result.cycles
 
-    n1, n2 = 32, 96
-    return (run(n2) - run(n1)) / (n2 - n1)
+def _run_cycles(args: tuple) -> int:
+    src, level, n = args
+    app = Application("t3")
+    app.add_c_process(src, name="p", filename="t3.c")
+    app.feed("in", "p.input", data=list(range(1, n + 1)))
+    app.sink("out", "p.output")
+    result = execute(synth(app, assertions=level), max_cycles=200_000)
+    assert result.completed
+    return result.cycles
 
 
 def measure():
+    points = [
+        (src, level, n)
+        for _label, src, _pu, _po in ROWS
+        for level in LEVELS
+        for n in (N1, N2)
+    ]
+    cycles = dict(zip(points, lab_map(_run_cycles, points)))
+
+    def per_iter(src: str, level: str) -> float:
+        return (cycles[(src, level, N2)] - cycles[(src, level, N1)]) / (N2 - N1)
+
     rows = []
     deltas = []
     for label, src, paper_unopt, paper_opt in ROWS:
-        base = cycles_per_iteration(src, "none")
-        unopt = cycles_per_iteration(src, "unoptimized")
-        opt = cycles_per_iteration(src, "optimized")
+        base = per_iter(src, "none")
+        unopt = per_iter(src, "unoptimized")
+        opt = per_iter(src, "optimized")
         d_unopt = round(unopt - base)
         d_opt = round(opt - base)
         rows.append([label, d_unopt, d_opt,

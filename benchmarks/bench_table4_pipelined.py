@@ -14,12 +14,14 @@ non-optimized version").
 
 Latency and rate come straight from the modulo scheduler of the
 synthesized process; the rate is additionally confirmed by cycle-accurate
-execution (steady-state cycles per iteration == II).
+execution (steady-state cycles per iteration == II). All synthesis runs
+through the lab cache and the measurement points fan out across lab
+workers.
 """
 
-from conftest import save_and_print
+from conftest import lab_map, save_and_print
 
-from repro.core.synth import synthesize
+from repro.lab.bench import synth
 from repro.runtime.hwexec import execute
 from repro.runtime.taskgraph import Application
 from repro.utils.tables import render_table
@@ -58,42 +60,51 @@ ROWS = [
     ("Array", ARRAY, (2, 1), (1, 0)),
 ]
 
+LEVELS = ("none", "unoptimized", "optimized")
+N1, N2 = 32, 96
 
-def pipeline_of(src: str, level: str):
+
+def _pipeline_point(args: tuple) -> tuple:
+    src, level = args
     app = Application("t4")
     app.add_c_process(src, name="p", filename="t4.c")
     app.feed("in", "p.input", data=[1])
     app.sink("out", "p.output")
-    img = synthesize(app, assertions=level)
+    img = synth(app, assertions=level)
     (latency, rate), = img.compiled["p"].pipeline_report().values()
-    return latency, rate, img
+    return latency, rate
 
 
-def steady_rate(src: str, level: str) -> float:
-    def run(n: int) -> int:
-        app = Application("t4")
-        app.add_c_process(src, name="p", filename="t4.c")
-        app.feed("in", "p.input", data=list(range(1, n + 1)))
-        app.sink("out", "p.output")
-        res = execute(synthesize(app, assertions=level), max_cycles=200_000)
-        assert res.completed
-        return res.process_stats["p"]["cycles"] - res.process_stats["p"]["stalls"]
-
-    n1, n2 = 32, 96
-    return (run(n2) - run(n1)) / (n2 - n1)
+def _steady_point(args: tuple) -> int:
+    src, level, n = args
+    app = Application("t4")
+    app.add_c_process(src, name="p", filename="t4.c")
+    app.feed("in", "p.input", data=list(range(1, n + 1)))
+    app.sink("out", "p.output")
+    res = execute(synth(app, assertions=level), max_cycles=200_000)
+    assert res.completed
+    return res.process_stats["p"]["cycles"] - res.process_stats["p"]["stalls"]
 
 
 def measure():
+    static_points = [(src, level) for _l, src, _pu, _po in ROWS
+                     for level in LEVELS]
+    static = dict(zip(static_points, lab_map(_pipeline_point, static_points)))
+    dyn_points = [(src, "optimized", n) for _l, src, _pu, _po in ROWS
+                  for n in (N1, N2)]
+    dyn_cycles = dict(zip(dyn_points, lab_map(_steady_point, dyn_points)))
+
     rows = []
     checks = []
     for label, src, paper_unopt, paper_opt in ROWS:
-        base = pipeline_of(src, "none")[:2]
-        unopt = pipeline_of(src, "unoptimized")[:2]
-        opt = pipeline_of(src, "optimized")[:2]
+        base = static[(src, "none")]
+        unopt = static[(src, "unoptimized")]
+        opt = static[(src, "optimized")]
         d_unopt = (unopt[0] - base[0], unopt[1] - base[1])
         d_opt = (opt[0] - base[0], opt[1] - base[1])
         # dynamic confirmation: measured steady-state cycles/iter == rate
-        dyn = steady_rate(src, "optimized")
+        dyn = (dyn_cycles[(src, "optimized", N2)]
+               - dyn_cycles[(src, "optimized", N1)]) / (N2 - N1)
         rows.append([
             label,
             f"{d_unopt[0]} / {d_unopt[1]}",

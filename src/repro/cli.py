@@ -3,7 +3,9 @@
     python -m repro compile app.c [--assertions LEVEL] [-o OUTDIR]
     python -m repro report  app.c [--assertions LEVEL]
     python -m repro simulate app.c --feed 1,2,3 [--assertions LEVEL]
-    python -m repro campaign --app tripledes --seed 0 --count 8
+    python -m repro campaign --app tripledes --seed 0 --count 8 [--jobs N]
+    python -m repro sweep --apps loopback:4,edge:16x8 --levels none,optimized \\
+        --jobs 4 --store lab-runs --cache lab-cache
 
 ``compile`` writes one ``.v`` file per process plus ``report.txt`` (area,
 Fmax, pipeline timing). ``report`` prints the original-vs-assert overhead
@@ -11,7 +13,10 @@ table (the paper's Table 1/2 format). ``simulate`` runs the single-process
 application through software simulation and cycle-accurate hardware
 execution and diffs them. ``campaign`` sweeps seeded fault-injection
 scenarios across one of the paper's applications and prints the
-detection-coverage matrix (assertion vs. watchdog vs. silent).
+detection-coverage matrix (assertion vs. watchdog vs. silent). ``sweep``
+runs a declarative design-space cross product (app x assertion level x
+optimization variant) through the parallel lab executor with a
+content-addressed synthesis cache and a resumable JSONL result store.
 
 The C file must contain exactly one process whose first stream parameter
 is the input and second the output (the common case); richer task graphs
@@ -155,9 +160,70 @@ def cmd_campaign(args) -> int:
         seed=args.seed,
         count=args.count,
         nabort=args.nabort,
+        jobs=args.jobs,
+        cache_root=args.cache,
     )
     print(result.render())
     return 0
+
+
+def _parse_app_token(token: str):
+    """Parse one --apps token: ``loopback:4``, ``edge:16x8``,
+    ``tripledes`` or ``tripledes:SomeText``."""
+    from repro.lab.sweep import AppSpec, SweepError
+
+    kind, _, arg = token.partition(":")
+    if kind == "loopback":
+        return AppSpec.make("loopback", n=int(arg) if arg else 4)
+    if kind == "edge":
+        if arg:
+            w, _, h = arg.partition("x")
+            if not h:
+                raise SystemExit(
+                    f"--apps edge wants WIDTHxHEIGHT, got {token!r}"
+                )
+            return AppSpec.make("edge", width=int(w), height=int(h))
+        return AppSpec.make("edge", width=16, height=8)
+    if kind == "tripledes":
+        return AppSpec.make("tripledes",
+                            **({"text": arg} if arg else {}))
+    raise SweepError(
+        f"unknown app {kind!r}; have loopback[:N], edge[:WxH], "
+        f"tripledes[:TEXT]"
+    )
+
+
+def cmd_sweep(args) -> int:
+    from repro.lab.sweep import SweepError, SweepSpec, run_sweep
+
+    try:
+        apps = [_parse_app_token(tok)
+                for tok in args.apps.split(",") if tok]
+        spec = SweepSpec.cross(
+            args.name,
+            apps,
+            levels=tuple(args.levels.split(",")),
+            variants=tuple(args.variants.split(",")),
+        )
+    except SweepError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            store_root=args.store,
+            cache_root=args.cache,
+            resume=not args.no_resume,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        print("sweep interrupted; rerun the same command to resume",
+              file=sys.stderr)
+        return 130
+    print(result.render())
+    print(f"results: {result.run.results_path}")
+    print(f"manifest: {result.run.manifest_path}")
+    return 0 if result.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -206,7 +272,37 @@ def main(argv: list[str] | None = None) -> int:
                    help="number of generated fault scenarios")
     p.add_argument("--nabort", action="store_true",
                    help="report-don't-halt mode with watchdog quarantine")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the scenario grid")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="synthesis cache directory (one image per level)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "sweep",
+        help="parallel, cached, resumable design-space sweep",
+    )
+    p.add_argument("--name", default="sweep", help="sweep name (run id prefix)")
+    p.add_argument("--apps", default="loopback:4",
+                   help="comma-separated: loopback[:N], edge[:WxH], "
+                        "tripledes[:TEXT]")
+    p.add_argument("--levels", default="none,optimized",
+                   help="comma-separated assertion levels")
+    p.add_argument("--variants", default="default",
+                   help="comma-separated SynthesisOptions variants "
+                        "(default, noshare, noreplicate, noparallelize, "
+                        "multichecker)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes")
+    p.add_argument("--store", default="lab-runs", metavar="DIR",
+                   help="resumable JSONL result store directory")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="content-addressed synthesis cache directory")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-point timeout")
+    p.add_argument("--no-resume", action="store_true",
+                   help="discard previous results for this sweep")
+    p.set_defaults(func=cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

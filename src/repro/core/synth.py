@@ -17,6 +17,7 @@ hardware-compiles every process:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.instrument import FAIL_PARAM, instrument_unoptimized, strip_assertions
@@ -24,6 +25,11 @@ from repro.core.parallelize import CHECK_FAIL_PARAM, parallelize_function
 from repro.core.registry import AssertionRegistry
 from repro.core.replicate import replicate_arrays
 from repro.core.share import build_collectors
+from repro.core.timing_assert import (
+    extract_latency_regions,
+    has_latency_markers,
+    strip_latency_markers,
+)
 from repro.errors import AssertionSynthesisError
 from repro.hls.compiler import compile_process
 from repro.hls.constraints import HLSConfig
@@ -47,6 +53,15 @@ class SynthesisOptions:
     #: into one round-robin pipelined checker fed by per-assertion FIFOs.
     multichecker: bool = False
     multichecker_group: int = 32
+
+    def key_parts(self) -> tuple:
+        """Stable (name, value) tuple of *every* field, for cache keying.
+
+        Enumerating fields dynamically means a newly added option can
+        never be forgotten in :func:`repro.lab.cache.cache_key` — any
+        field change invalidates cached synthesis artifacts.
+        """
+        return tuple(sorted(dataclasses.asdict(self).items()))
 
 
 def synthesize(
@@ -85,12 +100,6 @@ def synthesize(
         func = pd.func
         # timing assertions (future-work extension): extract the latency
         # monitor at any level except 'none'
-        from repro.core.timing_assert import (
-            extract_latency_regions,
-            has_latency_markers,
-            strip_latency_markers,
-        )
-
         if has_latency_markers(func):
             if assertions == "none":
                 strip_latency_markers(func)

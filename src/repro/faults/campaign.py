@@ -374,16 +374,31 @@ def classify_outcome(result, golden: dict) -> tuple[str, int | None]:
     return BENIGN, None
 
 
-def _run_one(
-    target: CampaignTarget,
+def _synthesize_cached(
     app: Application,
-    scenario: Scenario,
     level: str,
-    golden: dict,
+    scenario: Scenario,
     nabort: bool,
     options: SynthesisOptions | None,
-) -> RunOutcome:
-    try:
+    cache_root: str | None,
+):
+    """Synthesize one campaign configuration through the lab cache.
+
+    Scenarios without translation faults share one image per level, so a
+    multi-scenario campaign synthesizes each level once and every other
+    scenario at that level is a cache hit (runtime faults are injected at
+    execute time and do not key the image).
+    """
+    from repro.lab.cache import SynthesisCache, cache_key
+
+    cache = SynthesisCache(cache_root)
+    key = cache_key(
+        app, level, options,
+        extra=("campaign", nabort,
+               tuple(sorted(scenario.ir_faults.items()))),
+    )
+    image = cache.get(key)
+    if image is None:
         image = synthesize(
             app,
             assertions=level,
@@ -391,6 +406,18 @@ def _run_one(
             nabort=True if nabort else None,
             options=options,
         )
+        cache.put(key, image)
+    return image
+
+
+def _run_one(args: tuple) -> RunOutcome:
+    """One (scenario, level) execution — module-level and tuple-packed so
+    it fans out through :class:`repro.lab.executor.LabExecutor` workers."""
+    (watchdog, app, scenario, level, golden, nabort, options,
+     cache_root) = args
+    try:
+        image = _synthesize_cached(app, level, scenario, nabort, options,
+                                   cache_root)
     except FaultError:
         # the fault's selector found nothing at this level (e.g. the
         # targeted comparison was optimized away): nothing was injected
@@ -399,7 +426,7 @@ def _run_one(
             reason="not-injected", cycles=0,
         )
     result = execute(
-        image, watchdog=target.watchdog, faults=scenario.runtime_faults
+        image, watchdog=watchdog, faults=scenario.runtime_faults
     )
     classification, latency = classify_outcome(result, golden)
     return RunOutcome(
@@ -423,14 +450,23 @@ def run_campaign(
     nabort: bool = False,
     scenarios: list[Scenario] | None = None,
     options: SynthesisOptions | None = None,
+    jobs: int = 1,
+    cache_root: str | None = None,
 ) -> CampaignResult:
     """Sweep ``count`` seeded scenarios across assertion ``levels``.
 
     ``target`` is a :func:`builtin_targets` key or a custom
     :class:`CampaignTarget`. ``nabort`` runs the whole campaign in
     report-don't-halt mode, enabling watchdog quarantine (graceful
-    degradation) for hanging scenarios.
+    degradation) for hanging scenarios. ``jobs`` fans the (scenario,
+    level) grid out across worker processes through the lab executor;
+    outcomes are collected in submission order, so the detection matrix
+    for a given seed is identical at any job count. ``cache_root`` points
+    at a :mod:`repro.lab.cache` directory so repeated levels synthesize
+    once.
     """
+    from repro.lab.executor import LabExecutor
+
     if isinstance(target, str):
         try:
             target = builtin_targets()[target]
@@ -450,11 +486,21 @@ def run_campaign(
         list(scenarios) if scenarios is not None
         else generate_scenarios(app, seed=seed, count=count)
     )
-    outcomes = [
-        _run_one(target, app, scenario, level, golden, nabort, options)
+    grid = [
+        (target.watchdog, app, scenario, level, golden, nabort, options,
+         cache_root)
         for scenario in scenarios
         for level in levels
     ]
+    executor = LabExecutor(jobs=jobs)
+    outcomes = []
+    for oc in executor.map(_run_one, grid):
+        if not oc.ok:
+            raise CampaignError(
+                f"campaign worker failed on "
+                f"{grid[oc.index][2].name}@{grid[oc.index][3]}: {oc.error}"
+            ) from None
+        outcomes.append(oc.value)
     return CampaignResult(
         app=target.name,
         seed=seed,

@@ -1,0 +1,77 @@
+"""repro.lab — parallel design-space exploration with memoized synthesis.
+
+Design note
+===========
+
+The paper's entire evaluation is one *shape*: a cross-product sweep over
+application x assertion level x optimization switches, where every point
+runs the identical, deterministic pipeline (lower -> instrument ->
+schedule -> bind -> estimate). That shape used to be re-implemented ad hoc
+by every benchmark and by the fault-campaign runner, serially, from
+scratch, with nothing persisted between runs. ``repro.lab`` factors it
+into four small, separately testable pieces:
+
+``cache``
+    A content-addressed on-disk artifact cache. The key is a
+    :func:`repro.utils.idgen.stable_fingerprint` over everything that can
+    change a synthesis result — canonical per-process IR text (i.e. the
+    source), task-graph wiring, every ``SynthesisOptions`` field, the
+    assertion level, the device model and the package version. Entries are
+    written atomically (temp file + ``os.replace``) so concurrent workers
+    share one cache directory without locks; the payoff is that a
+    warm-cache rerun of the full benchmark sweep performs zero
+    re-synthesis.
+
+``executor``
+    A crash-isolated parallel runner. Points fan out over a
+    ``ProcessPoolExecutor`` (``--jobs``); a worker exception records a
+    failed point instead of killing the sweep, a hard worker crash
+    replaces the pool and carries on, a per-point timeout bounds hangs,
+    and results return in submission order so parallel runs stay
+    bit-identical to serial ones.
+
+``store``
+    An append-only JSONL result store with run manifests. Every resolved
+    point is flushed immediately; the run id is derived from the sweep's
+    content fingerprint, so re-invoking an interrupted sweep reopens the
+    same run directory and resumes by skipping completed points.
+
+``sweep``
+    The declarative front end: ``SweepSpec.cross`` builds the paper-shaped
+    cross product, ``run_sweep`` drives it through the three pieces above,
+    and ``repro sweep`` exposes it on the command line.
+
+Determinism contract: workers receive pure, picklable inputs
+(:class:`SweepPoint`), the toolchain itself is seedless, and outcomes are
+collected in submission order — so the same spec produces byte-identical
+tables at any ``--jobs`` value, and cached artifacts are indistinguishable
+from freshly synthesized ones.
+"""
+
+from repro.lab.cache import CacheStats, SynthesisCache, cache_key
+from repro.lab.executor import LabExecutor, PointOutcome
+from repro.lab.store import ResultStore, RunHandle
+from repro.lab.sweep import (
+    AppSpec,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    evaluate_point,
+    run_sweep,
+)
+
+__all__ = [
+    "AppSpec",
+    "CacheStats",
+    "LabExecutor",
+    "PointOutcome",
+    "ResultStore",
+    "RunHandle",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SynthesisCache",
+    "cache_key",
+    "evaluate_point",
+    "run_sweep",
+]

@@ -1,0 +1,78 @@
+"""Benchmark-harness glue: a process-wide cache handle + instrumented map.
+
+The benchmark suite (``benchmarks/``) regenerates the paper's tables by
+synthesizing the same design points on every run. This module gives it
+
+* :func:`synth` — a drop-in for :func:`repro.core.synth.synthesize` that
+  routes through one process-wide :class:`SynthesisCache` whose location
+  comes from the ``REPRO_LAB_CACHE`` environment variable (exported by
+  ``benchmarks/conftest.py`` *before* any worker process starts, so pool
+  workers inherit it);
+* :func:`call_with_stats` — wraps a worker function so it returns
+  ``(result, cache_stats_delta)``; the conftest aggregates the deltas from
+  every worker into the session manifest, which is how a warm-cache rerun
+  can *prove* it performed zero re-synthesis.
+
+Cache statistics are per-process counters; aggregation across pool
+workers happens via the returned deltas, never via shared state.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.synth import SynthesisOptions, synthesize
+from repro.lab.cache import SynthesisCache, cache_key
+from repro.platform.device import EP2S180, DeviceModel
+
+__all__ = ["session_cache", "synth", "call_with_stats", "CACHE_ENV"]
+
+CACHE_ENV = "REPRO_LAB_CACHE"
+
+_CACHE: SynthesisCache | None = None
+
+
+def session_cache() -> SynthesisCache:
+    """The process-wide cache (disabled when ``REPRO_LAB_CACHE`` is unset)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = SynthesisCache(os.environ.get(CACHE_ENV) or None)
+    return _CACHE
+
+
+def reset_session_cache() -> None:
+    """Drop the process-wide handle (tests re-point ``REPRO_LAB_CACHE``)."""
+    global _CACHE
+    _CACHE = None
+
+
+def synth(
+    app,
+    assertions: str = "optimized",
+    options: SynthesisOptions | None = None,
+    device: DeviceModel = EP2S180,
+):
+    """Cache-backed synthesize: returns the image, memoizing it (along
+    with its resource and timing estimates) under the content key."""
+    from repro.platform.resources import estimate_image
+    from repro.platform.timing import estimate_fmax
+
+    cache = session_cache()
+    key = cache_key(app, assertions, options, device)
+    cached = cache.get(key)
+    if cached is not None:
+        image, _resources, _fmax = cached
+        return image
+    image = synthesize(app, assertions=assertions, options=options)
+    resources = estimate_image(image, device)
+    fmax = estimate_fmax(image, device, resources=resources)
+    cache.put(key, (image, resources, fmax))
+    return image
+
+
+def call_with_stats(packed: tuple) -> tuple:
+    """Worker shim: ``(fn, item) -> (fn(item), cache stats delta)``."""
+    fn, item = packed
+    before = session_cache().stats.snapshot()
+    result = fn(item)
+    return result, session_cache().stats.delta(before)

@@ -1,0 +1,251 @@
+"""Content-addressed on-disk cache for synthesis artifacts.
+
+The evaluation is a design-space sweep: the same (application, assertion
+level, optimization switches, device) point is synthesized again and again
+across benchmark runs, campaign levels and sweep reruns. The cache keys
+each point by a :func:`stable_fingerprint` over everything that can change
+the result — the canonical IR text of every process (i.e. the source), the
+task-graph wiring, every :class:`SynthesisOptions` field, the assertion
+level, the device model and the package version — and memoizes the
+expensive artifacts (synthesized image, resource estimate, Fmax report).
+
+Properties:
+
+* **content-addressed** — the key is derived from design content, never
+  from file paths or timestamps, so logically identical inputs hit across
+  processes, machines and interpreter runs;
+* **cross-process safe** — entries are written to a temp file and
+  ``os.replace``-d into place, so concurrent sweep workers can share one
+  cache directory without locks (last writer wins on identical content);
+* **bounded** — an LRU sweep (by access time) evicts the oldest entries
+  beyond ``max_entries``;
+* **observable** — hit/miss/store/eviction counters are kept per handle
+  and surfaced in sweep manifests and progress lines.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.synth import SynthesisOptions
+from repro.platform.device import EP2S180, DeviceModel
+from repro.utils.idgen import stable_fingerprint
+
+__all__ = [
+    "CacheStats",
+    "SynthesisCache",
+    "app_key_parts",
+    "cache_key",
+]
+
+#: bump to invalidate every cached artifact on a format change
+CACHE_SCHEMA = 1
+
+
+def _stable(part: object) -> object:
+    """Normalize one fingerprint part: callables by qualified name (their
+    repr embeds a memory address, which would poison the key)."""
+    if callable(part) and not isinstance(part, type):
+        return f"{getattr(part, '__module__', '?')}.{getattr(part, '__qualname__', repr(part))}"
+    return part
+
+
+def app_key_parts(app) -> list[object]:
+    """Canonical, content-only description of an Application.
+
+    Includes everything synthesis consumes: per-process IR text (which
+    changes whenever the C source changes), HLS configs, stream/tap wiring,
+    feeder data and the abort mode. Iteration order is sorted so dict
+    insertion order cannot leak into the key.
+    """
+    parts: list[object] = [app.name, app.nabort]
+    for name in sorted(app.processes):
+        pd = app.processes[name]
+        parts.append((
+            "proc", name, pd.kind, pd.daemon,
+            str(pd.func) if pd.func is not None else None,
+            repr(pd.config),
+            tuple(sorted((k, _stable(v)) for k, v in pd.ext_sw.items())),
+            tuple(sorted((k, _stable(v)) for k, v in pd.ext_hw.items())),
+        ))
+    for name in sorted(app.streams):
+        sd = app.streams[name]
+        parts.append((
+            "stream", name, str(sd.source), str(sd.dest), sd.width, sd.depth,
+            tuple(sd.feeder_data or ()), sd.role,
+            tuple(sorted(sd.role_info.items())),
+        ))
+    for name in sorted(app.taps):
+        td = app.taps[name]
+        parts.append(("tap", name, td.source, td.dest, td.widths))
+    return parts
+
+
+def cache_key(
+    app,
+    assertions: str,
+    options: SynthesisOptions | None = None,
+    device: DeviceModel = EP2S180,
+    extra: tuple = (),
+) -> str:
+    """Hex cache key for one synthesis point.
+
+    Any change to the source text (via the process IR), any
+    ``SynthesisOptions`` field, the assertion level, the device model, the
+    package version or the cache schema produces a different key.
+    """
+    from repro import __version__
+
+    options = options or SynthesisOptions()
+    fp = stable_fingerprint(
+        CACHE_SCHEMA,
+        __version__,
+        assertions,
+        options.key_parts(),
+        repr(device),
+        app_key_parts(app),
+        tuple(_stable(e) for e in extra),
+    )
+    return f"{fp:016x}"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache handle (not persisted; per-process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+    def snapshot(self) -> tuple[int, int, int, int, int]:
+        return (self.hits, self.misses, self.stores, self.evictions,
+                self.errors)
+
+    def delta(self, before: tuple[int, int, int, int, int]) -> dict[str, int]:
+        now = self.snapshot()
+        keys = ("hits", "misses", "stores", "evictions", "errors")
+        return {k: now[i] - before[i] for i, k in enumerate(keys)}
+
+    def merge(self, other: dict[str, int]) -> None:
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.stores += other.get("stores", 0)
+        self.evictions += other.get("evictions", 0)
+        self.errors += other.get("errors", 0)
+
+    def __str__(self) -> str:
+        return (f"cache hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} evictions={self.evictions}")
+
+
+class SynthesisCache:
+    """Pickle-backed artifact store addressed by :func:`cache_key`.
+
+    ``root=None`` disables the cache entirely (every ``get`` misses, every
+    ``put`` is dropped) so call sites need no conditionals.
+    """
+
+    def __init__(self, root: str | os.PathLike | None,
+                 max_entries: int = 512) -> None:
+        self.root = Path(root) if root is not None else None
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        if self.root is not None:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Return the cached object for ``key`` or None on a miss."""
+        if self.root is None:
+            self.stats.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # truncated/corrupt entry (e.g. version skew): treat as a miss
+            # and drop it so the slot heals on the next put
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return obj
+
+    def put(self, key: str, obj) -> None:
+        """Atomically store ``obj`` under ``key`` and run the LRU sweep."""
+        if self.root is None:
+            return
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.root.glob("objects/*.pkl"),
+            key=lambda p: p.stat().st_mtime,
+        )
+        while len(entries) > self.max_entries:
+            victim = entries.pop(0)
+            try:
+                os.unlink(victim)
+                self.stats.evictions += 1
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return 0
+        return sum(1 for _ in self.root.glob("objects/*.pkl"))
+
+    def clear(self) -> None:
+        if self.root is None:
+            return
+        for path in self.root.glob("objects/*.pkl"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass

@@ -1,0 +1,179 @@
+"""Crash-isolated parallel point runner for design-space sweeps.
+
+``LabExecutor.map`` evaluates picklable work items through a
+``ProcessPoolExecutor`` (or inline for ``jobs <= 1`` — the two paths are
+behaviorally identical, which is what makes "same results at any --jobs"
+testable). The executor never lets one bad point kill a sweep:
+
+* a worker **exception** is caught and recorded as a failed
+  :class:`PointOutcome` (traceback preserved) while every other point
+  completes;
+* a worker **hard crash** (segfault, ``os._exit``) breaks the pool; the
+  executor records the point it was waiting on as failed, starts a fresh
+  pool for the unfinished remainder, and if that pool breaks too it marks
+  the stragglers failed rather than looping — the sweep always terminates
+  and the failed points stay re-runnable via the resumable store. Crashing
+  points are never re-executed inline, so a hostile worker cannot take the
+  orchestrating process down with it;
+* a per-point **timeout** marks the point failed with ``status="timeout"``
+  rather than waiting forever (the stuck worker process is abandoned to
+  the pool's shutdown);
+* **KeyboardInterrupt** propagates — resumability is the store's job
+  (:mod:`repro.lab.store`), not the executor's.
+
+Results always come back in submission order regardless of completion
+order, so parallel sweeps are deterministic given deterministic workers.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["PointOutcome", "LabExecutor"]
+
+
+@dataclass
+class PointOutcome:
+    """The fate of one work item."""
+
+    index: int
+    status: str                 # 'ok' | 'failed' | 'timeout'
+    value: object = None        # worker return value when status == 'ok'
+    error: str = ""             # one-line error summary otherwise
+    detail: str = ""            # traceback text for failed points
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _outcome_from_exc(index: int, exc: BaseException) -> PointOutcome:
+    return PointOutcome(
+        index=index,
+        status="failed",
+        error=f"{type(exc).__name__}: {exc}",
+        detail="".join(traceback.format_exception(exc)),
+    )
+
+
+class LabExecutor:
+    """Runs ``fn(item)`` over many items with crash isolation.
+
+    ``jobs <= 1`` runs inline (no subprocesses, no pickling round-trip);
+    ``jobs > 1`` uses a process pool. ``timeout`` bounds the wall time
+    spent waiting on any single point.
+    """
+
+    #: how many times a broken pool is replaced before giving up
+    MAX_POOL_RESTARTS = 1
+
+    def __init__(self, jobs: int = 1, timeout: float | None = None,
+                 mp_context=None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.mp_context = mp_context
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: Callable[[PointOutcome], None] | None = None,
+    ) -> list[PointOutcome]:
+        """Evaluate ``fn`` over ``items``; one PointOutcome per item, in
+        order. ``on_result`` is invoked once per point as it resolves."""
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return self._map_inline(fn, enumerate(items), on_result)
+        return self._map_pool(fn, items, on_result)
+
+    # ---- inline path ----------------------------------------------------
+
+    def _map_inline(self, fn, indexed, on_result) -> list[PointOutcome]:
+        outcomes = []
+        for index, item in indexed:
+            try:
+                outcome = PointOutcome(index=index, status="ok",
+                                       value=fn(item))
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # crash isolation
+                outcome = _outcome_from_exc(index, exc)
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes
+
+    # ---- pool path ------------------------------------------------------
+
+    def _map_pool(self, fn, items, on_result) -> list[PointOutcome]:
+        outcomes: dict[int, PointOutcome] = {}
+
+        def emit(oc: PointOutcome) -> None:
+            outcomes[oc.index] = oc
+            if on_result is not None:
+                on_result(oc)
+
+        pending = list(enumerate(items))
+        restarts = 0
+        while pending:
+            pending = self._pool_round(fn, pending, emit)
+            if pending:
+                if restarts >= self.MAX_POOL_RESTARTS:
+                    for index, _item in pending:
+                        emit(PointOutcome(
+                            index=index, status="failed",
+                            error="worker pool broke repeatedly; giving up",
+                        ))
+                    break
+                restarts += 1
+        return [outcomes[i] for i in sorted(outcomes)]
+
+    def _pool_round(self, fn, pending, emit):
+        """One pool lifetime; returns the points left unresolved by a
+        broken pool (empty when the round completed normally)."""
+        unresolved: list[tuple[int, object]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)),
+            mp_context=self.mp_context,
+        ) as pool:
+            futures = [(i, item, pool.submit(fn, item))
+                       for i, item in pending]
+            broken = False
+            for index, item, fut in futures:
+                if broken:
+                    # the pool died: salvage results that completed before
+                    # the break, requeue everything else for the next pool
+                    try:
+                        emit(PointOutcome(index=index, status="ok",
+                                          value=fut.result(timeout=0)))
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException:
+                        unresolved.append((index, item))
+                    continue
+                try:
+                    outcome = PointOutcome(
+                        index=index, status="ok",
+                        value=fut.result(timeout=self.timeout),
+                    )
+                except TimeoutError:
+                    fut.cancel()
+                    outcome = PointOutcome(
+                        index=index, status="timeout",
+                        error=f"timed out after {self.timeout}s",
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except BrokenExecutor as exc:
+                    broken = True
+                    outcome = PointOutcome(
+                        index=index, status="failed",
+                        error=f"worker crashed: {type(exc).__name__}: {exc}",
+                    )
+                except BaseException as exc:
+                    outcome = _outcome_from_exc(index, exc)
+                emit(outcome)
+        return unresolved

@@ -1,0 +1,110 @@
+"""Append-only JSONL result store with run manifests.
+
+A sweep writes one record per evaluated point to
+``<root>/<run_id>/results.jsonl`` the moment the point resolves (append +
+flush, so a SIGINT or crash loses at most the in-flight point), alongside
+a ``manifest.json`` snapshot of the run's configuration, progress counters
+and cache statistics. Because the run id is derived from the sweep's
+content fingerprint, re-invoking the same sweep lands in the same run
+directory; :meth:`RunHandle.completed_ids` then tells the sweep driver
+which points are already done, so an interrupted run resumes by evaluating
+only the missing (or previously failed) points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["RunHandle", "ResultStore"]
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+class RunHandle:
+    """One run directory: an open JSONL results log plus its manifest."""
+
+    def __init__(self, root: Path, run_id: str) -> None:
+        self.run_id = run_id
+        self.dir = root / run_id
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.dir / RESULTS_NAME
+        self.manifest_path = self.dir / MANIFEST_NAME
+
+    # ---- results log ----------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one JSON record; flushed immediately so interruption
+        never loses an already-resolved point."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(self.results_path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def records(self) -> list[dict]:
+        """Every parseable record in append order (a torn final line from
+        a hard kill is skipped, not fatal)."""
+        if not self.results_path.exists():
+            return []
+        out = []
+        with open(self.results_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return out
+
+    def completed_ids(self, include_failed: bool = False) -> set[str]:
+        """Point ids this run has already resolved.
+
+        By default only successful points count as done — failed/timed-out
+        points are retried on resume.
+        """
+        done = set()
+        for rec in self.records():
+            pid = rec.get("point_id")
+            if pid is None:
+                continue
+            if rec.get("status") == "ok" or include_failed:
+                done.add(pid)
+        return done
+
+    # ---- manifest -------------------------------------------------------
+
+    def write_manifest(self, manifest: dict) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {}
+        with open(self.manifest_path) as fh:
+            return json.load(fh)
+
+
+class ResultStore:
+    """A directory of runs, one subdirectory per run id."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def open_run(self, run_id: str) -> RunHandle:
+        return RunHandle(self.root, run_id)
+
+    def run_ids(self) -> list[str]:
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and ((p / RESULTS_NAME).exists()
+                               or (p / MANIFEST_NAME).exists())
+        )

@@ -1,0 +1,401 @@
+"""Declarative design-space sweeps: cross-products, execution, tables.
+
+A sweep is the paper's evaluation shape — app x assertion level x
+optimization variant — declared as data (:class:`SweepSpec.cross`),
+evaluated in parallel through :class:`repro.lab.executor.LabExecutor` with
+every point memoized in :class:`repro.lab.cache.SynthesisCache`, and
+journaled point-by-point in :class:`repro.lab.store.ResultStore` so an
+interrupted run resumes where it stopped. ``repro sweep`` (see
+:mod:`repro.cli`) is the command-line front end.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.synth import LEVELS, SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.lab.cache import SynthesisCache, cache_key
+from repro.lab.executor import LabExecutor, PointOutcome
+from repro.lab.store import ResultStore, RunHandle
+from repro.platform.device import EP2S180, DeviceModel
+from repro.platform.report import point_summary
+from repro.platform.resources import estimate_image
+from repro.platform.timing import estimate_fmax
+from repro.utils.idgen import stable_fingerprint
+from repro.utils.tables import render_table
+
+__all__ = [
+    "AppSpec",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "OPTION_VARIANTS",
+    "build_app",
+    "evaluate_point",
+    "run_sweep",
+]
+
+
+class SweepError(ReproError):
+    """Raised for malformed sweep specifications."""
+
+
+# ---- the swept space --------------------------------------------------------
+
+
+def _build_loopback(params: dict):
+    from repro.apps.loopback import build_loopback
+
+    return build_loopback(int(params.get("n", 4)),
+                          data=params.get("data"))
+
+
+def _build_edge(params: dict):
+    from repro.apps.edge_detect import build_edge_app
+
+    return build_edge_app(width=int(params.get("width", 16)),
+                          height=int(params.get("height", 8)))
+
+
+def _build_tripledes(params: dict):
+    from repro.apps.tripledes import build_tdes_app
+
+    text = params.get("text", "In-circuit!")
+    if isinstance(text, str):
+        text = text.encode()
+    return build_tdes_app(text=text)
+
+
+def _build_csource(params: dict):
+    from repro.runtime.taskgraph import Application
+
+    app = Application(params.get("name", "csource"))
+    pd = app.add_c_process(params["source"],
+                           filename=params.get("filename", "sweep.c"))
+    streams = pd.stream_params
+    if len(streams) >= 2:
+        app.feed("in", f"{pd.name}.{streams[0]}",
+                 data=list(params.get("feed", ())))
+        app.sink("out", f"{pd.name}.{streams[1]}")
+    elif streams:
+        app.sink("out", f"{pd.name}.{streams[0]}")
+    return app
+
+
+#: app-spec kinds resolvable inside sweep workers (everything here must be
+#: buildable from plain JSON-able params, which keeps points picklable)
+APP_BUILDERS: dict[str, Callable[[dict], object]] = {
+    "loopback": _build_loopback,
+    "edge": _build_edge,
+    "tripledes": _build_tripledes,
+    "csource": _build_csource,
+}
+
+#: named SynthesisOptions variants for ablation axes
+OPTION_VARIANTS: dict[str, SynthesisOptions] = {
+    "default": SynthesisOptions(),
+    "noshare": SynthesisOptions(share=False),
+    "noreplicate": SynthesisOptions(replicate=False),
+    "noparallelize": SynthesisOptions(parallelize=False),
+    "multichecker": SynthesisOptions(multichecker=True),
+}
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A picklable recipe for building an Application inside a worker."""
+
+    kind: str
+    params: tuple = ()  # sorted (key, value) pairs
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "AppSpec":
+        if kind not in APP_BUILDERS:
+            raise SweepError(
+                f"unknown app kind {kind!r}; have {sorted(APP_BUILDERS)}"
+            )
+        return cls(kind, tuple(sorted(params.items())))
+
+    @property
+    def label(self) -> str:
+        shown = [f"{k}={v}" for k, v in self.params
+                 if k not in ("source", "data", "feed", "pixels")]
+        return self.kind + (f"({','.join(shown)})" if shown else "")
+
+    def build(self):
+        return build_app(self)
+
+
+def build_app(spec: AppSpec):
+    try:
+        builder = APP_BUILDERS[spec.kind]
+    except KeyError:
+        raise SweepError(f"unknown app kind {spec.kind!r}") from None
+    return builder(dict(spec.params))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (app, level, options) coordinate of the swept space."""
+
+    point_id: str
+    app: AppSpec
+    level: str
+    variant: str = "default"
+    options: SynthesisOptions = field(default_factory=SynthesisOptions)
+    device: DeviceModel = EP2S180
+
+
+@dataclass
+class SweepSpec:
+    """A named, ordered collection of sweep points."""
+
+    name: str
+    points: list[SweepPoint]
+
+    @classmethod
+    def cross(
+        cls,
+        name: str,
+        apps: list[AppSpec],
+        levels: tuple[str, ...] = ("none", "optimized"),
+        variants: tuple[str, ...] = ("default",),
+        device: DeviceModel = EP2S180,
+    ) -> "SweepSpec":
+        """The paper-shaped cross product app x level x variant."""
+        for lv in levels:
+            if lv not in LEVELS:
+                raise SweepError(f"bad assertion level {lv!r}")
+        points = []
+        for app in apps:
+            for lv in levels:
+                for var in variants:
+                    try:
+                        options = OPTION_VARIANTS[var]
+                    except KeyError:
+                        raise SweepError(
+                            f"unknown option variant {var!r}; "
+                            f"have {sorted(OPTION_VARIANTS)}"
+                        ) from None
+                    pid = f"{app.label}/{lv}"
+                    if var != "default":
+                        pid += f"/{var}"
+                    points.append(SweepPoint(
+                        point_id=pid, app=app, level=lv, variant=var,
+                        options=options, device=device,
+                    ))
+        return cls(name, points)
+
+    def fingerprint(self) -> str:
+        """Content id of the swept space (drives the resumable run id)."""
+        fp = stable_fingerprint(
+            self.name,
+            tuple(
+                (p.point_id, p.app.kind, p.app.params, p.level, p.variant,
+                 p.options.key_parts(), repr(p.device))
+                for p in self.points
+            ),
+        )
+        return f"{fp:012x}"
+
+    def run_id(self) -> str:
+        return f"{self.name}-{self.fingerprint()}"
+
+
+# ---- point evaluation (runs inside workers) ---------------------------------
+
+
+def evaluate_point(args: tuple) -> dict:
+    """Worker entry: evaluate one point through the synthesis cache.
+
+    ``args`` is ``(point, cache_root)``; module-level and tuple-packed so
+    it pickles into ProcessPool workers. Returns a JSON-able record.
+    """
+    point, cache_root = args
+    app = build_app(point.app)
+    cache = SynthesisCache(cache_root)
+    key = cache_key(app, point.level, point.options, point.device)
+    t0 = time.monotonic()
+    cached = cache.get(key)
+    if cached is not None:
+        image, resources, fmax = cached
+    else:
+        image = synthesize(app, assertions=point.level,
+                           options=point.options)
+        resources = estimate_image(image, point.device)
+        fmax = estimate_fmax(image, point.device, resources=resources)
+        cache.put(key, (image, resources, fmax))
+    record = {
+        "point_id": point.point_id,
+        "app": point.app.label,
+        "level": point.level,
+        "variant": point.variant,
+        "key": key,
+        "cache_hit": cached is not None,
+        "elapsed_s": round(time.monotonic() - t0, 4),
+    }
+    record.update(point_summary(image, point.device,
+                                resources=resources, fmax=fmax))
+    return record
+
+
+# ---- the driver -------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Latest record per point, plus the run's manifest."""
+
+    spec: SweepSpec
+    run: RunHandle
+    manifest: dict
+    records: dict[str, dict]
+
+    def rows(self) -> list[list[object]]:
+        rows = []
+        for p in self.spec.points:
+            rec = self.records.get(p.point_id)
+            if rec is None:
+                rows.append([p.point_id, "-", "-", "-", "-", "-", "missing"])
+                continue
+            if rec.get("status") != "ok":
+                rows.append([p.point_id, "-", "-", "-", "-", "-",
+                             rec.get("status", "failed")])
+                continue
+            rows.append([
+                p.point_id,
+                rec["processes"],
+                rec["comb_aluts"],
+                rec["registers"],
+                rec["bram_bits"],
+                f"{rec['fmax_mhz']:.1f}",
+                "hit" if rec.get("cache_hit") else "miss",
+            ])
+        return rows
+
+    def render(self) -> str:
+        return render_table(
+            ["point", "procs", "ALUTs", "regs", "BRAM bits", "Fmax MHz",
+             "cache"],
+            self.rows(),
+            title=f"SWEEP {self.spec.name} "
+                  f"({len(self.spec.points)} points, run {self.run.run_id})",
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.manifest.get("counters", {}).get("failed", 0) == 0 and \
+            len(self.records) == len(self.spec.points)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    store_root: str = "lab-runs",
+    cache_root: str | None = None,
+    resume: bool = True,
+    timeout: float | None = None,
+    progress=None,
+) -> SweepResult:
+    """Evaluate ``spec``, journaling every point; resumable and cached.
+
+    ``progress`` is a writable text stream (defaults to stderr; pass
+    ``False`` to silence). On KeyboardInterrupt the manifest is finalized
+    with ``status="interrupted"`` before the exception propagates; a rerun
+    with ``resume=True`` picks up the missing points.
+    """
+    out = sys.stderr if progress is None else progress
+    store = ResultStore(store_root)
+    run = store.open_run(spec.run_id())
+    if not resume and run.results_path.exists():
+        run.results_path.unlink()
+    done = run.completed_ids() if resume else set()
+    pending = [p for p in spec.points if p.point_id not in done]
+
+    counters = {
+        "total": len(spec.points),
+        "skipped_resume": len(spec.points) - len(pending),
+        "done": 0,
+        "failed": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+    }
+
+    def manifest(status: str, wall: float) -> dict:
+        return {
+            "run_id": run.run_id,
+            "sweep": spec.name,
+            "fingerprint": spec.fingerprint(),
+            "status": status,
+            "jobs": jobs,
+            "cache_root": str(cache_root) if cache_root else None,
+            "store_root": str(store_root),
+            "counters": dict(counters),
+            "wall_time_s": round(wall, 3),
+            "points": [p.point_id for p in spec.points],
+        }
+
+    def say(text: str) -> None:
+        if out:
+            print(text, file=out, flush=True)
+
+    say(f"sweep {spec.name}: {len(pending)}/{len(spec.points)} points to "
+        f"run ({counters['skipped_resume']} already done), jobs={jobs}")
+    t0 = time.monotonic()
+    run.write_manifest(manifest("running", 0.0))
+
+    def on_result(oc: PointOutcome) -> None:
+        point = pending[oc.index]
+        if oc.ok:
+            record = dict(oc.value)
+            record["status"] = "ok"
+            counters["done"] += 1
+            if record.get("cache_hit"):
+                counters["cache_hits"] += 1
+            else:
+                counters["cache_misses"] += 1
+            note = "hit" if record.get("cache_hit") else "miss"
+        else:
+            record = {
+                "point_id": point.point_id,
+                "status": oc.status,
+                "error": oc.error,
+            }
+            counters["failed"] += 1
+            note = oc.error
+        run.append(record)
+        finished = counters["done"] + counters["failed"]
+        say(f"[{finished + counters['skipped_resume']}/{counters['total']}] "
+            f"{point.point_id}: {oc.status} ({note})")
+
+    executor = LabExecutor(jobs=jobs, timeout=timeout)
+    try:
+        executor.map(evaluate_point,
+                     [(p, cache_root) for p in pending],
+                     on_result=on_result)
+    except KeyboardInterrupt:
+        run.write_manifest(manifest("interrupted", time.monotonic() - t0))
+        say(f"sweep {spec.name}: interrupted after "
+            f"{counters['done']} points; rerun to resume")
+        raise
+
+    wall = time.monotonic() - t0
+    status = "completed" if counters["failed"] == 0 else "completed-with-failures"
+    run.write_manifest(manifest(status, wall))
+    say(f"sweep {spec.name}: points total={counters['total']} "
+        f"done={counters['done']} failed={counters['failed']} "
+        f"skipped={counters['skipped_resume']}, cache "
+        f"hits={counters['cache_hits']} misses={counters['cache_misses']}, "
+        f"wall time {wall:.2f}s")
+
+    latest: dict[str, dict] = {}
+    for rec in run.records():
+        pid = rec.get("point_id")
+        if pid is not None:
+            latest[pid] = rec
+    return SweepResult(spec=spec, run=run, manifest=run.read_manifest(),
+                       records=latest)

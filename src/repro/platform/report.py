@@ -99,6 +99,31 @@ def overhead_report(
     )
 
 
+def point_summary(
+    image,
+    device: DeviceModel = EP2S180,
+    resources: DesignResources | None = None,
+    fmax: TimingReport | None = None,
+) -> dict:
+    """Flat, JSON-able metrics for one synthesized design point.
+
+    This is the record shape the lab result store journals per sweep
+    point; pass precomputed ``resources``/``fmax`` to avoid re-estimating.
+    """
+    res = resources if resources is not None else estimate_image(image, device)
+    timing = fmax if fmax is not None else estimate_fmax(
+        image, device, resources=res
+    )
+    summary: dict = {
+        "device": device.name,
+        "assertion_level": image.assertion_level,
+        "processes": len(image.compiled),
+    }
+    summary.update(res.total.as_dict())
+    summary.update(timing.as_dict())
+    return summary
+
+
 def fit_report(image, device: DeviceModel = EP2S180) -> list[str]:
     """Does the design fit the device? Empty list means yes."""
     return estimate_image(image, device).total.check_fits(device)

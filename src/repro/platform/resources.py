@@ -47,6 +47,17 @@ class ResourceReport:
         self.interconnect += other.interconnect
         self.dsp_mults += other.dsp_mults
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-able summary (used by the lab result store)."""
+        return {
+            "logic": self.logic,
+            "comb_aluts": self.comb_aluts,
+            "registers": self.registers,
+            "bram_bits": self.bram_bits,
+            "interconnect": self.interconnect,
+            "dsp_mults": self.dsp_mults,
+        }
+
     def check_fits(self, device: DeviceModel) -> list[str]:
         problems = []
         if self.comb_aluts > device.aluts:

@@ -61,6 +61,13 @@ class TimingReport:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.fmax_mhz:.1f} MHz ({self.critical_path_ns:.2f} ns)"
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-able summary (used by the lab result store)."""
+        return {
+            "fmax_mhz": round(self.fmax_mhz, 4),
+            "critical_path_ns": round(self.critical_path_ns, 4),
+        }
+
 
 def _design_depth(image) -> tuple[int, bool, bool]:
     """(max chain depth, bram on path, dsp on path) across all processes."""

@@ -3,14 +3,14 @@
 The timing model uses :func:`stable_fingerprint` to derive the seeded
 "placement jitter" that reproduces the non-monotonic Fmax behaviour the
 paper observed across Quartus runs (Section 5.3). The fingerprint depends
-only on design content, so results are reproducible run to run.
+only on design content, so results are reproducible run to run. The lab
+subsystem (:mod:`repro.lab.cache`) builds its content-addressed cache keys
+on the same primitive.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
-from typing import Iterator
 
 
 class IdGenerator:
@@ -19,17 +19,32 @@ class IdGenerator:
     >>> g = IdGenerator()
     >>> g.next("tmp"), g.next("tmp"), g.next("st")
     ('tmp0', 'tmp1', 'st0')
+
+    ``reserve()`` claims a literal name so later ``next()`` calls with the
+    same prefix skip over it:
+
+    >>> g.reserve("st1")
+    'st1'
+    >>> g.next("st")
+    'st2'
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, Iterator[int]] = {}
+        self._counters: dict[str, int] = {}
+        self._reserved: set[str] = set()
 
     def next(self, prefix: str) -> str:
-        counter = self._counters.setdefault(prefix, itertools.count())
-        return f"{prefix}{next(counter)}"
+        n = self._counters.get(prefix, 0)
+        name = f"{prefix}{n}"
+        while name in self._reserved:
+            n += 1
+            name = f"{prefix}{n}"
+        self._counters[prefix] = n + 1
+        return name
 
     def reserve(self, name: str) -> str:
-        """Return ``name`` unchanged; exists for symmetry in builder code."""
+        """Claim ``name`` so no later ``next()`` can emit it again."""
+        self._reserved.add(name)
         return name
 
 

@@ -104,3 +104,31 @@ def test_campaign_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert "FAULT CAMPAIGN loopback" in out
     assert "detection rate" in out
+
+
+def test_parallel_campaign_reproduces_serial_matrix_exactly(tmp_path):
+    """Satellite requirement: --jobs N with the same seed must reproduce
+    the detection matrix exactly — outcome for outcome, not just summary
+    counts — with or without the synthesis cache."""
+    serial = loopback_campaign(count=4)
+    pooled = loopback_campaign(count=4, jobs=2,
+                               cache_root=str(tmp_path / "cache"))
+    assert pooled.matrix() == serial.matrix()
+    assert pooled.outcomes == serial.outcomes
+    assert pooled.render() == serial.render()
+    # warm cache, still identical
+    warm = loopback_campaign(count=4, jobs=2,
+                             cache_root=str(tmp_path / "cache"))
+    assert warm.outcomes == serial.outcomes
+
+
+def test_campaign_cli_jobs_and_cache_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    args = ["campaign", "--app", "loopback", "--seed", "1", "--count", "2",
+            "--levels", "optimized", "--cache", str(tmp_path / "c")]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    pooled_out = capsys.readouterr().out
+    assert pooled_out == serial_out

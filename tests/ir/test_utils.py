@@ -11,6 +11,27 @@ def test_idgen_monotone_per_prefix():
     ]
 
 
+def test_idgen_reserved_names_are_never_reissued():
+    # Regression: reserve() used to return the name without recording it,
+    # so a later next() with the same prefix could collide.
+    g = IdGenerator()
+    assert g.reserve("st1") == "st1"
+    issued = [g.next("st") for _ in range(3)]
+    assert "st1" not in issued
+    assert issued == ["st0", "st2", "st3"]
+    assert len(set(issued)) == len(issued)
+
+
+def test_idgen_reserve_after_next_still_unique():
+    g = IdGenerator()
+    first = g.next("n")
+    g.reserve("n1")
+    g.reserve("n2")
+    rest = [g.next("n") for _ in range(2)]
+    names = [first, "n1", "n2", *rest]
+    assert len(set(names)) == len(names)
+
+
 def test_fingerprint_stable_and_sensitive():
     a = stable_fingerprint("design", 42, ["x"])
     b = stable_fingerprint("design", 42, ["x"])

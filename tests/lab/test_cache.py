@@ -1,0 +1,192 @@
+"""Cache-key invalidation and on-disk cache behavior (ISSUE satellite c).
+
+The contract: changing the source text, *any* SynthesisOptions field, the
+assertion level, or the device must produce a cache miss; byte-identical
+inputs must hit — including across separate OS processes sharing one cache
+directory.
+"""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.synth import SynthesisOptions
+from repro.lab.cache import SynthesisCache, app_key_parts, cache_key
+from repro.platform.device import EP2S60, EP2S180
+from repro.runtime.taskgraph import Application
+
+SRC = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def small_app(source: str = SRC) -> Application:
+    app = Application("keytest")
+    app.add_c_process(source, name="p", filename="k.c")
+    app.feed("in", "p.input", data=[1, 2])
+    app.sink("out", "p.output")
+    return app
+
+
+def test_identical_inputs_produce_identical_keys():
+    assert cache_key(small_app(), "optimized") == \
+        cache_key(small_app(), "optimized")
+
+
+def test_source_text_change_invalidates():
+    changed = SRC.replace("x < 100", "x < 101")
+    assert cache_key(small_app(), "optimized") != \
+        cache_key(small_app(changed), "optimized")
+
+
+def test_assertion_level_invalidates():
+    app = small_app()
+    keys = {cache_key(app, lvl) for lvl in ("none", "unoptimized",
+                                            "optimized")}
+    assert len(keys) == 3
+
+
+def test_device_invalidates():
+    app = small_app()
+    assert cache_key(app, "optimized", device=EP2S180) != \
+        cache_key(app, "optimized", device=EP2S60)
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(SynthesisOptions)])
+def test_every_options_field_invalidates(field):
+    """Flipping any single SynthesisOptions field must change the key."""
+    app = small_app()
+    base = SynthesisOptions()
+    value = getattr(base, field)
+    flipped = (not value) if isinstance(value, bool) else value + 1
+    changed = dataclasses.replace(base, **{field: flipped})
+    assert cache_key(app, "optimized", base) != \
+        cache_key(app, "optimized", changed)
+
+
+def test_extra_parts_invalidate():
+    app = small_app()
+    assert cache_key(app, "optimized", extra=("campaign", 1)) != \
+        cache_key(app, "optimized", extra=("campaign", 2))
+
+
+def test_feeder_data_is_part_of_the_key():
+    a = small_app()
+    b = small_app()
+    b.streams["in"].feeder_data = [9, 9]
+    assert cache_key(a, "optimized") != cache_key(b, "optimized")
+
+
+def test_app_key_parts_contain_no_memory_addresses():
+    parts = app_key_parts(small_app())
+    assert all("object at 0x" not in repr(p) for p in parts)
+
+
+def test_key_is_stable_across_processes(tmp_path):
+    """The fingerprint must not depend on PYTHONHASHSEED / process state."""
+    prog = (
+        "import sys; sys.path.insert(0, %r)\n"
+        "from tests.lab.test_cache import small_app\n"
+        "from repro.lab.cache import cache_key\n"
+        "print(cache_key(small_app(), 'optimized'))\n"
+    )
+    keys = set()
+    for seed in ("0", "1234"):
+        out = subprocess.run(
+            [sys.executable, "-c", prog % "src"],
+            capture_output=True, text=True, check=True,
+            cwd=str(_repo_root()),
+            env=_env_with(PYTHONHASHSEED=seed),
+        )
+        keys.add(out.stdout.strip())
+    assert len(keys) == 1
+    assert keys == {cache_key(small_app(), "optimized")}
+
+
+def _repo_root():
+    import pathlib
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+def _env_with(**kw):
+    import os
+    env = dict(os.environ)
+    env.update(kw)
+    env["PYTHONPATH"] = str(_repo_root() / "src") + os.pathsep + \
+        str(_repo_root())
+    return env
+
+
+def test_cache_roundtrip_and_stats(tmp_path):
+    cache = SynthesisCache(tmp_path / "c")
+    assert cache.get("deadbeef") is None
+    cache.put("deadbeef", {"x": 1})
+    assert cache.get("deadbeef") == {"x": 1}
+    assert cache.stats.as_dict() == {
+        "hits": 1, "misses": 1, "stores": 1, "evictions": 0, "errors": 0,
+    }
+
+
+def test_disabled_cache_never_hits():
+    cache = SynthesisCache(None)
+    cache.put("k", 1)
+    assert cache.get("k") is None
+    assert not cache.enabled
+    assert cache.stats.misses == 1 and cache.stats.stores == 0
+
+
+def test_corrupt_entry_heals_as_miss(tmp_path):
+    cache = SynthesisCache(tmp_path / "c")
+    cache.put("abcd", [1, 2, 3])
+    path = cache._path("abcd")
+    path.write_bytes(b"not a pickle")
+    assert cache.get("abcd") is None
+    assert cache.stats.errors == 1
+    assert not path.exists()  # the bad entry was dropped
+
+
+def test_lru_eviction_bounds_entry_count(tmp_path):
+    import os
+    import time
+    cache = SynthesisCache(tmp_path / "c", max_entries=100)
+    for i in range(5):
+        cache.put(f"k{i}", i)
+        # force distinct mtimes without sleeping a full clock tick
+        os.utime(cache._path(f"k{i}"), (time.time() + i, time.time() + i))
+    cache.max_entries = 3
+    cache._evict()
+    assert len(cache) == 3
+    assert cache.stats.evictions >= 2
+    # the newest entry survives
+    assert cache.get("k4") == 4
+
+
+def test_cache_shared_across_processes(tmp_path):
+    """A second OS process sees entries stored by the first (satellite c)."""
+    root = tmp_path / "shared"
+    writer = (
+        "from repro.lab.cache import SynthesisCache\n"
+        f"SynthesisCache({str(root)!r}).put('feedface', [7, 3, 9])\n"
+    )
+    reader = (
+        "from repro.lab.cache import SynthesisCache\n"
+        f"c = SynthesisCache({str(root)!r})\n"
+        "print(c.get('feedface'))\n"
+        "print(c.stats.hits)\n"
+    )
+    for prog in (writer, reader):
+        out = subprocess.run(
+            [sys.executable, "-c", prog], capture_output=True, text=True,
+            check=True, env=_env_with(),
+        )
+    assert out.stdout.splitlines() == ["[7, 3, 9]", "1"]

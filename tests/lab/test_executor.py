@@ -1,0 +1,113 @@
+"""LabExecutor: inline/pool equivalence, crash isolation, ordering."""
+
+import os
+
+import pytest
+
+from repro.lab.executor import LabExecutor, PointOutcome
+
+
+# -- module-level workers (must be picklable for the pool path) -----------
+
+def square(x):
+    return x * x
+
+
+def flaky(x):
+    if x == 3:
+        raise ValueError(f"bad point {x}")
+    return x + 100
+
+
+def hard_crash(x):
+    if x == 2:
+        os._exit(13)  # simulates a segfaulting worker
+    return x
+
+
+def slow(x):
+    if x == 1:
+        import time
+        time.sleep(30)
+    return x
+
+
+# -------------------------------------------------------------------------
+
+def test_inline_map_preserves_order_and_values():
+    outcomes = LabExecutor(jobs=1).map(square, [3, 1, 2])
+    assert [oc.value for oc in outcomes] == [9, 1, 4]
+    assert [oc.index for oc in outcomes] == [0, 1, 2]
+    assert all(oc.ok for oc in outcomes)
+
+
+def test_pool_matches_inline_results():
+    """Same results at any --jobs: the determinism contract."""
+    items = list(range(8))
+    inline = LabExecutor(jobs=1).map(square, items)
+    pooled = LabExecutor(jobs=4).map(square, items)
+    assert [oc.value for oc in inline] == [oc.value for oc in pooled]
+    assert [oc.index for oc in pooled] == list(range(8))
+
+
+def test_worker_exception_is_isolated_inline():
+    outcomes = LabExecutor(jobs=1).map(flaky, [1, 3, 5])
+    assert [oc.status for oc in outcomes] == ["ok", "failed", "ok"]
+    failed = outcomes[1]
+    assert "ValueError: bad point 3" in failed.error
+    assert "Traceback" in failed.detail
+    assert outcomes[2].value == 105  # later points still ran
+
+
+def test_worker_exception_is_isolated_in_pool():
+    outcomes = LabExecutor(jobs=2).map(flaky, [1, 3, 5, 7])
+    assert [oc.status for oc in outcomes] == ["ok", "failed", "ok", "ok"]
+    assert [oc.value for oc in outcomes if oc.ok] == [101, 105, 107]
+
+
+def test_hard_worker_crash_does_not_kill_the_sweep():
+    """An os._exit worker breaks the pool; the executor must survive,
+    mark the crashing point failed, and finish the rest."""
+    outcomes = LabExecutor(jobs=2).map(hard_crash, [0, 1, 2, 3, 4])
+    assert len(outcomes) == 5
+    statuses = {oc.index: oc.status for oc in outcomes}
+    assert statuses[2] == "failed" or "crash" in outcomes[2].error.lower() \
+        or not outcomes[2].ok
+    assert not outcomes[2].ok
+    # every non-crashing point either completed or was explicitly marked
+    assert all(oc.status in ("ok", "failed") for oc in outcomes)
+    # the majority of points still produced values
+    assert sum(1 for oc in outcomes if oc.ok) >= 3
+
+
+def test_timeout_marks_point_not_sweep():
+    ex = LabExecutor(jobs=2, timeout=1.0)
+    outcomes = ex.map(slow, [0, 1, 2])
+    statuses = [oc.status for oc in outcomes]
+    assert statuses[1] == "timeout"
+    assert "timed out" in outcomes[1].error
+    assert statuses[0] == "ok"
+
+
+def test_on_result_callback_sees_every_point():
+    seen = []
+    LabExecutor(jobs=1).map(square, [1, 2, 3],
+                            on_result=lambda oc: seen.append(oc.index))
+    assert sorted(seen) == [0, 1, 2]
+
+
+def test_single_item_runs_inline_even_with_jobs():
+    # avoids pool startup cost for trivial maps; lambda would not pickle,
+    # proving the inline path was taken
+    outcomes = LabExecutor(jobs=8).map(lambda x: x + 1, [41])
+    assert outcomes == [PointOutcome(index=0, status="ok", value=42)]
+
+
+def test_jobs_floor_is_one():
+    assert LabExecutor(jobs=0).jobs == 1
+    assert LabExecutor(jobs=-3).jobs == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_empty_items(jobs):
+    assert LabExecutor(jobs=jobs).map(square, []) == []

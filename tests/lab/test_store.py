@@ -1,0 +1,80 @@
+"""Append-only JSONL result store and run manifests."""
+
+import json
+
+from repro.lab.store import ResultStore, RunHandle
+
+
+def test_append_and_read_back(tmp_path):
+    run = ResultStore(tmp_path).open_run("r1")
+    run.append({"point_id": "a", "status": "ok", "v": 1})
+    run.append({"point_id": "b", "status": "failed", "error": "boom"})
+    recs = run.records()
+    assert [r["point_id"] for r in recs] == ["a", "b"]
+    assert recs[0]["v"] == 1
+
+
+def test_records_survive_reopen(tmp_path):
+    store = ResultStore(tmp_path)
+    store.open_run("r1").append({"point_id": "a", "status": "ok"})
+    # a fresh handle (new process in real life) sees the same journal
+    assert store.open_run("r1").records() == [
+        {"point_id": "a", "status": "ok"}
+    ]
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    """A hard kill mid-write leaves a torn last line; it must not poison
+    the journal."""
+    run = ResultStore(tmp_path).open_run("r1")
+    run.append({"point_id": "a", "status": "ok"})
+    with open(run.results_path, "a") as fh:
+        fh.write('{"point_id": "b", "stat')  # no newline, invalid JSON
+    assert [r["point_id"] for r in run.records()] == ["a"]
+
+
+def test_completed_ids_only_counts_ok(tmp_path):
+    run = ResultStore(tmp_path).open_run("r1")
+    run.append({"point_id": "a", "status": "ok"})
+    run.append({"point_id": "b", "status": "failed"})
+    run.append({"point_id": "c", "status": "timeout"})
+    assert run.completed_ids() == {"a"}
+    assert run.completed_ids(include_failed=True) == {"a", "b", "c"}
+
+
+def test_retry_supersedes_earlier_failure(tmp_path):
+    run = ResultStore(tmp_path).open_run("r1")
+    run.append({"point_id": "a", "status": "failed"})
+    run.append({"point_id": "a", "status": "ok"})
+    assert run.completed_ids() == {"a"}
+
+
+def test_manifest_roundtrip_and_atomicity(tmp_path):
+    run = ResultStore(tmp_path).open_run("r1")
+    assert run.read_manifest() == {}
+    run.write_manifest({"status": "running", "counters": {"done": 0}})
+    run.write_manifest({"status": "completed", "counters": {"done": 4}})
+    assert run.read_manifest()["status"] == "completed"
+    # no temp droppings left behind
+    assert sorted(p.name for p in run.dir.iterdir()) == ["manifest.json"]
+    # and it is valid indented JSON on disk
+    text = run.manifest_path.read_text()
+    assert json.loads(text)["counters"]["done"] == 4
+
+
+def test_run_ids_lists_only_real_runs(tmp_path):
+    store = ResultStore(tmp_path)
+    store.open_run("a").append({"point_id": "x", "status": "ok"})
+    store.open_run("b").write_manifest({"status": "running"})
+    RunHandle(store.root, "empty")  # dir exists but holds nothing
+    (store.root / "stray-file").write_text("not a run")
+    assert store.run_ids() == ["a", "b"]
+
+
+def test_same_run_id_reopens_same_directory(tmp_path):
+    store = ResultStore(tmp_path)
+    first = store.open_run("sweep-cafe")
+    first.append({"point_id": "p", "status": "ok"})
+    second = store.open_run("sweep-cafe")
+    assert second.dir == first.dir
+    assert second.completed_ids() == {"p"}

@@ -1,0 +1,230 @@
+"""End-to-end sweeps: cross products, caching, resume, interruption, CLI."""
+
+import pytest
+
+import repro.lab.sweep as sweep_mod
+from repro.cli import main
+from repro.lab.sweep import (
+    AppSpec,
+    SweepError,
+    SweepSpec,
+    evaluate_point,
+    run_sweep,
+)
+
+SMALL_SRC = """
+void p(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 100);
+    co_stream_write(output, x + 1);
+  }
+  co_stream_close(output);
+}
+"""
+
+
+def small_spec(name="unit", levels=("none", "optimized")):
+    return SweepSpec.cross(
+        name,
+        [AppSpec.make("loopback", n=2), AppSpec.make("loopback", n=3)],
+        levels=levels,
+    )
+
+
+def quiet_sweep(spec, tmp_path, **kw):
+    kw.setdefault("store_root", tmp_path / "runs")
+    kw.setdefault("cache_root", tmp_path / "cache")
+    kw.setdefault("progress", False)
+    return run_sweep(spec, **kw)
+
+
+# ---- spec construction ---------------------------------------------------
+
+def test_cross_product_shape_and_ids():
+    spec = SweepSpec.cross(
+        "s", [AppSpec.make("loopback", n=2)],
+        levels=("none", "optimized"), variants=("default", "noshare"),
+    )
+    assert [p.point_id for p in spec.points] == [
+        "loopback(n=2)/none",
+        "loopback(n=2)/none/noshare",
+        "loopback(n=2)/optimized",
+        "loopback(n=2)/optimized/noshare",
+    ]
+
+
+def test_bad_level_and_variant_and_kind_rejected():
+    with pytest.raises(SweepError, match="bad assertion level"):
+        SweepSpec.cross("s", [AppSpec.make("loopback")], levels=("max",))
+    with pytest.raises(SweepError, match="unknown option variant"):
+        SweepSpec.cross("s", [AppSpec.make("loopback")],
+                        variants=("turbo",))
+    with pytest.raises(SweepError, match="unknown app kind"):
+        AppSpec.make("fft")
+
+
+def test_run_id_is_content_addressed():
+    assert small_spec().run_id() == small_spec().run_id()
+    assert small_spec().run_id() != \
+        small_spec(levels=("none", "unoptimized")).run_id()
+
+
+def test_csource_app_kind_builds():
+    spec = AppSpec.make("csource", source=SMALL_SRC, feed=(1, 2, 3))
+    app = spec.build()
+    assert "in" in app.streams and "out" in app.streams
+
+
+# ---- execution, caching, manifest ---------------------------------------
+
+def test_sweep_completes_and_journal_matches(tmp_path):
+    spec = small_spec()
+    result = quiet_sweep(spec, tmp_path, jobs=1)
+    assert result.ok
+    m = result.manifest
+    assert m["status"] == "completed"
+    assert m["counters"] == {
+        "total": 4, "skipped_resume": 0, "done": 4, "failed": 0,
+        "cache_hits": 0, "cache_misses": 4,
+    }
+    assert m["wall_time_s"] >= 0
+    assert set(result.records) == {p.point_id for p in spec.points}
+    for rec in result.records.values():
+        assert rec["status"] == "ok"
+        assert rec["comb_aluts"] > 0 and rec["fmax_mhz"] > 0
+    # the rendered table shows every point with real numbers
+    table = result.render()
+    for p in spec.points:
+        assert p.point_id in table
+
+
+def test_rerun_is_all_cache_hits_and_skips_nothing_new(tmp_path):
+    spec = small_spec()
+    quiet_sweep(spec, tmp_path, jobs=1)
+    again = quiet_sweep(spec, tmp_path, jobs=1, resume=False)
+    c = again.manifest["counters"]
+    assert c["done"] == 4 and c["cache_hits"] == 4 \
+        and c["cache_misses"] == 0
+
+
+def test_resume_skips_completed_points(tmp_path):
+    """Drop half the journal (as an interruption would) and rerun: only
+    the missing points are evaluated."""
+    spec = small_spec()
+    first = quiet_sweep(spec, tmp_path, jobs=1)
+    lines = first.run.results_path.read_text().splitlines()
+    first.run.results_path.write_text("\n".join(lines[:2]) + "\n")
+    second = quiet_sweep(spec, tmp_path, jobs=1)
+    c = second.manifest["counters"]
+    assert c["skipped_resume"] == 2 and c["done"] == 2
+    assert c["failed"] == 0
+    assert second.ok
+    assert set(second.records) == {p.point_id for p in spec.points}
+
+
+def test_worker_failure_is_recorded_and_retried_on_resume(tmp_path,
+                                                          monkeypatch):
+    spec = small_spec()
+    victim = spec.points[2].point_id
+    real = sweep_mod.synthesize
+
+    def sabotaged(app, assertions="optimized", options=None):
+        if app.name == "loopback3" and assertions == "none":
+            raise ValueError("injected synthesis failure")
+        return real(app, assertions=assertions, options=options)
+
+    monkeypatch.setattr(sweep_mod, "synthesize", sabotaged)
+    first = quiet_sweep(spec, tmp_path, jobs=1)
+    assert not first.ok
+    assert first.manifest["status"] == "completed-with-failures"
+    assert first.manifest["counters"]["failed"] == 1
+    assert first.records[victim]["status"] == "failed"
+    assert "injected synthesis failure" in first.records[victim]["error"]
+
+    monkeypatch.setattr(sweep_mod, "synthesize", real)
+    second = quiet_sweep(spec, tmp_path, jobs=1)
+    c = second.manifest["counters"]
+    # only the failed point re-ran; the three good ones were skipped
+    assert c["skipped_resume"] == 3 and c["done"] == 1
+    assert second.ok
+    assert second.records[victim]["status"] == "ok"
+
+
+def test_interrupt_finalizes_manifest_then_resume_completes(tmp_path,
+                                                            monkeypatch):
+    """SIGINT mid-sweep: manifest says interrupted, journal keeps the
+    finished points, and the rerun completes only the missing ones."""
+    spec = small_spec()
+    real = sweep_mod.synthesize
+    seen = []
+
+    def interrupting(app, assertions="optimized", options=None):
+        seen.append(1)
+        if len(seen) == 3:
+            raise KeyboardInterrupt
+        return real(app, assertions=assertions, options=options)
+
+    monkeypatch.setattr(sweep_mod, "synthesize", interrupting)
+    with pytest.raises(KeyboardInterrupt):
+        quiet_sweep(spec, tmp_path, jobs=1)
+
+    store_runs = tmp_path / "runs"
+    from repro.lab.store import ResultStore
+    run = ResultStore(store_runs).open_run(spec.run_id())
+    assert run.read_manifest()["status"] == "interrupted"
+    assert len(run.completed_ids()) == 2  # two points landed before SIGINT
+
+    monkeypatch.setattr(sweep_mod, "synthesize", real)
+    resumed = quiet_sweep(spec, tmp_path, jobs=1)
+    c = resumed.manifest["counters"]
+    assert c["skipped_resume"] == 2 and c["done"] == 2
+    assert resumed.ok and resumed.manifest["status"] == "completed"
+
+
+def test_parallel_sweep_matches_serial(tmp_path):
+    """jobs=2 must produce the same per-point numbers as jobs=1."""
+    spec = small_spec()
+    serial = quiet_sweep(spec, tmp_path / "a", jobs=1)
+    pooled = quiet_sweep(spec, tmp_path / "b", jobs=2)
+    strip = ("elapsed_s",)
+    for pid in (p.point_id for p in spec.points):
+        a = {k: v for k, v in serial.records[pid].items() if k not in strip}
+        b = {k: v for k, v in pooled.records[pid].items() if k not in strip}
+        assert a == b, pid
+    assert serial.render() == pooled.render()
+
+
+def test_evaluate_point_record_shape(tmp_path):
+    spec = small_spec()
+    rec = evaluate_point((spec.points[0], None))
+    assert rec["point_id"] == spec.points[0].point_id
+    assert rec["cache_hit"] is False
+    for field in ("processes", "comb_aluts", "registers", "bram_bits",
+                  "fmax_mhz", "assertion_level", "device"):
+        assert field in rec
+
+
+# ---- CLI -----------------------------------------------------------------
+
+def test_cli_sweep_smoke(tmp_path, capsys):
+    rc = main([
+        "sweep", "--name", "cli-unit", "--apps", "loopback:2,loopback:3",
+        "--levels", "none,optimized", "--jobs", "2",
+        "--store", str(tmp_path / "runs"), "--cache", str(tmp_path / "c"),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "SWEEP cli-unit (4 points" in out
+    assert "loopback(n=2)/optimized" in out
+    assert "manifest:" in out
+
+    # second invocation: warm cache, every point a hit
+    rc = main([
+        "sweep", "--name", "cli-unit", "--apps", "loopback:2,loopback:3",
+        "--levels", "none,optimized", "--jobs", "2", "--no-resume",
+        "--store", str(tmp_path / "runs"), "--cache", str(tmp_path / "c"),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count(" hit") >= 4 and " miss" not in out
