@@ -226,6 +226,64 @@ def cmd_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_difftest(args) -> int:
+    from repro.difftest import (
+        DifftestError,
+        DifftestSpec,
+        GenConfig,
+        replay_seed_file,
+        run_difftest_campaign,
+    )
+
+    if args.replay:
+        try:
+            report = replay_seed_file(args.replay,
+                                      max_cycles=args.max_cycles,
+                                      reduced=not args.original)
+        except DifftestError as exc:
+            raise SystemExit(str(exc)) from None
+        if report.ok:
+            print(f"{args.replay}: models agree "
+                  f"({report.cm_cycles} cycles)")
+            return 0
+        print(f"{args.replay}: {report.divergence.describe()}")
+        return 1
+
+    lo, _, hi = args.seeds.partition(":")
+    try:
+        seeds = (int(lo), int(hi))
+    except ValueError:
+        raise SystemExit(f"--seeds wants LO:HI, got {args.seeds!r}") from None
+    if seeds[0] >= seeds[1]:
+        raise SystemExit(f"--seeds range {args.seeds!r} is empty")
+    spec = DifftestSpec(
+        name=args.name,
+        seeds=seeds,
+        gen=GenConfig(max_stmts=args.stmts),
+        max_cycles=args.max_cycles,
+        reduce=not args.no_reduce,
+    )
+    try:
+        result = run_difftest_campaign(
+            spec,
+            jobs=args.jobs,
+            store_root=args.store,
+            cache_root=args.cache,
+            resume=not args.no_resume,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        print("difftest interrupted; rerun the same command to resume",
+              file=sys.stderr)
+        return 130
+    print(result.render())
+    print(f"results: {result.run.results_path}")
+    print(f"manifest: {result.run.manifest_path}")
+    for path in result.seed_files:
+        print(f"reproducer: {path}")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -303,6 +361,37 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--no-resume", action="store_true",
                    help="discard previous results for this sweep")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "difftest",
+        help="three-way differential fuzzing: interpreter vs cycle "
+             "model vs RTL",
+    )
+    p.add_argument("--name", default="difftest",
+                   help="campaign name (run id prefix)")
+    p.add_argument("--seeds", default="0:50", metavar="LO:HI",
+                   help="half-open seed range to fuzz")
+    p.add_argument("--stmts", type=int, default=8,
+                   help="max statements per generated program")
+    p.add_argument("--max-cycles", type=int, default=200_000,
+                   help="lockstep cycle budget per program")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes")
+    p.add_argument("--store", default="lab-runs", metavar="DIR",
+                   help="resumable JSONL result store directory")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="compilation cache directory")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-seed timeout")
+    p.add_argument("--no-resume", action="store_true",
+                   help="discard previous results for this campaign")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip reduction of diverging programs")
+    p.add_argument("--replay", default=None, metavar="SEEDFILE",
+                   help="re-run one saved seed file instead of a campaign")
+    p.add_argument("--original", action="store_true",
+                   help="with --replay: run the unreduced program")
+    p.set_defaults(func=cmd_difftest)
 
     args = parser.parse_args(argv)
     return args.func(args)

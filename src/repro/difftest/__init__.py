@@ -1,0 +1,47 @@
+"""Three-way differential testing of the HLS flow.
+
+The reproduction's correctness story rests on three executable models of
+the same process agreeing: the IR interpreter (software-simulation C
+semantics, :mod:`repro.ir.interp`), the schedule-level cycle model
+(:mod:`repro.hls.cyclemodel`) and the RTL simulator
+(:mod:`repro.rtl.sim`). This package turns that invariant into a standing
+oracle, after FLASH-style lockstep cross-validation of HLS simulators:
+
+* :mod:`repro.difftest.generator` — deterministic, seeded random programs
+  over the supported Impulse-C dialect;
+* :mod:`repro.difftest.oracle` — runs one program through all three
+  models in lockstep and localizes the first divergence (cycle, FSM
+  state, signal, both values);
+* :mod:`repro.difftest.reduce` — greedily shrinks a failing program to a
+  minimal reproducer;
+* :mod:`repro.difftest.runner` — fans seed campaigns across the
+  :mod:`repro.lab` executor/cache/store; ``repro difftest`` is the CLI.
+"""
+
+from repro.difftest.generator import GenConfig, Program, generate
+from repro.difftest.oracle import DiffReport, DifftestError, Divergence, run_difftest
+from repro.difftest.reduce import reduce_program, same_bug
+from repro.difftest.runner import (
+    DifftestResult,
+    DifftestSpec,
+    evaluate_seed,
+    replay_seed_file,
+    run_difftest_campaign,
+)
+
+__all__ = [
+    "DiffReport",
+    "DifftestError",
+    "DifftestResult",
+    "DifftestSpec",
+    "Divergence",
+    "GenConfig",
+    "Program",
+    "evaluate_seed",
+    "generate",
+    "reduce_program",
+    "replay_seed_file",
+    "run_difftest",
+    "run_difftest_campaign",
+    "same_bug",
+]

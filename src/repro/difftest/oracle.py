@@ -1,0 +1,380 @@
+"""Three-way lockstep oracle: interpreter vs cycle model vs RTL simulator.
+
+One program, three executable semantics:
+
+1. the IR interpreter (:mod:`repro.ir.interp`) — the software-simulation
+   reference, exact C width rules, idealized timing;
+2. the HLS cycle model (:mod:`repro.hls.cyclemodel`) — the schedule-level
+   semantics of the synthesized FSMD;
+3. the RTL simulator (:mod:`repro.rtl.sim`) — the generated
+   register-transfer structure itself.
+
+The oracle first checks interpreter outputs against a standalone cycle
+model run (functional equivalence of software and hardware semantics),
+then replays the cycle model against the RTL simulator *in lockstep*,
+clock tick by clock tick, comparing stream traffic as it appears and
+tracking the first register whose value disagrees with its scheduled
+temp. A divergence report therefore names the phase that disagreed, the
+stream/index or cycle/FSM-state/signal where it first became visible and
+both values — the localization the reducer and CI artifacts carry.
+
+Assertions are handled by instrumenting the IR once
+(:func:`repro.core.instrument.instrument_unoptimized`) and running **all
+three** models on the instrumented function: ``assert`` becomes a branch
+plus an error-code write to the appended ``__afail`` stream, which the
+comparison then treats as just another output. This sidesteps the cycle
+model's (deliberate) refusal to execute raw ``assert_check`` ops and
+makes assertion behaviour itself differential-tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.instrument import instrument_unoptimized
+from repro.errors import ReproError, SimulationError
+from repro.frontend.lowering import lower_source
+from repro.hls.compiler import CompiledProcess, compile_process
+from repro.hls.constraints import HLSConfig
+from repro.hls.cyclemodel import Channel, ProcessExec
+from repro.ir.function import IRFunction
+from repro.ir.interp import run_to_completion
+from repro.ir.ops import OpKind
+from repro.rtl.sim import RtlSim
+from repro.utils.bitops import truncate
+from repro.utils.idgen import stable_fingerprint
+
+__all__ = ["DiffReport", "DifftestError", "Divergence", "run_difftest"]
+
+#: error codes for instrumented assertions start here (matches nothing a
+#: generated program writes on its own data stream)
+ASSERT_CODE_BASE = 0xA000
+
+
+class DifftestError(ReproError):
+    """The harness itself failed (bad program, compile error) — distinct
+    from a genuine model divergence."""
+
+
+@dataclass
+class Divergence:
+    """First observable disagreement between two execution models."""
+
+    phase: str  # 'interp-vs-cyclemodel' | 'cyclemodel-vs-rtl'
+    kind: str   # 'stream-data' | 'stream-count' | 'cycle-count' | 'hang' | 'error'
+    message: str
+    stream: str | None = None
+    index: int | None = None
+    cycle: int | None = None
+    state: str | None = None     # RTL FSM state label
+    location: str | None = None  # cycle-model block[step]
+    signal: str | None = None    # first diverging register, if localized
+    values: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {"phase": self.phase, "kind": self.kind,
+               "message": self.message}
+        for k in ("stream", "index", "cycle", "state", "location", "signal"):
+            v = getattr(self, k)
+            if v is not None:
+                out[k] = v
+        if self.values:
+            out["values"] = dict(self.values)
+        return out
+
+    def describe(self) -> str:
+        bits = [f"{self.phase}: {self.kind}"]
+        if self.stream is not None:
+            bits.append(f"stream={self.stream}[{self.index}]")
+        if self.cycle is not None:
+            bits.append(f"cycle={self.cycle}")
+        if self.state is not None:
+            bits.append(f"state={self.state}")
+        if self.signal is not None:
+            bits.append(f"signal={self.signal}")
+        if self.values:
+            vals = ", ".join(f"{k}={v}" for k, v in self.values.items())
+            bits.append(f"({vals})")
+        return " ".join(bits)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one three-way differential run."""
+
+    divergence: Divergence | None
+    outputs: dict[str, list[int]]  # interpreter-side reference outputs
+    interp_steps: int = 0
+    cm_cycles: int = 0
+    rtl_cycles: int = 0
+    assertions: int = 0  # instrumented assertion count
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+# ---- helpers ----------------------------------------------------------------
+
+
+def _stream_roles(func: IRFunction) -> tuple[set[str], set[str]]:
+    reads, writes = set(), set()
+    for instr in func.instructions():
+        if instr.op == OpKind.STREAM_READ:
+            reads.add(instr.attrs["stream"])
+        elif instr.op in (OpKind.STREAM_WRITE, OpKind.STREAM_CLOSE):
+            writes.add(instr.attrs["stream"])
+    return reads, writes
+
+
+def _fresh_channels(func: IRFunction, reads: set[str], writes: set[str],
+                    feed: dict[str, list[int]]) -> dict[str, Channel]:
+    channels: dict[str, Channel] = {}
+    for s in func.stream_names():
+        depth = 1_000_000 if s in writes and s not in reads else 4096
+        channels[s] = Channel(s, depth=depth)
+    for s, data in feed.items():
+        for v in data:
+            channels[s].push(v)
+        channels[s].close()
+    return channels
+
+
+def _prepare(source: str, filename: str) -> tuple[IRFunction, int]:
+    """Lower and (if needed) instrument; returns (func, assertion count)."""
+    try:
+        module = lower_source(source, filename=filename)
+    except ReproError as exc:
+        raise DifftestError(f"frontend rejected program: {exc}") from exc
+    names = sorted(module.functions)
+    if len(names) != 1:
+        raise DifftestError(f"expected one process, got {names}")
+    func = module.functions[names[0]].clone()
+    has_asserts = any(i.op == OpKind.ASSERT_CHECK
+                      for i in func.instructions())
+    n = 0
+    if has_asserts:
+        codes = itertools.count(ASSERT_CODE_BASE)
+        n = instrument_unoptimized(func, lambda site: next(codes))
+    return func, n
+
+
+def _compile(func: IRFunction, faults: tuple, cache) -> CompiledProcess:
+    key = None
+    if cache is not None and cache.enabled:
+        fp = stable_fingerprint("difftest-compile", str(func), repr(faults))
+        key = f"dt-{fp:016x}"
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    try:
+        config = HLSConfig(faults=tuple(faults)) if faults else None
+        cp = compile_process(func, config)
+        cp.rtl  # force codegen inside the cacheable unit
+    except ReproError as exc:
+        raise DifftestError(f"HLS compile failed: {exc}") from exc
+    if key is not None:
+        cache.put(key, cp)
+    return cp
+
+
+# ---- the oracle -------------------------------------------------------------
+
+
+def run_difftest(
+    source: str,
+    feed,
+    *,
+    filename: str = "difftest.c",
+    faults: tuple = (),
+    max_cycles: int = 200_000,
+    cache=None,
+) -> DiffReport:
+    """Run ``source`` through all three models; report the first divergence.
+
+    ``feed`` is the word sequence for the single input stream. ``faults``
+    are :mod:`repro.faults.ir` translation faults applied to the
+    hardware-side IR only (the interpreter keeps the clean function), so a
+    non-empty tuple *should* produce a divergence — that is how the oracle
+    itself is tested. ``cache`` is an optional
+    :class:`repro.lab.cache.SynthesisCache` memoizing compilation.
+    """
+    func, n_asserts = _prepare(source, filename)
+    reads, writes = _stream_roles(func)
+    if len(reads) > 1:
+        raise DifftestError(f"expected at most one input stream, got {reads}")
+    in_stream = next(iter(reads)) if reads else None
+    out_streams = sorted(writes - reads)
+    stimulus = {in_stream: list(feed)} if in_stream else {}
+
+    # -- phase 0: software reference ---------------------------------------
+    try:
+        ires, sw_out = run_to_completion(func, stimulus)
+    except SimulationError as exc:
+        raise DifftestError(f"interpreter failed on program: {exc}") from exc
+    sw_out = {s: sw_out.get(s, []) for s in out_streams}
+
+    cp = _compile(func, faults, cache)
+    report = DiffReport(divergence=None, outputs=sw_out,
+                        interp_steps=ires.steps, assertions=n_asserts)
+
+    # -- phase 1: interpreter vs standalone cycle model ---------------------
+    channels = _fresh_channels(cp.hw_func, reads, writes, stimulus)
+    pe = ProcessExec(cp.schedule, channels)
+    error: str | None = None
+    try:
+        while not pe.done and pe.cycles < max_cycles:
+            pe.tick()
+    except SimulationError as exc:
+        error = str(exc)
+    report.cm_cycles = pe.cycles
+    if error is not None:
+        report.divergence = Divergence(
+            phase="interp-vs-cyclemodel", kind="error",
+            message=f"cycle model raised: {error}",
+            cycle=pe.cycles, location=f"{pe.block}[{pe.step}]",
+        )
+        return report
+    if not pe.done:
+        report.divergence = Divergence(
+            phase="interp-vs-cyclemodel", kind="hang",
+            message=f"cycle model not done after {max_cycles} cycles "
+                    f"(interpreter finished in {ires.steps} steps)",
+            cycle=pe.cycles, location=f"{pe.block}[{pe.step}]",
+        )
+        return report
+    for s in out_streams:
+        hw = list(channels[s].queue)
+        ref = sw_out[s]
+        for i, (a, b) in enumerate(zip(ref, hw)):
+            if truncate(a, channels[s].width) != b:
+                report.divergence = Divergence(
+                    phase="interp-vs-cyclemodel", kind="stream-data",
+                    message=f"output {s}[{i}]: interpreter wrote "
+                            f"{truncate(a, channels[s].width)}, "
+                            f"cycle model wrote {b}",
+                    stream=s, index=i,
+                    values={"interp": truncate(a, channels[s].width),
+                            "cyclemodel": b},
+                )
+                return report
+        if len(ref) != len(hw):
+            report.divergence = Divergence(
+                phase="interp-vs-cyclemodel", kind="stream-count",
+                message=f"output {s}: interpreter wrote {len(ref)} words, "
+                        f"cycle model wrote {len(hw)}",
+                stream=s, index=min(len(ref), len(hw)),
+                values={"interp": len(ref), "cyclemodel": len(hw)},
+            )
+            return report
+
+    # -- phase 2: cycle model vs RTL, in lockstep ---------------------------
+    d = _lockstep(cp, reads, writes, stimulus, out_streams, max_cycles,
+                  report)
+    report.divergence = d
+    return report
+
+
+def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
+              max_cycles: int, report: DiffReport) -> Divergence | None:
+    func = cp.hw_func
+    ch_cm = _fresh_channels(func, reads, writes, stimulus)
+    ch_rt = _fresh_channels(func, reads, writes, stimulus)
+    pe = ProcessExec(cp.schedule, ch_cm)
+    try:
+        sim = RtlSim(cp.rtl, ch_rt)
+    except SimulationError as exc:
+        raise DifftestError(f"RTL simulator rejected module: {exc}") from exc
+
+    labels = {sc.index: sc.label for sc in cp.rtl.states}
+    checked = {s: 0 for s in out_streams}
+    # first (cycle, reg, cm value, rtl value) where a scheduled temp and
+    # its register disagree — used to *localize* a later observable
+    # divergence, never to declare one by itself (transient skew between
+    # the models' update points within a cycle is legal)
+    reg_delta: tuple[int, str, int, int] | None = None
+    scalars = {n: t for n, t in func.scalars.items()
+               if f"r_{n}" in sim.regs}
+
+    def here(cycle: int) -> dict:
+        state = labels.get(sim.regs.get("state"), "?")
+        loc = "done" if pe.done else f"{pe.block}[{pe.step}]"
+        d = {"cycle": cycle, "state": state, "location": loc}
+        if reg_delta is not None:
+            d["cycle"] = reg_delta[0]
+            d["signal"] = reg_delta[1]
+        return d
+
+    for cycle in range(1, max_cycles + 1):
+        try:
+            s_cm = pe.tick() if not pe.done else "done"
+        except SimulationError as exc:
+            return Divergence(phase="cyclemodel-vs-rtl", kind="error",
+                              message=f"cycle model raised: {exc}",
+                              **here(cycle))
+        try:
+            s_rt = sim.tick() if not sim.done else "done"
+        except SimulationError as exc:
+            return Divergence(phase="cyclemodel-vs-rtl", kind="error",
+                              message=f"RTL simulator raised: {exc}",
+                              **here(cycle))
+
+        for s in out_streams:
+            qa, qb = list(ch_cm[s].queue), list(ch_rt[s].queue)
+            n = min(len(qa), len(qb))
+            for i in range(checked[s], n):
+                if qa[i] != qb[i]:
+                    loc = here(cycle)
+                    values = {"cyclemodel": qa[i], "rtl": qb[i]}
+                    if reg_delta is not None:
+                        values["cyclemodel_reg"] = reg_delta[2]
+                        values["rtl_reg"] = reg_delta[3]
+                    return Divergence(
+                        phase="cyclemodel-vs-rtl", kind="stream-data",
+                        message=f"output {s}[{i}]: cycle model wrote "
+                                f"{qa[i]}, RTL wrote {qb[i]}",
+                        stream=s, index=i, values=values, **loc,
+                    )
+            checked[s] = n
+
+        if reg_delta is None and not pe.done and not sim.done:
+            for name, ty in scalars.items():
+                cm_v = truncate(pe.env.get(name, 0), ty.width)
+                rt_v = sim.regs[f"r_{name}"]
+                if cm_v != rt_v:
+                    reg_delta = (cycle, f"r_{name}", cm_v, rt_v)
+                    break
+
+        if s_cm == "done" and s_rt == "done":
+            break
+    else:
+        who = ("cycle model" if not pe.done else
+               "RTL simulator" if not sim.done else "both")
+        return Divergence(phase="cyclemodel-vs-rtl", kind="hang",
+                          message=f"{who} not done after {max_cycles} "
+                                  f"lockstep cycles", **here(max_cycles))
+
+    report.rtl_cycles = sim.cycles
+    report.cm_cycles = pe.cycles
+
+    for s in out_streams:
+        qa, qb = list(ch_cm[s].queue), list(ch_rt[s].queue)
+        if len(qa) != len(qb):
+            return Divergence(
+                phase="cyclemodel-vs-rtl", kind="stream-count",
+                message=f"output {s}: cycle model wrote {len(qa)} words, "
+                        f"RTL wrote {len(qb)}",
+                stream=s, index=min(len(qa), len(qb)),
+                values={"cyclemodel": len(qa), "rtl": len(qb)},
+                **here(sim.cycles),
+            )
+    if pe.cycles != sim.cycles:
+        return Divergence(
+            phase="cyclemodel-vs-rtl", kind="cycle-count",
+            message=f"cycle model finished in {pe.cycles} cycles, "
+                    f"RTL in {sim.cycles}",
+            values={"cyclemodel": pe.cycles, "rtl": sim.cycles},
+            **here(sim.cycles),
+        )
+    return None

@@ -1,0 +1,247 @@
+"""Greedy program reduction: shrink a diverging program to a minimal repro.
+
+Works on the generator's structured AST (never on text), applying
+semantics-preserving-enough shrink steps and keeping any candidate on
+which the oracle still reports *the same bug* (same phase and kind). The
+strategy is classic greedy delta debugging run to a fixpoint:
+
+1. delete whole statements (deepest first);
+2. flatten control structure (``if`` → taken branch, ``for`` → body);
+3. replace expressions by their sub-expressions;
+4. drop input feed words;
+5. prune now-unused declarations.
+
+Every acceptance re-runs the oracle, so reduction cost is bounded by
+``max_checks``; the loop stops early once the budget is spent, returning
+the best (smallest still-failing) program found so far.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.difftest.generator import (
+    Assign,
+    AssertS,
+    Bin,
+    Cast,
+    Cond,
+    ForS,
+    IfS,
+    Load,
+    Program,
+    Store,
+    Un,
+    Write,
+)
+from repro.difftest.oracle import Divergence
+
+__all__ = ["reduce_program", "same_bug"]
+
+
+def same_bug(a: Divergence | None, b: Divergence | None) -> bool:
+    """Loose identity for 'still the same failure' during reduction."""
+    if a is None or b is None:
+        return False
+    return a.phase == b.phase and a.kind == b.kind
+
+
+# ---- AST navigation ---------------------------------------------------------
+
+_BRANCHES = {IfS: ("then", "els"), ForS: ("body",)}
+
+
+def _stmt_paths(stmts: list, prefix=()) -> list[tuple]:
+    """Every statement position, as a path of (index, branch-name) hops.
+
+    A path ``((i, None),)`` addresses ``body[i]``; ``((i, 'then'), (j,
+    None))`` addresses ``body[i].then[j]``; deepest paths come first so
+    deletion tries leaves before the blocks containing them.
+    """
+    out: list[tuple] = []
+    for i, s in enumerate(stmts):
+        for br in _BRANCHES.get(type(s), ()):
+            out += _stmt_paths(getattr(s, br), prefix + ((i, br),))
+        out.append(prefix + ((i, None),))
+    return out
+
+
+def _resolve_list(prog: Program, path: tuple) -> list:
+    """The statement list containing the statement addressed by ``path``."""
+    lst = prog.body
+    for i, br in path[:-1]:
+        lst = getattr(lst[i], br)
+    return lst
+
+
+def _expr_slots(stmt) -> list[str]:
+    return {
+        Assign: ["expr"],
+        Store: ["index", "expr"],
+        Write: ["expr"],
+        AssertS: ["cond"],
+        IfS: ["cond"],
+    }.get(type(stmt), [])
+
+
+def _subexprs(expr) -> list:
+    if isinstance(expr, Bin):
+        return [expr.left, expr.right]
+    if isinstance(expr, (Un, Cast)):
+        return [expr.operand]
+    if isinstance(expr, Cond):
+        return [expr.cond, expr.iftrue, expr.iffalse]
+    if isinstance(expr, Load):
+        return [expr.index]
+    return []
+
+
+def _used_names(prog: Program) -> set[str]:
+    names: set[str] = set()
+
+    def expr(e) -> None:
+        from repro.difftest.generator import Var
+
+        if isinstance(e, Var):
+            names.add(e.name)
+        for sub in _subexprs(e):
+            expr(sub)
+
+    def stmts(lst: list) -> None:
+        for s in lst:
+            if isinstance(s, Assign):
+                names.add(s.var)
+            elif isinstance(s, (Store, Load)):
+                names.add(s.array)
+            elif isinstance(s, ForS):
+                names.add(s.var)
+            for slot in _expr_slots(s):
+                expr(getattr(s, slot))
+            if isinstance(s, Store):
+                names.add(s.array)
+            for br in _BRANCHES.get(type(s), ()):
+                stmts(getattr(s, br))
+
+    stmts(prog.body)
+    return names
+
+
+# ---- the reducer ------------------------------------------------------------
+
+
+def reduce_program(
+    prog: Program,
+    check: Callable[[Program], bool],
+    max_checks: int = 300,
+) -> Program:
+    """Shrink ``prog`` while ``check(candidate)`` stays true.
+
+    ``check`` must return True iff the candidate still exhibits the
+    original failure (build it with :func:`same_bug` against the oracle).
+    The input program is never mutated.
+    """
+    budget = [max_checks]
+
+    def accept(candidate: Program) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return bool(check(candidate))
+        except Exception:
+            # a shrink step can produce a program the harness rejects
+            # (e.g. no writes left); that candidate is simply not taken
+            return False
+
+    current = copy.deepcopy(prog)
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+
+        # 1. statement deletion, deepest-first
+        for path in _stmt_paths(current.body):
+            cand = copy.deepcopy(current)
+            lst = _resolve_list(cand, path)
+            idx = path[-1][0]
+            if idx >= len(lst):
+                continue
+            del lst[idx]
+            if accept(cand):
+                current = cand
+                changed = True
+                break  # paths are stale after a structural edit
+        if changed:
+            continue
+
+        # 2. control-structure flattening
+        for path in _stmt_paths(current.body):
+            i = path[-1][0]
+            lst = _resolve_list(current, path)
+            if i >= len(lst):
+                continue
+            stmt = lst[i]
+            replacements = []
+            if isinstance(stmt, IfS):
+                replacements = [list(stmt.then), list(stmt.els)]
+            elif isinstance(stmt, ForS):
+                replacements = [list(stmt.body)]
+            for repl in replacements:
+                cand = copy.deepcopy(current)
+                clst = _resolve_list(cand, path)
+                clst[i: i + 1] = copy.deepcopy(repl)
+                if accept(cand):
+                    current = cand
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+
+        # 3. expression shrinking: replace a node by one of its children
+        for path in _stmt_paths(current.body):
+            i = path[-1][0]
+            lst = _resolve_list(current, path)
+            if i >= len(lst):
+                continue
+            for slot in _expr_slots(lst[i]):
+                root = getattr(lst[i], slot)
+                for sub_i, sub in enumerate(_subexprs(root)):
+                    cand = copy.deepcopy(current)
+                    cstmt = _resolve_list(cand, path)[i]
+                    csub = _subexprs(getattr(cstmt, slot))[sub_i]
+                    setattr(cstmt, slot, csub)
+                    if accept(cand):
+                        current = cand
+                        changed = True
+                        break
+                if changed:
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+
+        # 4. feed shrinking: drop one word at a time
+        for i in range(len(current.feed) - 1, -1, -1):
+            cand = copy.deepcopy(current)
+            cand.feed = cand.feed[:i] + cand.feed[i + 1:]
+            if cand.feed and accept(cand):
+                current = cand
+                changed = True
+                break
+
+    # 5. prune declarations nothing references any more (checked once —
+    # removing an unused decl cannot change behaviour, but run the oracle
+    # anyway so we never return an unverified program)
+    used = _used_names(current)
+    cand = copy.deepcopy(current)
+    cand.decls = {k: v for k, v in cand.decls.items() if k in used}
+    cand.arrays = {k: v for k, v in cand.arrays.items() if k in used}
+    if (len(cand.decls) < len(current.decls)
+            or len(cand.arrays) < len(current.arrays)):
+        budget[0] = max(budget[0], 1)
+        if accept(cand):
+            current = cand
+    return current

@@ -25,12 +25,11 @@ from typing import Callable, Generator
 
 from repro.errors import SimulationError
 from repro.ir import semantics
-from repro.frontend.ctypes_ import CType
 from repro.ir.function import IRFunction
 from repro.ir.instr import AssertionSite, Branch, Jump, Return
 from repro.ir.ops import OpKind
 from repro.ir.values import Const, Temp, Value
-from repro.utils.bitops import sign_extend, truncate
+from repro.utils.bitops import truncate
 
 
 @dataclass
@@ -41,10 +40,6 @@ class InterpResult:
     aborted_by: AssertionSite | None = None
     steps: int = 0
     assert_failures: list[AssertionSite] = field(default_factory=list)
-
-
-def _as_signed_or_unsigned(pattern: int, ty: CType) -> int:
-    return sign_extend(pattern, ty.width) if ty.signed else pattern
 
 
 class Interp:
@@ -104,24 +99,21 @@ class Interp:
                         f"{func.name}: exceeded {self.max_steps} interpreter steps"
                     )
                 op = instr.op
-                if op in (OpKind.MOV, OpKind.TRUNC, OpKind.ZEXT):
-                    self.write(instr.dest, truncate(self.read(instr.args[0]),
-                                                    instr.args[0].ty.width))
-                elif op == OpKind.SEXT:
+                if op in (OpKind.MOV, OpKind.TRUNC, OpKind.ZEXT, OpKind.SEXT):
+                    # the hardware cycle model evaluates casts through
+                    # semantics.cast; using the same function here means the
+                    # two paths cannot drift apart
                     src = instr.args[0]
                     self.write(instr.dest,
-                               sign_extend(self.read(src), src.ty.width))
-                elif op == OpKind.NEG:
-                    self.write(instr.dest, -self.read(instr.args[0]))
-                elif op == OpKind.NOT:
+                               semantics.cast(op, self.read(src), src.ty))
+                elif op in (OpKind.NEG, OpKind.NOT, OpKind.LNOT):
                     src = instr.args[0]
-                    self.write(instr.dest, ~self.read(src))
-                elif op == OpKind.LNOT:
-                    self.write(instr.dest, int(self.read(instr.args[0]) == 0))
+                    self.write(instr.dest,
+                               semantics.unop(op, self.read(src), src.ty))
                 elif op == OpKind.SELECT:
                     cond, a, b = instr.args
                     chosen = a if self.read(cond) != 0 else b
-                    src_val = _as_signed_or_unsigned(self.read(chosen), chosen.ty)
+                    src_val = semantics.interpret(self.read(chosen), chosen.ty)
                     self.write(instr.dest, src_val)
                 elif op in (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV,
                             OpKind.MOD, OpKind.AND, OpKind.OR, OpKind.XOR,
@@ -135,7 +127,7 @@ class Interp:
                 elif op == OpKind.LOAD:
                     mem = self.memories[instr.attrs["array"]]
                     idx = self.read(instr.args[0])
-                    idx_s = _as_signed_or_unsigned(idx, instr.args[0].ty)
+                    idx_s = semantics.interpret(idx, instr.args[0].ty)
                     if not (0 <= idx_s < len(mem)):
                         raise SimulationError(
                             f"{func.name}: out-of-bounds read "
@@ -145,7 +137,7 @@ class Interp:
                 elif op == OpKind.STORE:
                     mem = self.memories[instr.attrs["array"]]
                     idx = self.read(instr.args[0])
-                    idx_s = _as_signed_or_unsigned(idx, instr.args[0].ty)
+                    idx_s = semantics.interpret(idx, instr.args[0].ty)
                     if not (0 <= idx_s < len(mem)):
                         raise SimulationError(
                             f"{func.name}: out-of-bounds write "

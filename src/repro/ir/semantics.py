@@ -36,7 +36,11 @@ def binop(op: OpKind, x: int, xty: CType, y: int, yty: CType, where: str = "?") 
     if op in (OpKind.SHL, OpKind.SHR):
         amt = truncate(y, yty.width) % 64
         if op == OpKind.SHL:
-            return truncate(x, xty.width) << amt
+            # C promotes the left operand before shifting, so a negative
+            # signed value shifts as its (sign-extended) value, not as its
+            # source-width bit pattern; the generated RTL widens the
+            # operand the same way. Found by repro.difftest (seed 151).
+            return interpret(x, xty) << amt
         if xty.signed:
             return interpret(x, xty) >> amt
         return truncate(x, xty.width) >> amt

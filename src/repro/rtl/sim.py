@@ -20,6 +20,21 @@ from repro.rtl import core as R
 from repro.utils.bitops import sign_extend, truncate
 
 
+def _value_operands(a: int, b: int, expr: "R.BinExpr") -> tuple[int, int]:
+    """Recover mathematical operand values for value-dependent ops.
+
+    ``signed_cmp`` marks expressions the code generator synthesized with
+    signed semantics (``$signed`` in the emitted Verilog); for those the
+    unsigned patterns are sign-extended at their declared widths. Kept as
+    a module-level seam so the differential tester can re-introduce the
+    historical unsigned-division bug and prove it would be caught.
+    """
+    if expr.signed_cmp:
+        return (sign_extend(a, expr.left.width),
+                sign_extend(b, expr.right.width))
+    return a, b
+
+
 @dataclass
 class RtlRunResult:
     cycles: int
@@ -71,14 +86,33 @@ class RtlSim:
         self.taps: dict[str, list[int]] = {}
         self._state_by_index = {sc.index: sc for sc in module.states}
 
-        # identify stream roles from port names
+        # identify stream roles from port names; a bound stream must be
+        # wired to a read strobe or a write strobe — silently treating an
+        # unconnected binding as a writer would swallow typos in the
+        # harness and "verify" a stream the module never drives
         self._readers: dict[str, Channel] = {}
         self._writers: dict[str, Channel] = {}
         for name, ch in streams.items():
             if f"{name}_re" in port_set:
                 self._readers[name] = ch
-            else:
+            elif f"{name}_we" in port_set:
                 self._writers[name] = ch
+            else:
+                raise SimulationError(
+                    f"{module.name}: stream {name!r} matches neither a "
+                    f"{name}_re nor a {name}_we port; module streams are "
+                    f"{sorted(self._stream_port_names(port_set))}"
+                )
+
+    @staticmethod
+    def _stream_port_names(port_set: set[str]) -> set[str]:
+        """Stream names implied by the module's strobe ports."""
+        return {
+            p[: -len(suffix)]
+            for p in port_set
+            for suffix in ("_re", "_we")
+            if p.endswith(suffix)
+        }
 
     # ---- evaluation -----------------------------------------------------------
 
@@ -120,9 +154,15 @@ class RtlSim:
             a = self.eval(expr.left)
             b = self.eval(expr.right)
             op = expr.op
-            if expr.signed_cmp:
-                a = sign_extend(a, expr.left.width)
-                b = sign_extend(b, expr.right.width)
+            # ``a``/``b`` are unsigned bit patterns here. Pattern ops
+            # (+, -, *, bitwise, <<) are congruent modulo 2**width, so they
+            # run on the raw patterns; ops whose *result* depends on the
+            # mathematical value (division, modulo, comparisons, arithmetic
+            # shift) must first recover signed operands when the expression
+            # was synthesized signed ($signed in the emitted Verilog) —
+            # otherwise e.g. (-13)/3 would compute on the pattern
+            # 0xFFFFFFF3 and the truncate-toward-zero sign correction
+            # could never fire.
             if op == "+":
                 return truncate(a + b, expr.width)
             if op == "-":
@@ -130,6 +170,7 @@ class RtlSim:
             if op == "*":
                 return truncate(a * b, expr.width)
             if op in ("/", "%"):
+                a, b = _value_operands(a, b, expr)
                 if b == 0:
                     raise SimulationError(f"{self.module.name}: divide by zero")
                 q = abs(a) // abs(b)
@@ -148,9 +189,10 @@ class RtlSim:
             if op == ">>":
                 return truncate(a >> (b % 64), expr.width)
             if op == ">>>":
-                a_s = sign_extend(self.eval(expr.left), expr.left.width)
-                return truncate(a_s >> (self.eval(expr.right) % 64), expr.width)
+                a_s = sign_extend(a, expr.left.width)
+                return truncate(a_s >> (b % 64), expr.width)
             if op in ("==", "!=", "<", "<=", ">", ">="):
+                a, b = _value_operands(a, b, expr)
                 table = {
                     "==": a == b, "!=": a != b, "<": a < b,
                     "<=": a <= b, ">": a > b, ">=": a >= b,

@@ -1,0 +1,144 @@
+"""Oracle tests: agreement on clean programs, detection of injected bugs."""
+
+import pytest
+
+from repro.difftest.generator import generate
+from repro.difftest.oracle import DifftestError, run_difftest
+from repro.faults.ir import NarrowCompare, ReadForWrite
+
+IDENTITY = """
+void dt(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) { co_stream_write(output, x); }
+  co_stream_close(output);
+}
+"""
+
+
+def test_clean_program_agrees():
+    r = run_difftest(IDENTITY, [1, 2, 3])
+    assert r.ok
+    assert r.outputs["output"] == [1, 2, 3]
+    assert r.cm_cycles == r.rtl_cycles > 0
+
+
+def test_generated_seeds_agree():
+    for seed in range(15):
+        prog = generate(seed)
+        r = run_difftest(prog.render(), prog.feed, filename=f"s{seed}.c")
+        assert r.ok, f"seed {seed}: {r.divergence.describe()}"
+
+
+def test_assertions_are_instrumented_and_compared():
+    src = """
+void dt(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    assert(x < 10);
+    co_stream_write(output, x);
+  }
+  co_stream_close(output);
+}
+"""
+    r = run_difftest(src, [3, 50])
+    assert r.ok
+    assert r.assertions == 1
+    # the failing assertion produced an error code on the __afail stream
+    # in *all three* models, so agreement still holds
+    assert r.outputs["__afail"] == [0xA000]
+
+
+def test_narrow_compare_fault_detected():
+    src = """
+void dt(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    if (x > 70000) { co_stream_write(output, (uint32)(1)); }
+    else { co_stream_write(output, (uint32)(0)); }
+  }
+  co_stream_close(output);
+}
+"""
+    # 131072 truncates to 0 at 16 bits, flipping the faulted compare
+    r = run_difftest(src, [5, 131072], faults=(NarrowCompare(width=16),))
+    assert not r.ok
+    d = r.divergence
+    assert d.phase == "interp-vs-cyclemodel"
+    assert d.kind == "stream-data"
+    assert d.stream == "output"
+    assert d.values["interp"] != d.values["cyclemodel"]
+
+
+def test_read_for_write_fault_detected_as_hang():
+    src = """
+void dt(co_stream input, co_stream output) {
+  uint32 x;
+  uint32 flag[2];
+  uint32 i;
+  while (co_stream_read(input, &x)) {
+    flag[0] = 0;
+    flag[1] = x;
+    i = 0;
+    while (flag[0] == 0) { flag[0] = flag[1]; i += 1; }
+    co_stream_write(output, (uint32)(i));
+  }
+  co_stream_close(output);
+}
+"""
+    r = run_difftest(src, [7], faults=(ReadForWrite(array="flag"),),
+                     max_cycles=3000)
+    assert not r.ok
+    assert r.divergence.kind == "hang"
+    assert r.divergence.phase == "interp-vs-cyclemodel"
+
+
+def test_reintroduced_signed_division_bug_is_localized(monkeypatch):
+    # undo the satellite fix through its seam: divide raw bit patterns
+    monkeypatch.setattr("repro.rtl.sim._value_operands",
+                        lambda a, b, expr: (a, b))
+    src = """
+void dt(co_stream input, co_stream output) {
+  uint32 x; int8 v;
+  while (co_stream_read(input, &x)) {
+    v = ((int8)x) / 3;
+    co_stream_write(output, (uint32)(v));
+  }
+  co_stream_close(output);
+}
+"""
+    r = run_difftest(src, [0xF3])  # (int8)0xF3 == -13; -13/3 == -4 in C
+    assert not r.ok
+    d = r.divergence
+    # the report names the divergent phase, stream, cycle, FSM state and
+    # the first register that went wrong — the in-circuit localization
+    assert d.phase == "cyclemodel-vs-rtl"
+    assert d.kind == "stream-data"
+    assert d.stream == "output"
+    assert d.cycle is not None and d.cycle > 0
+    assert d.state is not None
+    assert d.signal is not None and d.signal.startswith("r_")
+    assert d.values["cyclemodel"] != d.values["rtl"]
+    assert "cycle" in d.as_dict() and "state" in d.as_dict()
+
+
+def test_bad_program_is_harness_error_not_divergence():
+    with pytest.raises(DifftestError):
+        run_difftest("void dt(co_stream o) { garbage }", [])
+
+
+def test_divergence_report_roundtrips_to_dict():
+    src = """
+void dt(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    if (x > 70000) { co_stream_write(output, (uint32)(1)); }
+    else { co_stream_write(output, (uint32)(0)); }
+  }
+  co_stream_close(output);
+}
+"""
+    r = run_difftest(src, [131072], faults=(NarrowCompare(width=16),))
+    d = r.divergence.as_dict()
+    assert d["phase"] and d["kind"] and d["message"]
+    assert "describe" not in d
+    assert isinstance(r.divergence.describe(), str)

@@ -1,0 +1,75 @@
+"""Reducer tests: convergence to a minimal still-failing reproducer."""
+
+from repro.difftest.generator import generate
+from repro.difftest.oracle import run_difftest
+from repro.difftest.reduce import reduce_program, same_bug
+
+
+def _break_rtl_signed_division(monkeypatch):
+    monkeypatch.setattr("repro.rtl.sim._value_operands",
+                        lambda a, b, expr: (a, b))
+
+
+def _find_diverging_seed():
+    for seed in range(20):
+        prog = generate(seed)
+        r = run_difftest(prog.render(), prog.feed)
+        if not r.ok:
+            return prog, r.divergence
+    raise AssertionError("no diverging seed in 0..20 with the bug on")
+
+
+def test_reducer_shrinks_and_preserves_failure(monkeypatch):
+    _break_rtl_signed_division(monkeypatch)
+    prog, original = _find_diverging_seed()
+
+    def check(candidate):
+        r = run_difftest(candidate.render(), candidate.feed)
+        return same_bug(original, r.divergence)
+
+    reduced = reduce_program(prog, check, max_checks=150)
+    assert reduced.stmt_count() <= prog.stmt_count()
+    assert len(reduced.feed) <= len(prog.feed)
+    # the reduced program still exhibits the same bug...
+    final = run_difftest(reduced.render(), reduced.feed)
+    assert same_bug(original, final.divergence)
+    # ...and is genuinely small: the signed-division kernel alone
+    assert reduced.stmt_count() <= 4
+
+
+def test_reducer_is_identity_when_nothing_shrinks(monkeypatch):
+    _break_rtl_signed_division(monkeypatch)
+    prog, _ = _find_diverging_seed()
+
+    # reject every candidate: reduction must return the input unchanged
+    reduced = reduce_program(prog, lambda c: False, max_checks=50)
+    assert reduced.render() == prog.render()
+    assert reduced.feed == prog.feed
+
+
+def test_reducer_respects_check_budget(monkeypatch):
+    _break_rtl_signed_division(monkeypatch)
+    prog, original = _find_diverging_seed()
+    calls = [0]
+
+    def counting_check(candidate):
+        calls[0] += 1
+        r = run_difftest(candidate.render(), candidate.feed)
+        return same_bug(original, r.divergence)
+
+    reduce_program(prog, counting_check, max_checks=10)
+    assert calls[0] <= 11  # budget + the final decl-prune verification
+
+
+def test_same_bug_matches_phase_and_kind():
+    from repro.difftest.oracle import Divergence
+
+    a = Divergence("cyclemodel-vs-rtl", "stream-data", "m")
+    b = Divergence("cyclemodel-vs-rtl", "stream-data", "other msg")
+    c = Divergence("interp-vs-cyclemodel", "stream-data", "m")
+    d = Divergence("cyclemodel-vs-rtl", "hang", "m")
+    assert same_bug(a, b)
+    assert not same_bug(a, c)
+    assert not same_bug(a, d)
+    assert not same_bug(a, None)
+    assert not same_bug(None, None)

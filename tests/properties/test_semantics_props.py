@@ -94,3 +94,71 @@ def test_division_reconstruction(a, b):
     if y != 0:
         assert q * y + r == x
         assert abs(r) < abs(y)
+
+
+# ---- C-reference properties (difftest satellite): binop/cast must match
+# an independently written model of the C rules, not just reconstruct.
+
+
+def _c_div(x, y):
+    q = abs(x) // abs(y)
+    return -q if (x < 0) != (y < 0) else q
+
+
+@given(typed_value(), typed_value())
+def test_div_mod_match_c_reference(a, b):
+    (av, at), (bv, bt) = a, b
+    from fractions import Fraction
+
+    from repro.frontend.ctypes_ import common_type
+
+    ct = common_type(at, bt)
+    x = semantics.interpret(truncate(as_math(av, at), ct.width), ct)
+    y = semantics.interpret(truncate(as_math(bv, bt), ct.width), ct)
+    if y == 0:
+        return
+    q = semantics.binop(OpKind.DIV, av, at, bv, bt)
+    r = semantics.binop(OpKind.MOD, av, at, bv, bt)
+    assert q == _c_div(x, y)
+    assert q == int(Fraction(x, y))  # trunc toward zero, independently
+    assert r == x - _c_div(x, y) * y
+
+
+@given(typed_value(), st.integers(min_value=0, max_value=63))
+def test_shr_matches_c_reference(a, amt):
+    av, at = a
+    r = semantics.binop(OpKind.SHR, av, at, amt, CType(32, False))
+    if at.signed:
+        # arithmetic shift: floor division of the signed value
+        assert r == sign_extend(av, at.width) >> amt
+    else:
+        assert r == av >> amt
+
+
+@given(typed_value(), st.integers(min_value=0, max_value=63))
+def test_shl_promotes_signed_operand(a, amt):
+    # C promotes the left operand before shifting: a negative int16
+    # shifts as its value, not as its 16-bit pattern (difftest seed 151)
+    av, at = a
+    r = semantics.binop(OpKind.SHL, av, at, amt, CType(32, False))
+    assert r == as_math(av, at) << amt
+
+
+@given(typed_value(), st.integers(min_value=1, max_value=64))
+def test_zext_sext_match_c_reference(a, dw):
+    av, at = a
+    z = truncate(semantics.cast(OpKind.ZEXT, av, at), dw)
+    s = truncate(semantics.cast(OpKind.SEXT, av, at), dw)
+    assert z == truncate(av, min(at.width, dw)) or dw >= at.width
+    assert z == truncate(truncate(av, at.width), dw)
+    assert s == truncate(sign_extend(av, at.width), dw)
+    if not (av >> (at.width - 1)) & 1:  # non-negative: both agree
+        assert z == s
+
+
+@given(typed_value())
+def test_mov_trunc_normalize_at_source_width(a):
+    av, at = a
+    wide = av | (1 << 65)  # junk above the source width must be dropped
+    assert semantics.cast(OpKind.MOV, wide, at) == truncate(wide, at.width)
+    assert semantics.cast(OpKind.TRUNC, wide, at) == truncate(wide, at.width)

@@ -188,3 +188,76 @@ void f(co_stream output) {
     RtlSim(bad.rtl, {"output": out_bad}).run()
     assert list(out_good.queue) == [0]
     assert list(out_bad.queue) == [1]
+
+
+@pytest.mark.parametrize("ty,vals", [
+    ("int8", [3, 125, 128, 243, 255]),       # patterns incl. -128, -13, -1
+    ("int16", [7, 32767, 32768, 65523]),     # incl. -32768, -13
+    ("int32", [13, 2147483647, 2147483648, 4294967283]),
+])
+def test_signed_division_negative_dividends_agree(ty, vals):
+    # the historical bug: RtlSim divided the unsigned bit patterns, so the
+    # truncate-toward-zero sign correction never fired for negative values
+    src = f"""
+void f(co_stream input, co_stream output) {{
+  uint32 x; {ty} v;
+  while (co_stream_read(input, &x)) {{
+    v = ({ty})x;
+    co_stream_write(output, (uint32)(v / 3));
+    co_stream_write(output, (uint32)(v % 3));
+    co_stream_write(output, (uint32)(v / (-5)));
+    co_stream_write(output, (uint32)(v % (-5)));
+  }}
+  co_stream_close(output);
+}}
+"""
+    cm, rt = run_both(src, vals)
+    assert cm == rt
+
+
+def test_signed_division_matches_c_reference():
+    # -13 / 3 == -4 (not -5): C truncates toward zero
+    src = """
+void f(co_stream input, co_stream output) {
+  int16 v;
+  uint32 x;
+  while (co_stream_read(input, &x)) {
+    v = (int16)x;
+    co_stream_write(output, (uint32)(v / 3));
+  }
+  co_stream_close(output);
+}
+"""
+    cm, rt = run_both(src, [(-13) & 0xFFFF])
+    assert rt[1] == [(-4) & 0xFFFFFFFF]
+    assert cm == rt
+
+
+def _identity_cp():
+    return compile_one("""
+void f(co_stream input, co_stream output) {
+  uint32 x;
+  while (co_stream_read(input, &x)) { co_stream_write(output, x); }
+  co_stream_close(output);
+}
+""")
+
+
+def test_unconnected_stream_binding_raises():
+    cp = _identity_cp()
+    with pytest.raises(SimulationError, match="neither"):
+        RtlSim(cp.rtl, {"input": Channel("i"), "outptu": Channel("o")})
+
+
+def test_stream_role_error_names_module_streams():
+    cp = _identity_cp()
+    with pytest.raises(SimulationError, match="output"):
+        RtlSim(cp.rtl, {"input": Channel("i"), "bogus": Channel("o")})
+
+
+def test_writer_requires_explicit_we_port():
+    # correct bindings classify: input is a reader, output a writer
+    cp = _identity_cp()
+    sim = RtlSim(cp.rtl, {"input": Channel("i"), "output": Channel("o")})
+    assert set(sim._readers) == {"input"}
+    assert set(sim._writers) == {"output"}
