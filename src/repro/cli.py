@@ -1,11 +1,13 @@
 """Command-line interface: compile dialect C to Verilog + reports.
 
     python -m repro compile app.c [--assertions LEVEL] [-o OUTDIR]
+    python -m repro synth app.c [--color | --json] [--bundle DIR]
     python -m repro report  app.c [--assertions LEVEL]
     python -m repro simulate app.c --feed 1,2,3 [--assertions LEVEL]
     python -m repro campaign --app tripledes --seed 0 --count 8 [--jobs N]
     python -m repro sweep --apps loopback:4,edge:16x8 --levels none,optimized \\
         --jobs 4 --store lab-runs --cache lab-cache
+    python -m repro replay lab-runs/<run>/bundles/<point>
 
 ``compile`` writes one ``.v`` file per process plus ``report.txt`` (area,
 Fmax, pipeline timing). ``report`` prints the original-vs-assert overhead
@@ -17,6 +19,12 @@ detection-coverage matrix (assertion vs. watchdog vs. silent). ``sweep``
 runs a declarative design-space cross product (app x assertion level x
 optimization variant) through the parallel lab executor with a
 content-addressed synthesis cache and a resumable JSONL result store.
+``synth`` runs the collect-mode frontend (every error in one pass,
+Clang-style caret excerpts, stable ``RPR-*`` codes) and then full
+synthesis, optionally writing a replayable failure bundle. ``replay``
+re-runs a failure bundle (from ``synth``, a sweep, a campaign or a
+difftest) and exits 0 iff the recorded diagnostics reproduce
+byte-for-byte.
 
 The C file must contain exactly one process whose first stream parameter
 is the input and second the output (the common case); richer task graphs
@@ -63,6 +71,115 @@ def _options(args) -> SynthesisOptions:
         share=not args.no_share,
         multichecker=args.multichecker,
     )
+
+
+def _options_dict(args) -> dict:
+    return {
+        "parallelize": not args.no_parallelize,
+        "replicate": not args.no_replicate,
+        "share": not args.no_share,
+        "multichecker": args.multichecker,
+    }
+
+
+def cmd_synth(args) -> int:
+    import json as _json
+
+    from repro.diagnostics import Diagnostic
+    from repro.diagnostics.bundle import write_bundle
+    from repro.diagnostics.codes import render_code_table
+    from repro.diagnostics.engine import synth_diagnostics
+    from repro.diagnostics.render import render_diagnostics
+
+    if args.help_codes:
+        print(render_code_table())
+        return 0
+    if not args.source:
+        raise SystemExit("synth: a source file is required "
+                         "(or use --help-codes)")
+    with open(args.source) as fh:
+        source = fh.read()
+    filename = os.path.basename(args.source)
+    feed = [int(v, 0) for v in args.feed.split(",")] if args.feed else []
+    options = _options_dict(args)
+
+    _check, diags = synth_diagnostics(
+        source, filename=filename, level=args.assertions,
+        options=options, feed=feed or None,
+    )
+    failed = any(d.get("severity") == "error" for d in diags)
+
+    if args.json:
+        print(_json.dumps({"diagnostics": diags}, indent=2, sort_keys=True))
+    else:
+        if diags:
+            print(render_diagnostics(
+                [Diagnostic.from_dict(d) for d in diags],
+                sources={filename: source}, color=args.color,
+            ))
+        if not failed:
+            print(f"{filename}: synthesized cleanly "
+                  f"(assertions={args.assertions})")
+
+    if failed and args.bundle:
+        path = write_bundle(
+            args.bundle, "synth", diags,
+            context={
+                "filename": filename,
+                "level": args.assertions,
+                "options": options,
+                "feed": feed or None,
+            },
+            source=source,
+        )
+        print(f"failure bundle: {path}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_replay(args) -> int:
+    import json as _json
+
+    from repro.diagnostics import Diagnostic
+    from repro.diagnostics.bundle import read_bundle, replay_bundle
+    from repro.diagnostics.render import render_diagnostics
+    from repro.errors import ReproError
+
+    try:
+        bundle = read_bundle(args.bundle)
+        result = replay_bundle(bundle)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.json:
+        print(_json.dumps(
+            {"kind": bundle.kind, "reproduced": result.ok,
+             "expected": bundle.diagnostics, "actual": result.diagnostics},
+            indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+
+    # the bundled source is keyed under every file its spans mention, so
+    # caret excerpts render no matter what the original filename was
+    sources = {}
+    if bundle.source is not None:
+        for d in result.diagnostics:
+            span = d.get("span") or {}
+            if span.get("file"):
+                sources[span["file"]] = bundle.source
+    if result.diagnostics:
+        print(render_diagnostics(
+            [Diagnostic.from_dict(d) for d in result.diagnostics],
+            sources=sources, color=args.color,
+        ))
+    else:
+        print(f"{args.bundle}: replay produced no diagnostics")
+    if result.ok:
+        print(f"{args.bundle}: {bundle.kind} failure reproduced "
+              "bit-identically")
+        return 0
+    print(f"{args.bundle}: replay DIVERGED from the recorded diagnostics "
+          "(the failure did not reproduce; toolchain or environment "
+          "changed since the bundle was written)", file=sys.stderr)
+    return 1
 
 
 def cmd_compile(args) -> int:
@@ -189,8 +306,7 @@ def _parse_app_token(token: str):
                             **({"text": arg} if arg else {}))
     raise SweepError(
         f"unknown app {kind!r}; have loopback[:N], edge[:WxH], "
-        f"tripledes[:TEXT]"
-    )
+        f"tripledes[:TEXT]", code="RPR-W005")
 
 
 def cmd_sweep(args) -> int:
@@ -306,6 +422,40 @@ def main(argv: list[str] | None = None) -> int:
     common(p)
     p.add_argument("-o", "--outdir", default="build")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "synth",
+        help="collect-mode diagnostics: report every error in one pass",
+    )
+    p.add_argument("source", nargs="?", default=None,
+                   help="dialect C file with one process")
+    p.add_argument("--assertions", default="optimized",
+                   choices=("none", "unoptimized", "optimized"))
+    p.add_argument("--no-parallelize", action="store_true")
+    p.add_argument("--no-replicate", action="store_true")
+    p.add_argument("--no-share", action="store_true")
+    p.add_argument("--multichecker", action="store_true")
+    p.add_argument("--feed", default="", help="comma-separated input words")
+    p.add_argument("--color", action="store_true",
+                   help="ANSI-colored diagnostics")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostics on stdout")
+    p.add_argument("--bundle", default=None, metavar="DIR",
+                   help="on failure, write a replayable bundle here")
+    p.add_argument("--help-codes", action="store_true",
+                   help="print the RPR-* error-code category table")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-run a failure bundle; exit 0 iff it reproduces exactly",
+    )
+    p.add_argument("bundle", help="bundle directory (manifest.json inside)")
+    p.add_argument("--color", action="store_true",
+                   help="ANSI-colored diagnostics")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable comparison on stdout")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="print the overhead table")
     common(p)

@@ -60,8 +60,7 @@ def instrument_unoptimized(
     """
     if fail_param in func.stream_names():
         raise AssertionSynthesisError(
-            f"{func.name}: already instrumented ({fail_param} exists)"
-        )
+            f"{func.name}: already instrumented ({fail_param} exists)", code="RPR-A001")
     converted = 0
     while True:
         sites = find_assert_checks(func)

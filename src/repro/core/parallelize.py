@@ -152,8 +152,7 @@ def _build_checker(
     cond = local.get(root.name, rename.get(root.name))
     if cond is None:
         raise AssertionSynthesisError(
-            f"{name}: condition root {root.name} neither tapped nor recomputed"
-        )
+            f"{name}: condition root {root.name} neither tapped nor recomputed", code="RPR-A020")
     ln = chk.new_temp(U1, "ln")
     body.instrs.append(Instr(OpKind.LNOT, [ln], [cond]))
     body.term = Branch(ln, "failb", "latch")
@@ -192,8 +191,7 @@ def parallelize_function(
         root = instr.args[0]
         if not isinstance(root, Temp):
             raise AssertionSynthesisError(
-                f"{func.name}: assert condition is not a temp (lowering bug)"
-            )
+                f"{func.name}: assert condition is not a temp (lowering bug)", code="RPR-A021")
         support = condition_support(func, bname, root)
         support_order = sorted(support)
         types: list[tuple[str, CType]] = []
@@ -201,8 +199,7 @@ def parallelize_function(
             ty = func.scalars.get(n)
             if ty is None:
                 raise AssertionSynthesisError(
-                    f"{func.name}: support value {n!r} has no scalar type"
-                )
+                    f"{func.name}: support value {n!r} has no scalar type", code="RPR-A022")
             types.append((n, ty))
         slice_idx = _collect_condition_slice(block, root, support)
         slice_instrs = [block.instrs[i] for i in slice_idx]

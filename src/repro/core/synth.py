@@ -80,8 +80,7 @@ def synthesize(
     """
     if assertions not in LEVELS:
         raise AssertionSynthesisError(
-            f"assertions={assertions!r}; expected one of {LEVELS}"
-        )
+            f"assertions={assertions!r}; expected one of {LEVELS}", code="RPR-A002")
     options = options or SynthesisOptions()
     if assertions == "optimized" and not options.parallelize:
         # without parallelization the "optimized" level degenerates to the

@@ -85,14 +85,12 @@ def extract_latency_regions(
             if role == "start":
                 if region_id in starts:
                     raise AssertionSynthesisError(
-                        f"{process_name}: duplicate co_latency_start({region_id})"
-                    )
+                        f"{process_name}: duplicate co_latency_start({region_id})", code="RPR-A010")
                 starts[region_id] = channel
             else:
                 if region_id in ends:
                     raise AssertionSynthesisError(
-                        f"{process_name}: duplicate co_latency_end({region_id})"
-                    )
+                        f"{process_name}: duplicate co_latency_end({region_id})", code="RPR-A011")
                 ends[region_id] = (
                     channel,
                     instr.attrs["latency_bound"],
@@ -101,8 +99,7 @@ def extract_latency_regions(
     for region_id, (end_channel, bound, site) in sorted(ends.items()):
         if region_id not in starts:
             raise AssertionSynthesisError(
-                f"{process_name}: co_latency_end({region_id}) without start"
-            )
+                f"{process_name}: co_latency_end({region_id}) without start", code="RPR-A012")
         spec.regions.append(
             LatencyRegion(
                 region_id=region_id,
@@ -116,8 +113,7 @@ def extract_latency_regions(
     for region_id in starts:
         if region_id not in ends:
             raise AssertionSynthesisError(
-                f"{process_name}: co_latency_start({region_id}) without end"
-            )
+                f"{process_name}: co_latency_start({region_id}) without end", code="RPR-A013")
     return spec
 
 

@@ -1,0 +1,59 @@
+"""Exception → diagnostic bridge for the hard-error remainder.
+
+Not every failure flows through a sink: HLS scheduling, codegen and the
+simulators still raise, and orchestration workers can die on arbitrary
+Python exceptions. This bridge turns any caught exception into structured
+diagnostic dicts so the lab executor, sweeps, campaigns and difftest can
+journal machine-readable failures instead of traceback strings. A
+:class:`ReproError` maps to its own coded diagnostic; anything else
+becomes the generic internal-error code ``RPR-E999`` with the traceback
+preserved as notes.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.diagnostics.core import Diagnostic
+from repro.errors import ReproError
+
+__all__ = ["INTERNAL_ERROR_CODE", "diagnostic_from_exception",
+           "diagnostics_from_exception"]
+
+INTERNAL_ERROR_CODE = "RPR-E999"
+
+
+def diagnostic_from_exception(exc: BaseException,
+                              max_trace_lines: int = 20) -> Diagnostic:
+    """One structured diagnostic for any exception."""
+    if isinstance(exc, ReproError):
+        diag = exc.diagnostic()
+        cause = exc.__cause__
+        # concurrent.futures chains a synthetic _RemoteTraceback onto any
+        # exception unpickled from a pool worker; noting it would embed a
+        # machine-specific traceback and break bit-identical bundle replay
+        if cause is not None and not isinstance(cause, ReproError) \
+                and type(cause).__name__ != "_RemoteTraceback":
+            diag = diag.replace(notes=(
+                *diag.notes,
+                f"caused by {type(cause).__name__}: {cause}",
+            ))
+        return diag
+    trace = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    lines = "".join(trace).rstrip("\n").split("\n")
+    if len(lines) > max_trace_lines:
+        lines = ["..."] + lines[-max_trace_lines:]
+    return Diagnostic(
+        code=INTERNAL_ERROR_CODE,
+        severity="error",
+        message=f"{type(exc).__name__}: {exc}",
+        notes=tuple(lines),
+        hint="internal error — not a problem with the input design; "
+             "please report it with the failure bundle",
+    )
+
+
+def diagnostics_from_exception(exc: BaseException) -> list[dict]:
+    """JSON-ready diagnostic dicts for one exception (the shape result
+    records and :class:`~repro.lab.executor.PointOutcome` carry)."""
+    return [diagnostic_from_exception(exc).to_dict()]

@@ -1,0 +1,38 @@
+"""Error-code conventions and lookup.
+
+Codes are ``RPR-<category letter><3 digits>`` — e.g. ``RPR-P012`` is the
+twelfth preprocessor diagnostic. The category table lives next to the
+exception hierarchy (:data:`repro.errors.CODE_PREFIXES`) so a class can
+never be added without a prefix; this module adds the string-level
+helpers tooling needs (validation for the CI lint, prose lookup for
+``repro synth --help-codes`` and the README).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CODE_PREFIXES
+
+__all__ = ["CODE_RE", "describe_code", "is_valid_code", "render_code_table"]
+
+CODE_RE = re.compile(r"^RPR-[A-Z]\d{3}$")
+
+
+def is_valid_code(code: str) -> bool:
+    """True for a well-formed code with a registered category prefix."""
+    return bool(CODE_RE.match(code)) and code[:5] in CODE_PREFIXES
+
+
+def describe_code(code: str) -> str:
+    """Category prose for a code (empty string when unregistered)."""
+    return CODE_PREFIXES.get(code[:5], "")
+
+
+def render_code_table() -> str:
+    """The category table as plain text (for ``--help-codes``)."""
+    width = max(len(p) for p in CODE_PREFIXES)
+    lines = ["error-code categories (RPR-<letter><3 digits>):", ""]
+    for prefix, prose in CODE_PREFIXES.items():
+        lines.append(f"  {prefix:<{width}}xxx  {prose}")
+    return "\n".join(lines)

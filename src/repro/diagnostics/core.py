@@ -1,0 +1,84 @@
+"""The :class:`Diagnostic` record — one structured toolchain finding.
+
+Modeled on the production diagnostic infrastructures surveyed in
+PAPERS.md (Clang's coded, source-located diagnostics; CBMC's structured
+property-violation traces): a stable error code, a severity, a primary
+message anchored at a :class:`~repro.diagnostics.span.Span`, secondary
+notes and an optional fix hint. Diagnostics serialize to plain JSON
+dicts, which is what lab/campaign/difftest result records and failure
+bundles store, and what ``repro replay`` compares bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.diagnostics.span import Span
+
+__all__ = ["Diagnostic", "SEVERITIES"]
+
+#: ordered from most to least severe
+SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: code + severity + message (+ span, notes, hint)."""
+
+    code: str
+    severity: str
+    message: str
+    span: Span | None = None
+    notes: tuple[str, ...] = ()
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not in {SEVERITIES}"
+            )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def replace(self, **changes) -> "Diagnostic":
+        return _dc_replace(self, **changes)
+
+    def one_line(self) -> str:
+        """Compact single-line form for logs and progress output."""
+        loc = f"{self.span}: " if self.span is not None else ""
+        return f"{loc}{self.severity}[{self.code}]: {self.message}"
+
+    # ---- JSON round trip -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = self.span.to_dict()
+        if self.notes:
+            out["notes"] = list(self.notes)
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            code=str(data["code"]),
+            severity=str(data.get("severity", "error")),
+            message=str(data.get("message", "")),
+            span=Span.from_dict(data.get("span")),
+            notes=tuple(data.get("notes", ())),
+            hint=data.get("hint"),
+        )
+
+    def sort_key(self) -> tuple:
+        """Source order: file, line, col, then severity rank."""
+        span = self.span or Span(file="￿")
+        return (span.file, span.line, span.col,
+                SEVERITIES.index(self.severity), self.code)

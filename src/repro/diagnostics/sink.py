@@ -1,0 +1,85 @@
+"""The :class:`DiagnosticSink` — collect instead of raising.
+
+A sink is threaded through the frontend (preprocessor, parser, lowering)
+and the IR verifier. Components report problems with :meth:`emit` (a
+ready-made :class:`Diagnostic`) or :meth:`capture` (a caught
+:class:`ReproError`); in **collect** mode the component then recovers —
+skips the bad declaration/statement and keeps going — so one compile run
+reports *every* error. In **strict** mode (the default everywhere, so
+existing callers see no behavior change) ``capture`` re-raises the
+original exception and ``emit`` raises a :class:`DiagnosticError`,
+preserving raise-on-first semantics.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics.core import Diagnostic
+from repro.errors import DiagnosticError, ReproError
+
+__all__ = ["DiagnosticSink"]
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics; strict mode turns errors back into raises."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.diagnostics: list[Diagnostic] = []
+
+    # ---- reporting -------------------------------------------------------
+
+    def emit(self, diag: Diagnostic) -> None:
+        """Record ``diag``; in strict mode an error severity raises."""
+        self.diagnostics.append(diag)
+        if self.strict and diag.is_error:
+            raise DiagnosticError.from_diagnostic(diag)
+
+    def capture(self, exc: ReproError) -> None:
+        """Record a caught toolchain error; in strict mode re-raise it.
+
+        This is the recovery point: callers do
+        ``except ReproError as exc: sink.capture(exc)`` and continue with
+        the next declaration/statement — which in strict mode degenerates
+        to not catching at all.
+        """
+        if self.strict:
+            raise exc
+        self.diagnostics.append(exc.diagnostic())
+
+    def note(self, message: str, span=None) -> None:
+        """Attach a secondary note to the most recent diagnostic."""
+        if not self.diagnostics:
+            self.emit(Diagnostic(code="RPR-E001", severity="note",
+                                 message=message, span=span))
+            return
+        last = self.diagnostics[-1]
+        self.diagnostics[-1] = last.replace(notes=(*last.notes, message))
+
+    # ---- queries ---------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics in source order (stable for JSON output)."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def raise_if_errors(self) -> None:
+        """Raise the first collected error (source order) if any."""
+        errs = [d for d in self.sorted() if d.is_error]
+        if errs:
+            raise DiagnosticError.from_diagnostic(errs[0])
+
+    def to_dicts(self) -> list[dict]:
+        return [d.to_dict() for d in self.sorted()]

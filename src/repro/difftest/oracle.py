@@ -45,7 +45,8 @@ from repro.rtl.sim import RtlSim
 from repro.utils.bitops import truncate
 from repro.utils.idgen import stable_fingerprint
 
-__all__ = ["DiffReport", "DifftestError", "Divergence", "run_difftest"]
+__all__ = ["DiffReport", "DifftestError", "Divergence",
+           "divergence_diagnostics", "run_difftest"]
 
 #: error codes for instrumented assertions start here (matches nothing a
 #: generated program writes on its own data stream)
@@ -55,6 +56,8 @@ ASSERT_CODE_BASE = 0xA000
 class DifftestError(ReproError):
     """The harness itself failed (bad program, compile error) — distinct
     from a genuine model divergence."""
+
+    code_prefix = "RPR-Y"
 
 
 @dataclass
@@ -97,6 +100,39 @@ class Divergence:
             vals = ", ".join(f"{k}={v}" for k, v in self.values.items())
             bits.append(f"({vals})")
         return " ".join(bits)
+
+
+#: diagnostic code for a genuine model divergence (harness errors keep
+#: their own RPR-Y00x codes)
+DIVERGENCE_CODE = "RPR-Y100"
+
+
+def divergence_diagnostics(div) -> list[dict]:
+    """Structured diagnostic dicts for a divergence (or ``[]`` for None).
+
+    Accepts a :class:`Divergence` or its :meth:`Divergence.as_dict` form.
+    Deterministic for a fixed divergence, which is what lets difftest
+    failure bundles replay bit-identically: the bundle stores the dicts
+    this produced at campaign time, and ``repro replay`` compares them
+    against a fresh run through the same function.
+    """
+    from repro.diagnostics.core import Diagnostic
+
+    if div is None:
+        return []
+    if isinstance(div, dict):
+        fields = {k: div[k] for k in ("phase", "kind", "message", "stream",
+                                      "index", "cycle", "state", "location",
+                                      "signal", "values") if k in div}
+        div = Divergence(**fields)
+    return [Diagnostic(
+        code=DIVERGENCE_CODE,
+        severity="error",
+        message=div.describe(),
+        notes=(div.message,),
+        hint="replay the failure bundle with 'repro replay' to confirm "
+             "the divergence reproduces",
+    ).to_dict()]
 
 
 @dataclass
@@ -146,10 +182,10 @@ def _prepare(source: str, filename: str) -> tuple[IRFunction, int]:
     try:
         module = lower_source(source, filename=filename)
     except ReproError as exc:
-        raise DifftestError(f"frontend rejected program: {exc}") from exc
+        raise DifftestError(f"frontend rejected program: {exc}", code="RPR-Y001") from exc
     names = sorted(module.functions)
     if len(names) != 1:
-        raise DifftestError(f"expected one process, got {names}")
+        raise DifftestError(f"expected one process, got {names}", code="RPR-Y002")
     func = module.functions[names[0]].clone()
     has_asserts = any(i.op == OpKind.ASSERT_CHECK
                       for i in func.instructions())
@@ -173,7 +209,7 @@ def _compile(func: IRFunction, faults: tuple, cache) -> CompiledProcess:
         cp = compile_process(func, config)
         cp.rtl  # force codegen inside the cacheable unit
     except ReproError as exc:
-        raise DifftestError(f"HLS compile failed: {exc}") from exc
+        raise DifftestError(f"HLS compile failed: {exc}", code="RPR-Y003") from exc
     if key is not None:
         cache.put(key, cp)
     return cp
@@ -203,7 +239,7 @@ def run_difftest(
     func, n_asserts = _prepare(source, filename)
     reads, writes = _stream_roles(func)
     if len(reads) > 1:
-        raise DifftestError(f"expected at most one input stream, got {reads}")
+        raise DifftestError(f"expected at most one input stream, got {reads}", code="RPR-Y004")
     in_stream = next(iter(reads)) if reads else None
     out_streams = sorted(writes - reads)
     stimulus = {in_stream: list(feed)} if in_stream else {}
@@ -212,7 +248,7 @@ def run_difftest(
     try:
         ires, sw_out = run_to_completion(func, stimulus)
     except SimulationError as exc:
-        raise DifftestError(f"interpreter failed on program: {exc}") from exc
+        raise DifftestError(f"interpreter failed on program: {exc}", code="RPR-Y005") from exc
     sw_out = {s: sw_out.get(s, []) for s in out_streams}
 
     cp = _compile(func, faults, cache)
@@ -285,7 +321,7 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
     try:
         sim = RtlSim(cp.rtl, ch_rt)
     except SimulationError as exc:
-        raise DifftestError(f"RTL simulator rejected module: {exc}") from exc
+        raise DifftestError(f"RTL simulator rejected module: {exc}", code="RPR-Y006") from exc
 
     labels = {sc.index: sc.label for sc in cp.rtl.states}
     checked = {s: 0 for s in out_streams}

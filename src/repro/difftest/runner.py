@@ -17,8 +17,14 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.diagnostics.bundle import bundle_name, write_bundle
 from repro.difftest.generator import GenConfig, generate
-from repro.difftest.oracle import DiffReport, DifftestError, run_difftest
+from repro.difftest.oracle import (
+    DiffReport,
+    DifftestError,
+    divergence_diagnostics,
+    run_difftest,
+)
 from repro.difftest.reduce import reduce_program, same_bug
 from repro.lab.cache import SynthesisCache
 from repro.lab.executor import LabExecutor, PointOutcome
@@ -32,6 +38,7 @@ __all__ = [
     "evaluate_seed",
     "replay_seed_file",
     "run_difftest_campaign",
+    "write_divergence_bundle",
 ]
 
 SEED_SCHEMA = 1
@@ -98,6 +105,9 @@ def evaluate_seed(args: tuple) -> dict:
         return record
 
     record["divergence"] = report.divergence.as_dict()
+    # which program record["divergence"] localizes — the failure bundle
+    # must pair the divergence with the program that produced it
+    record["divergence_program"] = "original"
     record["source"] = prog.render()
     record["feed"] = list(prog.feed)
     if spec.reduce:
@@ -120,7 +130,34 @@ def evaluate_seed(args: tuple) -> dict:
         # the reduced program's localization is the one worth reading
         if final.divergence is not None:
             record["divergence"] = final.divergence.as_dict()
+            record["divergence_program"] = "reduced"
     return record
+
+
+def write_divergence_bundle(run: RunHandle, spec: DifftestSpec,
+                            record: dict) -> Path:
+    """Persist one diverging seed as a replayable failure bundle.
+
+    Pairs the recorded divergence with the program that produced it (the
+    reduced one when reduction re-confirmed the bug), so ``repro replay``
+    re-runs exactly that program and compares diagnostics byte for byte.
+    """
+    if record.get("divergence_program") == "reduced":
+        source, feed = record["reduced_source"], record["reduced_feed"]
+    else:
+        source, feed = record["source"], record["feed"]
+    return write_bundle(
+        run.dir / "bundles" / bundle_name(record["point_id"]),
+        "difftest",
+        divergence_diagnostics(record.get("divergence")),
+        context={
+            "seed": record["seed"],
+            "feed": list(feed or []),
+            "filename": f"seed{record['seed']}.c",
+            "max_cycles": spec.max_cycles,
+        },
+        source=source,
+    )
 
 
 def write_seed_file(run: RunHandle, record: dict) -> Path:
@@ -151,7 +188,7 @@ def replay_seed_file(path: str, max_cycles: int = 200_000,
     else:
         source, feed = data.get("source"), data.get("feed")
     if not source:
-        raise DifftestError(f"{path}: no program source in seed file")
+        raise DifftestError(f"{path}: no program source in seed file", code="RPR-Y007")
     return run_difftest(source, feed or [], filename=Path(path).name,
                         max_cycles=max_cycles)
 
@@ -236,6 +273,7 @@ def run_difftest_campaign(
         "divergent": 0,
     }
     seed_files: list[str] = []
+    bundle_paths: list[str] = []
 
     def manifest(status: str, wall: float) -> dict:
         return {
@@ -249,6 +287,7 @@ def run_difftest_campaign(
             "store_root": str(store_root),
             "counters": dict(counters),
             "seed_files": list(seed_files),
+            "bundles": list(bundle_paths),
             "wall_time_s": round(wall, 3),
         }
 
@@ -271,13 +310,17 @@ def run_difftest_campaign(
                 counters["divergent"] += 1
                 path = write_seed_file(run, record)
                 seed_files.append(str(path))
+                bdir = write_divergence_bundle(run, spec, record)
+                record["bundle"] = str(bdir)
+                bundle_paths.append(str(bdir))
                 d = record.get("divergence", {})
                 note = f"DIVERGENT {d.get('phase')}/{d.get('kind')}"
             else:
                 note = f"agree ({record.get('cm_cycles')} cycles)"
         else:
             record = {"point_id": f"seed-{seed}", "seed": seed,
-                      "status": oc.status, "error": oc.error}
+                      "status": oc.status, "error": oc.error,
+                      "diagnostics": list(oc.diagnostics)}
             counters["failed"] += 1
             note = oc.error
         run.append(record)

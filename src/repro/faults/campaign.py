@@ -53,6 +53,7 @@ __all__ = [
     "WATCHDOG_DETECTED",
     "SILENT_CORRUPTION",
     "BENIGN",
+    "HARNESS_ERROR",
     "CLASSIFICATIONS",
     "Scenario",
     "RunOutcome",
@@ -73,6 +74,11 @@ CLASSIFICATIONS = (
     SILENT_CORRUPTION,
     BENIGN,
 )
+#: the harness itself failed on this cell (worker crash, synthesis bug);
+#: deliberately NOT in CLASSIFICATIONS — it says nothing about fault
+#: coverage, so it is excluded from detection rates, but the campaign
+#: keeps going and the matrix shows the hole instead of aborting
+HARNESS_ERROR = "harness-error"
 
 
 @dataclass
@@ -104,6 +110,8 @@ class RunOutcome:
     failures: int = 0
     quarantined: tuple[str, ...] = ()
     events: tuple[str, ...] = ()
+    #: structured diagnostic dicts, populated for harness-error cells
+    diagnostics: tuple = ()
 
     @property
     def cell(self) -> str:
@@ -114,6 +122,8 @@ class RunOutcome:
             return f"watchdog@{self.detection_latency}"
         if self.classification == SILENT_CORRUPTION:
             return "SILENT"
+        if self.classification == HARNESS_ERROR:
+            return "ERROR"
         return "benign"
 
 
@@ -131,20 +141,33 @@ class CampaignResult:
         for oc in self.outcomes:
             if oc.scenario == scenario and oc.level == level:
                 return oc
-        raise CampaignError(f"no outcome for {scenario!r} at {level!r}")
+        raise CampaignError(f"no outcome for {scenario!r} at {level!r}", code="RPR-G001")
 
     def summary(self, level: str | None = None) -> dict[str, int]:
         counts = {c: 0 for c in CLASSIFICATIONS}
         for oc in self.outcomes:
             if level is None or oc.level == level:
-                counts[oc.classification] += 1
+                # tolerant of classifications outside the coverage matrix
+                # (harness-error cells, future taxonomy growth)
+                counts[oc.classification] = \
+                    counts.get(oc.classification, 0) + 1
         return counts
 
+    @property
+    def harness_errors(self) -> list[RunOutcome]:
+        return [oc for oc in self.outcomes
+                if oc.classification == HARNESS_ERROR]
+
     def detection_rate(self, level: str) -> float:
-        """Fraction of non-benign scenarios detected (assertion or watchdog)."""
+        """Fraction of non-benign scenarios detected (assertion or watchdog).
+
+        Harness-error cells measure nothing about fault coverage and are
+        excluded from both numerator and denominator.
+        """
         harmful = detected = 0
         for oc in self.outcomes:
-            if oc.level != level or oc.classification == BENIGN:
+            if oc.level != level or \
+                    oc.classification in (BENIGN, HARNESS_ERROR):
                 continue
             harmful += 1
             if oc.classification in (ASSERTION_DETECTED, WATCHDOG_DETECTED):
@@ -169,7 +192,9 @@ class CampaignResult:
         lines = [self.matrix(), ""]
         for lv in self.levels:
             counts = self.summary(lv)
-            parts = ", ".join(f"{c}={counts[c]}" for c in CLASSIFICATIONS)
+            shown = list(CLASSIFICATIONS) + sorted(
+                c for c in counts if c not in CLASSIFICATIONS)
+            parts = ", ".join(f"{c}={counts[c]}" for c in shown)
             lines.append(
                 f"level={lv}: {parts}; "
                 f"detection rate {100.0 * self.detection_rate(lv):.0f}%"
@@ -263,7 +288,7 @@ def generate_scenarios(
         sd.name for sd in app.streams.values() if sd.role is None
     )
     if not streams:
-        raise CampaignError(f"{app.name}: no data streams to inject into")
+        raise CampaignError(f"{app.name}: no data streams to inject into", code="RPR-G002")
     procs = sorted(pd.name for pd in app.fpga_processes())
     widths = {sd.name: sd.width for sd in app.streams.values()}
     fed_lengths = [
@@ -452,6 +477,7 @@ def run_campaign(
     options: SynthesisOptions | None = None,
     jobs: int = 1,
     cache_root: str | None = None,
+    bundle_dir: str | None = None,
 ) -> CampaignResult:
     """Sweep ``count`` seeded scenarios across assertion ``levels``.
 
@@ -464,24 +490,33 @@ def run_campaign(
     for a given seed is identical at any job count. ``cache_root`` points
     at a :mod:`repro.lab.cache` directory so repeated levels synthesize
     once.
+
+    A cell whose *worker* fails (as opposed to a fault being injected) is
+    recorded as a ``harness-error`` outcome with structured diagnostics
+    instead of aborting the whole campaign; with ``bundle_dir`` set, each
+    such cell also writes a replayable failure bundle there.
     """
+    import dataclasses as _dc
+    from pathlib import Path
+
+    from repro.diagnostics.bundle import bundle_name, write_bundle
     from repro.lab.executor import LabExecutor
 
+    requested = target if isinstance(target, str) else None
     if isinstance(target, str):
         try:
             target = builtin_targets()[target]
         except KeyError:
             raise CampaignError(
                 f"unknown campaign target {target!r}; "
-                f"have {sorted(builtin_targets())}"
-            ) from None
+                f"have {sorted(builtin_targets())}", code="RPR-G003") from None
     app = target.build()
     sim = software_sim(app)
     if not sim.completed:
         raise CampaignError(
-            f"{target.name}: golden software simulation did not complete"
-        )
+            f"{target.name}: golden software simulation did not complete", code="RPR-G004")
     golden = {name: list(words) for name, words in sim.outputs.items()}
+    generated = scenarios is None
     scenarios = (
         list(scenarios) if scenarios is not None
         else generate_scenarios(app, seed=seed, count=count)
@@ -496,10 +531,33 @@ def run_campaign(
     outcomes = []
     for oc in executor.map(_run_one, grid):
         if not oc.ok:
-            raise CampaignError(
-                f"campaign worker failed on "
-                f"{grid[oc.index][2].name}@{grid[oc.index][3]}: {oc.error}"
-            ) from None
+            scenario, level = grid[oc.index][2], grid[oc.index][3]
+            outcome = RunOutcome(
+                scenario=scenario.name, level=level,
+                classification=HARNESS_ERROR, reason=oc.error, cycles=0,
+                diagnostics=tuple(oc.diagnostics),
+            )
+            # the cell is replayable only when its scenario can be
+            # regenerated from (target name, seed); custom targets and
+            # explicit scenario lists still get the outcome, just no bundle
+            if bundle_dir is not None and generated and requested is not None:
+                write_bundle(
+                    Path(bundle_dir)
+                    / bundle_name(f"{scenario.name}@{level}"),
+                    "campaign", list(oc.diagnostics),
+                    context={
+                        "target": requested,
+                        "seed": seed,
+                        "count": count,
+                        "scenario": scenario.name,
+                        "level": level,
+                        "nabort": nabort,
+                        "options": (_dc.asdict(options)
+                                    if options is not None else None),
+                    },
+                )
+            outcomes.append(outcome)
+            continue
         outcomes.append(oc.value)
     return CampaignResult(
         app=target.name,

@@ -124,5 +124,5 @@ def apply_faults(func: IRFunction, faults) -> IRFunction:
     for fault in faults:
         hits = fault.apply(hw)
         if hits == 0:
-            raise FaultError(f"{fault!r} matched nothing in {func.name!r}")
+            raise FaultError(f"{fault!r} matched nothing in {func.name!r}", code="RPR-F001")
     return hw

@@ -272,8 +272,7 @@ class RuntimeFaultInjector:
                 if fault.channel not in channels:
                     raise FaultError(
                         f"{fault!r} targets unknown channel {fault.channel!r}; "
-                        f"have {sorted(channels)}"
-                    )
+                        f"have {sorted(channels)}", code="RPR-F002")
                 ch = channels[fault.channel]
                 ch.faults.append(fault)
                 ch.clock = self
@@ -282,8 +281,7 @@ class RuntimeFaultInjector:
                 if self._execs and fault.process not in self._execs:
                     raise FaultError(
                         f"{fault!r} targets unknown process {fault.process!r}; "
-                        f"have {sorted(self._execs)}"
-                    )
+                        f"have {sorted(self._execs)}", code="RPR-F003")
 
     def tick(self) -> None:
         self.cycle += 1

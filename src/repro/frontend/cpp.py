@@ -27,6 +27,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.diagnostics.sink import DiagnosticSink
 from repro.errors import PreprocessorError
 
 _DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)\s*(.*?)\s*$")
@@ -87,11 +88,13 @@ def _eval_condition(expr: str, defines: dict[str, str], filename: str, lineno: i
     expr = expr.replace("&&", " and ").replace("||", " or ").replace("!", " not ")
     expr = expr.replace("not =", "!=")  # restore != damaged by the replace
     if not re.fullmatch(r"[\d\s()<>=!*+/%-]+|.*\b(and|or|not)\b.*", expr):
-        raise PreprocessorError(f"unsupported #if expression {expr!r}", filename, lineno)
+        raise PreprocessorError(f"unsupported #if expression {expr!r}",
+                                filename, lineno, code="RPR-P001")
     try:
         return bool(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized
     except Exception as exc:
-        raise PreprocessorError(f"bad #if expression: {exc}", filename, lineno) from exc
+        raise PreprocessorError(f"bad #if expression: {exc}", filename, lineno,
+                                code="RPR-P002") from exc
 
 
 def strip_comments(source: str) -> str:
@@ -133,11 +136,17 @@ def preprocess(
     source: str,
     defines: dict[str, str] | None = None,
     filename: str = "<source>",
+    sink: DiagnosticSink | None = None,
 ) -> PreprocessResult:
     """Preprocess ``source``; ``defines`` are predefined macros (e.g. NDEBUG).
 
-    Returns text with identical line numbering to the input.
+    Returns text with identical line numbering to the input. With a
+    collect-mode ``sink``, a malformed directive is reported and replaced
+    by a blank line (numbering intact) instead of aborting the whole
+    preprocess, so one run surfaces every directive error; without a sink
+    (or with a strict one) the first error raises, as before.
     """
+    sink = sink if sink is not None else DiagnosticSink(strict=True)
     source = strip_comments(source)
     macros: dict[str, str] = dict(defines or {})
     included: list[str] = []
@@ -148,6 +157,77 @@ def preprocess(
     def active() -> bool:
         return all(frame[0] for frame in stack)
 
+    def handle(directive: str, rest: str, lineno: int) -> None:
+        if directive == "define":
+            if active():
+                parts = rest.split(None, 1)
+                if not parts:
+                    raise PreprocessorError("#define needs a name",
+                                            filename, lineno, code="RPR-P003")
+                if "(" in parts[0]:
+                    raise PreprocessorError(
+                        "function-like macros are not supported by the dialect",
+                        filename,
+                        lineno,
+                        code="RPR-P004",
+                        hint="expand the macro by hand; only object-like "
+                             "#define NAME [value] is synthesizable",
+                    )
+                macros[parts[0]] = parts[1] if len(parts) > 1 else ""
+        elif directive == "undef":
+            if active():
+                macros.pop(rest.strip(), None)
+        elif directive == "include":
+            if active():
+                name = rest.strip().strip('"<>')
+                if name not in KNOWN_HEADERS:
+                    raise PreprocessorError(
+                        f"unknown include {name!r} (dialect headers: "
+                        f"{sorted(KNOWN_HEADERS)})",
+                        filename,
+                        lineno,
+                        code="RPR-P005",
+                    )
+                included.append(name)
+        elif directive == "ifdef":
+            taken = active() and rest.strip() in macros
+            stack.append([taken, taken, False])
+        elif directive == "ifndef":
+            taken = active() and rest.strip() not in macros
+            stack.append([taken, taken, False])
+        elif directive == "if":
+            taken = active() and _eval_condition(rest, macros, filename, lineno)
+            stack.append([taken, taken, False])
+        elif directive in ("elif", "else"):
+            if not stack:
+                raise PreprocessorError(f"#{directive} without #if",
+                                        filename, lineno, code="RPR-P006")
+            frame = stack[-1]
+            if frame[2]:
+                raise PreprocessorError(f"#{directive} after #else",
+                                        filename, lineno, code="RPR-P007")
+            parent_active = all(f[0] for f in stack[:-1])
+            if directive == "else":
+                frame[2] = True
+                frame[0] = parent_active and not frame[1]
+                frame[1] = frame[1] or frame[0]
+            else:
+                cond = parent_active and not frame[1] and _eval_condition(
+                    rest, macros, filename, lineno
+                )
+                frame[0] = cond
+                frame[1] = frame[1] or cond
+        elif directive == "endif":
+            if not stack:
+                raise PreprocessorError("#endif without #if",
+                                        filename, lineno, code="RPR-P008")
+            stack.pop()
+        else:
+            raise PreprocessorError(
+                f"unsupported directive #{directive}", filename, lineno,
+                code="RPR-P009",
+            )
+
     lines = source.split("\n")
     i = 0
     while i < len(lines):
@@ -157,75 +237,13 @@ def preprocess(
         # not need function-like macros or multi-line defines).
         m = _DIRECTIVE_RE.match(raw)
         if m and m.group(1) != "pragma":
-            directive, rest = m.group(1), m.group(2)
-            if directive == "define":
-                if active():
-                    parts = rest.split(None, 1)
-                    if not parts:
-                        raise PreprocessorError("#define needs a name", filename, lineno)
-                    if "(" in parts[0]:
-                        raise PreprocessorError(
-                            "function-like macros are not supported by the dialect",
-                            filename,
-                            lineno,
-                        )
-                    macros[parts[0]] = parts[1] if len(parts) > 1 else ""
-                out_lines.append("")
-            elif directive == "undef":
-                if active():
-                    macros.pop(rest.strip(), None)
-                out_lines.append("")
-            elif directive == "include":
-                if active():
-                    name = rest.strip().strip('"<>')
-                    if name not in KNOWN_HEADERS:
-                        raise PreprocessorError(
-                            f"unknown include {name!r} (dialect headers: "
-                            f"{sorted(KNOWN_HEADERS)})",
-                            filename,
-                            lineno,
-                        )
-                    included.append(name)
-                out_lines.append("")
-            elif directive == "ifdef":
-                taken = active() and rest.strip() in macros
-                stack.append([taken, taken, False])
-                out_lines.append("")
-            elif directive == "ifndef":
-                taken = active() and rest.strip() not in macros
-                stack.append([taken, taken, False])
-                out_lines.append("")
-            elif directive == "if":
-                taken = active() and _eval_condition(rest, macros, filename, lineno)
-                stack.append([taken, taken, False])
-                out_lines.append("")
-            elif directive in ("elif", "else"):
-                if not stack:
-                    raise PreprocessorError(f"#{directive} without #if", filename, lineno)
-                frame = stack[-1]
-                if frame[2]:
-                    raise PreprocessorError(f"#{directive} after #else", filename, lineno)
-                parent_active = all(f[0] for f in stack[:-1])
-                if directive == "else":
-                    frame[2] = True
-                    frame[0] = parent_active and not frame[1]
-                    frame[1] = frame[1] or frame[0]
-                else:
-                    cond = parent_active and not frame[1] and _eval_condition(
-                        rest, macros, filename, lineno
-                    )
-                    frame[0] = cond
-                    frame[1] = frame[1] or cond
-                out_lines.append("")
-            elif directive == "endif":
-                if not stack:
-                    raise PreprocessorError("#endif without #if", filename, lineno)
-                stack.pop()
-                out_lines.append("")
-            else:
-                raise PreprocessorError(
-                    f"unsupported directive #{directive}", filename, lineno
-                )
+            try:
+                # recovery point: a bad #if still pushes its frame inside
+                # handle(), so later #endif lines keep matching up
+                handle(m.group(1), m.group(2), lineno)
+            except PreprocessorError as exc:
+                sink.capture(exc)
+            out_lines.append("")
         else:
             if active():
                 out_lines.append(_expand(raw, macros))
@@ -234,5 +252,9 @@ def preprocess(
         i += 1
 
     if stack:
-        raise PreprocessorError("unterminated #if/#ifdef", filename, len(lines))
+        try:
+            raise PreprocessorError("unterminated #if/#ifdef", filename,
+                                    len(lines), code="RPR-P010")
+        except PreprocessorError as exc:
+            sink.capture(exc)
     return PreprocessResult(text="\n".join(out_lines), defines=macros, included=included)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import TypeError_
+from repro.errors import ReproTypeError
 
 MAX_WIDTH = 64
 
@@ -29,7 +29,10 @@ class CType:
 
     def __post_init__(self) -> None:
         if not (1 <= self.width <= MAX_WIDTH):
-            raise TypeError_(f"unsupported width {self.width} (1..{MAX_WIDTH})")
+            raise ReproTypeError(
+                f"unsupported width {self.width} (1..{MAX_WIDTH})",
+                code="RPR-T001",
+            )
 
     @property
     def name(self) -> str:
@@ -80,7 +83,11 @@ def explicit_width_type(name: str) -> CType | None:
         if name.startswith(prefix) and name[len(prefix):].isdigit():
             width = int(name[len(prefix):])
             if not (1 <= width <= MAX_WIDTH):
-                raise TypeError_(f"width out of range in type name {name!r}")
+                raise ReproTypeError(
+                    f"width out of range in type name {name!r}",
+                    code="RPR-T002",
+                    hint=f"widths 1..{MAX_WIDTH} are synthesizable",
+                )
             return CType(width, signed)
     return None
 
@@ -92,7 +99,11 @@ def lookup_type(name: str) -> CType:
     t = explicit_width_type(name)
     if t is not None:
         return t
-    raise TypeError_(f"unknown type {name!r}")
+    raise ReproTypeError(
+        f"unknown type {name!r}",
+        code="RPR-T003",
+        hint="supported: the C integer types and intN/uintN (N = 1..64)",
+    )
 
 
 def common_type(a: CType, b: CType) -> CType:

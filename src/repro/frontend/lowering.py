@@ -29,11 +29,13 @@ from dataclasses import dataclass
 
 from pycparser import c_ast, c_generator
 
-from repro.errors import LoweringError
+from repro.diagnostics.sink import DiagnosticSink
+from repro.diagnostics.span import Span
+from repro.errors import LoweringError, ReproError, ReproTypeError
 from repro.frontend import ctypes_
 from repro.frontend.ctypes_ import CType, U1, common_type, lookup_type
 from repro.frontend.intrinsics import INTRINSICS
-from repro.frontend.parser import STREAM_TYPE_NAME, ParsedSource, coord_of
+from repro.frontend.parser import STREAM_TYPE_NAME, ParsedSource, coord_of, span_of
 from repro.ir.function import IRFunction, IRModule
 from repro.ir.instr import AssertionSite, BasicBlock, Branch, Instr, Jump, Return
 from repro.ir.ops import OpKind
@@ -73,9 +75,11 @@ class _LoopCtx:
 class FunctionLowerer:
     """Lowers a single ``c_ast.FuncDef``."""
 
-    def __init__(self, parsed: ParsedSource, func_def: c_ast.FuncDef) -> None:
+    def __init__(self, parsed: ParsedSource, func_def: c_ast.FuncDef,
+                 sink: DiagnosticSink | None = None) -> None:
         self.parsed = parsed
         self.func_def = func_def
+        self.sink = sink if sink is not None else DiagnosticSink(strict=True)
         self.func = IRFunction(
             name=func_def.decl.name, source_file=parsed.filename
         )
@@ -86,13 +90,22 @@ class FunctionLowerer:
 
     # ---- plumbing ----------------------------------------------------------
 
-    def _err(self, node: c_ast.Node, msg: str) -> LoweringError:
-        fname, line = coord_of(node)
-        return LoweringError(f"{fname}:{line}: {msg}")
+    def _err(self, node: c_ast.Node, msg: str, *, code: str,
+             hint: str | None = None) -> LoweringError:
+        return LoweringError(msg, code=code, span=span_of(node), hint=hint)
+
+    def _type(self, name: str, node: c_ast.Node) -> CType:
+        """:func:`lookup_type` attaching the node's span to type errors."""
+        try:
+            return lookup_type(name)
+        except ReproTypeError as exc:
+            if exc.span is None:
+                exc.span = span_of(node)
+            raise
 
     def emit(self, instr: Instr, node: c_ast.Node | None = None) -> Instr:
         if self.cur is None:
-            raise LoweringError("emit with no current block")
+            raise LoweringError("emit with no current block", code="RPR-L001")
         if node is not None:
             instr.attrs.setdefault("coord", coord_of(node))
         return self.cur.append(instr)
@@ -126,7 +139,7 @@ class FunctionLowerer:
             if tyname == STREAM_TYPE_NAME:
                 self.func.streams.append(StreamParam(p.name))
             else:
-                self.func.declare_scalar(p.name, lookup_type(tyname))
+                self.func.declare_scalar(p.name, self._type(tyname, p))
 
         entry = BasicBlock("entry")
         self.func.blocks[entry.name] = entry
@@ -134,7 +147,12 @@ class FunctionLowerer:
         self._start(entry)
         if self.func_def.body.block_items:
             for stmt in self.func_def.body.block_items:
-                self.stmt(stmt)
+                try:
+                    # recovery point: skip the bad statement, keep lowering
+                    # the rest of the function body
+                    self.stmt(stmt)
+                except ReproError as exc:
+                    self.sink.capture(exc)
         self._seal(Return())
         return self.func
 
@@ -142,40 +160,45 @@ class FunctionLowerer:
         quals = set(node.quals or []) | set(getattr(node, "storage", []) or [])
         is_const = "const" in quals
         if isinstance(node.type, c_ast.ArrayDecl):
-            elem = lookup_type(_type_name_of(node))
+            elem = self._type(_type_name_of(node), node)
             dim = node.type.dim
             init_values: tuple[int, ...] | None = None
             if node.init is not None:
                 if not isinstance(node.init, c_ast.InitList):
-                    raise self._err(node, "array initializer must be a list")
+                    raise self._err(node, "array initializer must be a list",
+                                    code="RPR-L002")
                 init_values = tuple(
                     truncate(_const_int(e, self), elem.width)
                     for e in node.init.exprs
                 )
             if dim is None:
                 if init_values is None:
-                    raise self._err(node, f"array {node.name!r} has no size")
+                    raise self._err(node, f"array {node.name!r} has no size",
+                                    code="RPR-L003")
                 size = len(init_values)
             else:
                 size = _const_int(dim, self)
             if size <= 0:
-                raise self._err(node, f"array {node.name!r} has size {size}")
+                raise self._err(node, f"array {node.name!r} has size {size}",
+                                code="RPR-L004")
             if init_values is not None and len(init_values) > size:
-                raise self._err(node, "too many initializers")
+                raise self._err(node, "too many initializers", code="RPR-L005")
             from repro.ir.values import ArrayDecl as IRArrayDecl
 
             arr = IRArrayDecl(node.name, elem, size, init=init_values, const=is_const)
             if node.name in self.func.scalars or node.name in self.func.arrays:
-                raise self._err(node, f"redeclaration of {node.name!r}")
+                raise self._err(node, f"redeclaration of {node.name!r}",
+                                code="RPR-L006")
             self.func.arrays[node.name] = arr
         elif isinstance(node.type, c_ast.TypeDecl):
-            ty = lookup_type(_type_name_of(node))
+            ty = self._type(_type_name_of(node), node)
             temp = self.func.declare_scalar(node.name, ty)
             if node.init is not None:
                 value = self.expr(node.init)
                 self.emit(Instr(OpKind.MOV, [temp], [value]), node)
         else:
-            raise self._err(node, f"unsupported declaration for {node.name!r}")
+            raise self._err(node, f"unsupported declaration for {node.name!r}",
+                            code="RPR-L007")
 
     # ---- statements ------------------------------------------------------------
 
@@ -203,12 +226,12 @@ class FunctionLowerer:
             self._lower_for(node)
         elif isinstance(node, c_ast.Break):
             if not self.loops:
-                raise self._err(node, "break outside loop")
+                raise self._err(node, "break outside loop", code="RPR-L008")
             self._seal(Jump(self.loops[-1].break_target))
             self._start(self.func.new_block("dead"))
         elif isinstance(node, c_ast.Continue):
             if not self.loops:
-                raise self._err(node, "continue outside loop")
+                raise self._err(node, "continue outside loop", code="RPR-L009")
             self._seal(Jump(self.loops[-1].continue_target))
             self._start(self.func.new_block("dead"))
         elif isinstance(node, c_ast.Return):
@@ -217,7 +240,12 @@ class FunctionLowerer:
             self._start(self.func.new_block("dead"))
         elif isinstance(node, c_ast.Compound):
             for item in node.block_items or []:
-                self.stmt(item)
+                try:
+                    # recovery point: one bad statement does not take down
+                    # the enclosing compound
+                    self.stmt(item)
+                except ReproError as exc:
+                    self.sink.capture(exc)
         elif isinstance(node, c_ast.Pragma):
             text = (node.string or "").strip().upper()
             if "PIPELINE" in text:
@@ -225,7 +253,11 @@ class FunctionLowerer:
         elif isinstance(node, c_ast.EmptyStatement):
             pass
         else:
-            raise self._err(node, f"unsupported statement {type(node).__name__}")
+            raise self._err(
+                node, f"unsupported statement {type(node).__name__}",
+                code="RPR-L010",
+                hint="the synthesizable dialect has no goto/switch/labels",
+            )
 
     def _take_pipeline_flag(self) -> bool:
         flag = self.pending_pipeline
@@ -237,7 +269,8 @@ class FunctionLowerer:
         if node.op != "=":
             binop = node.op[:-1]
             if binop not in _BINOPS:
-                raise self._err(node, f"unsupported assignment op {node.op!r}")
+                raise self._err(node, f"unsupported assignment op {node.op!r}",
+                                code="RPR-L011")
             lhs_value = self.expr(node.lvalue)
             ct = common_type(lhs_value.ty, rhs.ty)
             dest = self.func.new_temp(ct, "t")
@@ -256,21 +289,27 @@ class FunctionLowerer:
         if isinstance(lvalue, c_ast.ID):
             ty = self.func.scalars.get(lvalue.name)
             if ty is None:
-                raise self._err(lvalue, f"assignment to undeclared {lvalue.name!r}")
+                raise self._err(lvalue,
+                                f"assignment to undeclared {lvalue.name!r}",
+                                code="RPR-L012")
             self.emit(Instr(OpKind.MOV, [Temp(lvalue.name, ty)], [value]), lvalue)
         elif isinstance(lvalue, c_ast.ArrayRef):
             name = _array_name(lvalue, self)
             arr = self.func.arrays.get(name)
             if arr is None:
-                raise self._err(lvalue, f"store to undeclared array {name!r}")
+                raise self._err(lvalue, f"store to undeclared array {name!r}",
+                                code="RPR-L013")
             if arr.const:
-                raise self._err(lvalue, f"store to const array {name!r}")
+                raise self._err(lvalue, f"store to const array {name!r}",
+                                code="RPR-L014",
+                                hint="const arrays synthesize to ROMs and "
+                                     "cannot be written")
             idx = self.expr(lvalue.subscript)
             self.emit(
                 Instr(OpKind.STORE, [], [idx, value], {"array": name}), lvalue
             )
         else:
-            raise self._err(lvalue, "unsupported lvalue")
+            raise self._err(lvalue, "unsupported lvalue", code="RPR-L015")
 
     def _lower_if(self, node: c_ast.If) -> None:
         cond = self._bool(self.expr(node.cond), node)
@@ -354,7 +393,8 @@ class FunctionLowerer:
 
     def _lower_call(self, node: c_ast.FuncCall, as_stmt: bool) -> Value | None:
         if not isinstance(node.name, c_ast.ID):
-            raise self._err(node, "indirect calls are not synthesizable")
+            raise self._err(node, "indirect calls are not synthesizable",
+                            code="RPR-L016")
         name = node.name.name
         info = INTRINSICS.get(name)
         if info is None:
@@ -362,21 +402,28 @@ class FunctionLowerer:
                 node,
                 f"call to {name!r}: only dialect intrinsics are synthesizable "
                 f"({sorted(INTRINSICS)})",
+                code="RPR-L017",
+                hint="inline the helper; user function calls do not map to "
+                     "the paper's process model",
             )
         args = list(node.args.exprs) if node.args is not None else []
         if not (info.min_args <= len(args) <= info.max_args):
-            raise self._err(node, f"{name} expects {info.min_args} args")
+            raise self._err(node, f"{name} expects {info.min_args} args",
+                            code="RPR-L018")
 
         if name == "co_stream_read":
             stream = self._stream_arg(args[0])
             target = args[1]
             if not (isinstance(target, c_ast.UnaryOp) and target.op == "&"
                     and isinstance(target.expr, c_ast.ID)):
-                raise self._err(node, "co_stream_read needs &scalar as 2nd arg")
+                raise self._err(node, "co_stream_read needs &scalar as 2nd arg",
+                                code="RPR-L019")
             var = target.expr.name
             ty = self.func.scalars.get(var)
             if ty is None:
-                raise self._err(node, f"co_stream_read into undeclared {var!r}")
+                raise self._err(node,
+                                f"co_stream_read into undeclared {var!r}",
+                                code="RPR-L020")
             ok = self.func.new_temp(U1, "ok")
             self.emit(
                 Instr(OpKind.STREAM_READ, [ok, Temp(var, ty)], [],
@@ -404,12 +451,14 @@ class FunctionLowerer:
             dest = self.func.new_temp(ctypes_.U32, "ext")
             self.emit(Instr(OpKind.EXT_HDL, [dest], [value]), node)
             return dest
-        raise self._err(node, f"unhandled intrinsic {name}")  # pragma: no cover
+        raise self._err(node, f"unhandled intrinsic {name}",
+                        code="RPR-L022")  # pragma: no cover
 
     def _stream_arg(self, node: c_ast.Node) -> str:
         if isinstance(node, c_ast.ID) and node.name in self.func.stream_names():
             return node.name
-        raise self._err(node, "expected a co_stream parameter")
+        raise self._err(node, "expected a co_stream parameter",
+                        code="RPR-L021")
 
     def _lower_assert(self, node: c_ast.FuncCall, cond_ast: c_ast.Node) -> None:
         fname, line = coord_of(node)
@@ -458,13 +507,15 @@ class FunctionLowerer:
         if isinstance(node, c_ast.ID):
             ty = self.func.scalars.get(node.name)
             if ty is None:
-                raise self._err(node, f"use of undeclared {node.name!r}")
+                raise self._err(node, f"use of undeclared {node.name!r}",
+                                code="RPR-L023")
             return Temp(node.name, ty)
         if isinstance(node, c_ast.ArrayRef):
             name = _array_name(node, self)
             arr = self.func.arrays.get(name)
             if arr is None:
-                raise self._err(node, f"read of undeclared array {name!r}")
+                raise self._err(node, f"read of undeclared array {name!r}",
+                                code="RPR-L024")
             idx = self.expr(node.subscript)
             dest = self.func.new_temp(arr.elem, "ld")
             self.emit(Instr(OpKind.LOAD, [dest], [idx], {"array": name}), node)
@@ -482,7 +533,7 @@ class FunctionLowerer:
             self.emit(Instr(OpKind.SELECT, [dest], [cond, a, b]), node)
             return dest
         if isinstance(node, c_ast.Cast):
-            ty = lookup_type(_cast_type_name(node, self))
+            ty = self._type(_cast_type_name(node, self), node)
             value = self.expr(node.expr)
             dest = self.func.new_temp(ty, "cast")
             if ty.width <= value.ty.width:
@@ -495,9 +546,11 @@ class FunctionLowerer:
         if isinstance(node, c_ast.FuncCall):
             value = self._lower_call(node, as_stmt=False)
             if value is None:
-                raise self._err(node, "void intrinsic used as a value")
+                raise self._err(node, "void intrinsic used as a value",
+                                code="RPR-L025")
             return value
-        raise self._err(node, f"unsupported expression {type(node).__name__}")
+        raise self._err(node, f"unsupported expression {type(node).__name__}",
+                        code="RPR-L026")
 
     def _lower_binop(self, node: c_ast.BinaryOp) -> Value:
         if node.op in ("&&", "||"):
@@ -510,7 +563,8 @@ class FunctionLowerer:
             return dest
         kind = _BINOPS.get(node.op)
         if kind is None:
-            raise self._err(node, f"unsupported operator {node.op!r}")
+            raise self._err(node, f"unsupported operator {node.op!r}",
+                            code="RPR-L027")
         a = self.expr(node.left)
         b = self.expr(node.right)
         if node.op in _COMPARE_OPS:
@@ -553,11 +607,12 @@ class FunctionLowerer:
             return dest
         if node.op == "sizeof":
             if isinstance(value_ast, c_ast.Typename):
-                ty = lookup_type(_type_name_of(value_ast))
+                ty = self._type(_type_name_of(value_ast), node)
             else:
                 ty = self.expr(value_ast).ty
             return Const((ty.width + 7) // 8, ctypes_.U32)
-        raise self._err(node, f"unsupported unary operator {node.op!r}")
+        raise self._err(node, f"unsupported unary operator {node.op!r}",
+                        code="RPR-L028")
 
 
 # ---- small AST helpers -----------------------------------------------------
@@ -569,20 +624,25 @@ def _type_name_of(node) -> str:
         ty = ty.type
     if isinstance(ty, c_ast.TypeDecl) and isinstance(ty.type, c_ast.IdentifierType):
         return " ".join(ty.type.names)
-    raise LoweringError(f"unsupported type for {getattr(node, 'name', '?')!r}")
+    raise LoweringError(
+        f"unsupported type for {getattr(node, 'name', '?')!r}",
+        code="RPR-L029",
+        span=Span.from_coord(getattr(node, "coord", None)),
+    )
 
 
 def _cast_type_name(node: c_ast.Cast, ctx: FunctionLowerer) -> str:
     tn = node.to_type
     if isinstance(tn, c_ast.Typename):
         return _type_name_of(tn)
-    raise ctx._err(node, "unsupported cast")
+    raise ctx._err(node, "unsupported cast", code="RPR-L030")
 
 
 def _array_name(node: c_ast.ArrayRef, ctx: FunctionLowerer) -> str:
     if isinstance(node.name, c_ast.ID):
         return node.name.name
-    raise ctx._err(node, "only direct array references are synthesizable")
+    raise ctx._err(node, "only direct array references are synthesizable",
+                   code="RPR-L031")
 
 
 def _lower_constant(node: c_ast.Constant, ctx: FunctionLowerer) -> Const:
@@ -604,7 +664,8 @@ def _lower_constant(node: c_ast.Constant, ctx: FunctionLowerer) -> Const:
         text = node.value[1:-1]
         value = ord(text.encode().decode("unicode_escape"))
         return Const(value, ctypes_.I8)
-    raise ctx._err(node, f"unsupported constant type {node.type!r}")
+    raise ctx._err(node, f"unsupported constant type {node.type!r}",
+                   code="RPR-L032")
 
 
 def _const_int(node: c_ast.Node, ctx: FunctionLowerer) -> int:
@@ -622,7 +683,8 @@ def _const_int(node: c_ast.Node, ctx: FunctionLowerer) -> int:
         }
         if node.op in table:
             return table[node.op]
-    raise ctx._err(node, "expression is not a compile-time constant")
+    raise ctx._err(node, "expression is not a compile-time constant",
+                   code="RPR-L033")
 
 
 # ---- module entry point --------------------------------------------------------
@@ -632,6 +694,7 @@ def lower_source(
     source: str,
     filename: str = "<source>",
     defines: dict[str, str] | None = None,
+    sink: DiagnosticSink | None = None,
 ) -> IRModule:
     """Parse and lower dialect C text into an :class:`IRModule`.
 
@@ -639,16 +702,28 @@ def lower_source(
     recorded (the registry needs them for reporting "compiled out") but no
     ``assert_check`` instructions or condition evaluation are emitted,
     matching ANSI-C semantics of ``assert`` under ``NDEBUG``.
+
+    With a collect-mode ``sink``, errors recover per directive, per
+    statement and per function, so one call reports every problem in the
+    translation unit; the returned module then only contains the functions
+    that lowered cleanly and must not be synthesized if
+    ``sink.has_errors``.
     """
     from repro.frontend.parser import parse_source
 
-    parsed = parse_source(source, filename=filename, defines=defines)
+    sink = sink if sink is not None else DiagnosticSink(strict=True)
+    parsed = parse_source(source, filename=filename, defines=defines, sink=sink)
     module = IRModule(source_file=filename)
     for _name, func_def in parsed.functions.items():
-        lowerer = FunctionLowerer(parsed, func_def)
+        lowerer = FunctionLowerer(parsed, func_def, sink=sink)
         if parsed.ndebug:
             lowerer._lower_assert = _skip_assert.__get__(lowerer)  # type: ignore
-        module.add(lowerer.lower())
+        try:
+            # recovery point: a function that fails to lower is dropped
+            # from the module; the others still produce IR
+            module.add(lowerer.lower())
+        except ReproError as exc:
+            sink.capture(exc)
     return module
 
 

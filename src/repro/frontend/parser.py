@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 import pycparser
 from pycparser import c_ast
 
+from repro.diagnostics.sink import DiagnosticSink
+from repro.diagnostics.span import Span
 from repro.errors import ParseError
 from repro.frontend import ctypes_
 from repro.frontend.cpp import PreprocessResult, preprocess
@@ -61,13 +63,19 @@ def parse_source(
     source: str,
     filename: str = "<source>",
     defines: dict[str, str] | None = None,
+    sink: DiagnosticSink | None = None,
 ) -> ParsedSource:
     """Parse dialect C ``source`` into a :class:`ParsedSource`.
 
     ``defines`` seeds preprocessor macros — pass ``{"NDEBUG": ""}`` to
     compile assertions out, ``{"NABORT": ""}`` for report-and-continue.
+    With a collect-mode ``sink``, recoverable problems (preprocessor
+    directives, duplicate definitions) are reported and skipped; a
+    pycparser syntax error is unrecoverable either way but still gets a
+    real :class:`Span` parsed out of the ``file:line:col`` message prefix.
     """
-    pre = preprocess(source, defines=defines, filename=filename)
+    sink = sink if sink is not None else DiagnosticSink(strict=True)
+    pre = preprocess(source, defines=defines, filename=filename, sink=sink)
     full = f'{_PROLOG}\n#line 1 "{filename}"\n{pre.text}'
     try:
         ast = _PARSER.parse(full, filename=filename)
@@ -75,14 +83,30 @@ def parse_source(
         # releases (plyparser -> c_parser); match by name to stay compatible
         if type(exc).__name__ != "ParseError":
             raise
-        raise ParseError(str(exc)) from exc
+        # pycparser formats errors as "file:line:col: message"; recover the
+        # coordinates into a Span instead of burying them in the text
+        span, message = Span.parse_prefix(str(exc))
+        err = ParseError(message or str(exc), code="RPR-S001", span=span)
+        err.__cause__ = exc
+        sink.capture(err)
+        # syntax errors leave no AST to walk — return an empty unit so
+        # collect-mode callers still get the preprocessor diagnostics
+        return ParsedSource(ast=c_ast.FileAST(ext=[]), preprocessed=pre,
+                            filename=filename)
 
     parsed = ParsedSource(ast=ast, preprocessed=pre, filename=filename)
     for ext in ast.ext:
         if isinstance(ext, c_ast.FuncDef):
             name = ext.decl.name
             if name in parsed.functions:
-                raise ParseError(f"duplicate function definition {name!r}")
+                first = parsed.functions[name]
+                sink.capture(ParseError(
+                    f"duplicate function definition {name!r}",
+                    code="RPR-S002",
+                    span=span_of(ext.decl),
+                    notes=(f"first defined at {span_of(first.decl)}",),
+                ))
+                continue  # keep the first definition, skip the duplicate
             parsed.functions[name] = ext
     return parsed
 
@@ -94,7 +118,8 @@ def declared_type_name(decl: c_ast.Decl) -> str:
         node = node.type
     if isinstance(node, c_ast.TypeDecl) and isinstance(node.type, c_ast.IdentifierType):
         return " ".join(node.type.names)
-    raise ParseError(f"unsupported declaration shape for {decl.name!r}")
+    raise ParseError(f"unsupported declaration shape for {decl.name!r}",
+                     code="RPR-S003", span=span_of(decl))
 
 
 def coord_of(node: c_ast.Node) -> tuple[str, int]:
@@ -103,3 +128,11 @@ def coord_of(node: c_ast.Node) -> tuple[str, int]:
     if coord is None:
         return ("?", 0)
     return (coord.file or "?", coord.line or 0)
+
+
+def span_of(node: c_ast.Node) -> Span | None:
+    """Full :class:`Span` (incl. column) for a node, or None if unknown."""
+    coord = getattr(node, "coord", None)
+    if coord is None:
+        return None
+    return Span.from_coord(coord)

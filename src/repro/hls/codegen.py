@@ -94,7 +94,7 @@ class _Builder:
                 else:
                     expr = R.UnExpr(op, expr, ct.width)
             return expr
-        raise CodegenError(f"bad operand {value!r}")
+        raise CodegenError(f"bad operand {value!r}", code="RPR-C001")
 
     # ---- interface construction ------------------------------------------------
 
@@ -373,7 +373,7 @@ class _Builder:
                               instr.dest.ty.width),
                 )
             ]
-        raise CodegenError(f"{self.func.name}: cannot generate RTL for {instr}")
+        raise CodegenError(f"{self.func.name}: cannot generate RTL for {instr}", code="RPR-C002")
 
     def _state_stall(self, instrs: list[Instr]) -> R.Expr | None:
         terms: list[R.Expr] = []
@@ -455,7 +455,7 @@ class _Builder:
                     elif isinstance(term, Return):
                         nxt = R.Lit(done_index, m.state_width)
                     else:  # pragma: no cover
-                        raise CodegenError(f"bad terminator {term!r}")
+                        raise CodegenError(f"bad terminator {term!r}", code="RPR-C003")
                 m.states.append(
                     R.StateCase(idx, f"{bname}_{step}", stall, body, nxt)
                 )

@@ -74,7 +74,7 @@ class Channel:
 
     def push(self, value) -> None:
         if not self.can_push():
-            raise SimulationError(f"push to full channel {self.name}")
+            raise SimulationError(f"push to full channel {self.name}", code="RPR-X201")
         self.pushes += 1
         values = [value]
         if self.faults:
@@ -149,7 +149,7 @@ class ProcessExec:
         self.ext_funcs = ext_funcs or {}
         missing = [s for s in self.func.stream_names() if s not in streams]
         if missing:
-            raise SimulationError(f"{self.name}: unbound streams {missing}")
+            raise SimulationError(f"{self.name}: unbound streams {missing}", code="RPR-X202")
 
         self.env: dict[str, int] = {n: 0 for n in self.func.scalars}
         self.memories: dict[str, list[int]] = {}
@@ -188,7 +188,7 @@ class ProcessExec:
             if overlay is not None and value.name in overlay:
                 return overlay[value.name]
             return self.env[value.name]
-        raise SimulationError(f"{self.name}: bad operand {value!r}")
+        raise SimulationError(f"{self.name}: bad operand {value!r}", code="RPR-X203")
 
     def _write(self, temp: Temp, pattern: int, overlay: dict | None) -> None:
         pattern = truncate(pattern, temp.ty.width)
@@ -315,7 +315,7 @@ class ProcessExec:
                         fn(truncate(self._read(instr.args[0], overlay), 64)),
                         overlay)
         else:
-            raise SimulationError(f"{self.name}: op {op} reached hardware model")
+            raise SimulationError(f"{self.name}: op {op} reached hardware model", code="RPR-X204")
 
     # ---- control ---------------------------------------------------------------
 

@@ -83,8 +83,7 @@ def linearize_loop(
     header = func.blocks[loop.header]
     if not isinstance(header.term, Branch):
         raise SchedulingError(
-            f"{func.name}/{loop.header}: pipelined loop header must be a branch"
-        )
+            f"{func.name}/{loop.header}: pipelined loop header must be a branch", code="RPR-H101")
     t, f = header.term.iftrue, header.term.iffalse
     if t in loop.body and f not in loop.body:
         body_entry, exit_block = t, f
@@ -92,8 +91,7 @@ def linearize_loop(
         body_entry, exit_block = f, t
     else:
         raise SchedulingError(
-            f"{func.name}/{loop.header}: cannot identify loop exit edge"
-        )
+            f"{func.name}/{loop.header}: cannot identify loop exit edge", code="RPR-H102")
     cond = header.term.cond
     ok = cond if isinstance(cond, Temp) else None
 
@@ -140,21 +138,18 @@ def linearize_loop(
             if bt not in loop.body or bf not in loop.body:
                 raise SchedulingError(
                     f"{func.name}/{name}: control flow leaving a pipelined "
-                    "loop body (break/return) is not pipelinable"
-                )
+                    "loop body (break/return) is not pipelinable", code="RPR-H103")
             c = term.cond
             if not isinstance(c, Temp):
-                raise SchedulingError(f"{func.name}/{name}: non-temp branch cond")
+                raise SchedulingError(f"{func.name}/{name}: non-temp branch cond", code="RPR-H104")
             join_t = walk_arm(bt, lambda: conj(pred, c))
             join_f = walk_arm(bf, lambda: conj(pred, negate(c)))
             if join_t is not None and join_f is not None and join_t != join_f:
                 raise SchedulingError(
-                    f"{func.name}/{name}: irreducible diamond in pipelined loop"
-                )
+                    f"{func.name}/{name}: irreducible diamond in pipelined loop", code="RPR-H105")
             return join_t if join_t is not None else join_f
         raise SchedulingError(
-            f"{func.name}/{name}: unsupported terminator in pipelined loop"
-        )
+            f"{func.name}/{name}: unsupported terminator in pipelined loop", code="RPR-H106")
 
     def walk_arm(start: str, make_pred) -> str | None:
         """Emit one arm of a diamond until its join (returned, not emitted)
@@ -170,8 +165,7 @@ def linearize_loop(
             guard += 1
             if guard > len(func.blocks) * 4:
                 raise SchedulingError(
-                    f"{func.name}/{loop.header}: non-converging diamond arm"
-                )
+                    f"{func.name}/{loop.header}: non-converging diamond arm", code="RPR-H107")
         return name
 
     # main linear walk from the body entry under predicate ``ok``
@@ -183,8 +177,7 @@ def linearize_loop(
         if guard > len(func.blocks) * 4:
             raise SchedulingError(
                 f"{func.name}/{loop.header}: pipelined loop body does not "
-                "converge to the latch (irreducible or nested loop?)"
-            )
+                "converge to the latch (irreducible or nested loop?)", code="RPR-H108")
     return out, ok, exit_block
 
 
@@ -329,5 +322,4 @@ def schedule_pipelined_loop(
             return ps
     raise SchedulingError(
         f"{func.name}/{loop.header}: no feasible initiation interval up to "
-        f"{mii + 63}"
-    )
+        f"{mii + 63}", code="RPR-H109")

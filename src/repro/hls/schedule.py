@@ -102,8 +102,7 @@ def schedule_block(
         else:
             raise SchedulingError(
                 f"{func.name}/{block.name}: cannot place {instr} "
-                f"(resource conflict search exhausted)"
-            )
+                f"(resource conflict search exhausted)", code="RPR-H001")
 
         step[i] = t
         # zero-level ops (moves/casts) are wires: they inherit the
@@ -172,8 +171,7 @@ def schedule_function(
         if instr.op == OpKind.ASSERT_CHECK:
             raise SchedulingError(
                 f"{func.name}: assert_check reached the scheduler; run "
-                "assertion synthesis (repro.core) or compile with NDEBUG first"
-            )
+                "assertion synthesis (repro.core) or compile with NDEBUG first", code="RPR-H002")
 
     fsched = FunctionSchedule(func=func, config=cfg)
     cfg_graph = CFG.build(func)

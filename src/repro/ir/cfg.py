@@ -41,11 +41,11 @@ class CFG:
         for name, block in func.blocks.items():
             g.add_node(name)
             if block.term is None:
-                raise IRError(f"{func.name}/{name}: missing terminator")
+                raise IRError(f"{func.name}/{name}: missing terminator", code="RPR-I020")
         for name, block in func.blocks.items():
             for target in block.term.targets():
                 if target not in func.blocks:
-                    raise IRError(f"{func.name}/{name}: unknown target {target!r}")
+                    raise IRError(f"{func.name}/{name}: unknown target {target!r}", code="RPR-I021")
                 g.add_edge(name, target)
         return cfg
 

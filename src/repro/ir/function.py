@@ -49,7 +49,7 @@ class IRFunction:
 
     def add_block(self, block: BasicBlock) -> BasicBlock:
         if block.name in self.blocks:
-            raise IRError(f"duplicate block {block.name!r}")
+            raise IRError(f"duplicate block {block.name!r}", code="RPR-I030")
         self.blocks[block.name] = block
         return block
 
@@ -66,13 +66,13 @@ class IRFunction:
 
     def declare_scalar(self, name: str, ty: CType) -> Temp:
         if name in self.scalars or name in self.arrays:
-            raise IRError(f"redeclaration of {name!r}")
+            raise IRError(f"redeclaration of {name!r}", code="RPR-I031")
         self.scalars[name] = ty
         return Temp(name, ty)
 
     def declare_array(self, name: str, elem: CType, size: int) -> ArrayDecl:
         if name in self.scalars or name in self.arrays:
-            raise IRError(f"redeclaration of {name!r}")
+            raise IRError(f"redeclaration of {name!r}", code="RPR-I032")
         arr = ArrayDecl(name, elem, size)
         self.arrays[name] = arr
         return arr
@@ -121,7 +121,7 @@ class IRFunction:
         for s in self.streams:
             if s.name == name:
                 return s
-        raise IRError(f"{self.name}: no stream parameter {name!r}")
+        raise IRError(f"{self.name}: no stream parameter {name!r}", code="RPR-I033")
 
     def count_ops(self, *kinds: OpKind) -> int:
         wanted = set(kinds)
@@ -157,7 +157,7 @@ class IRModule:
 
     def add(self, func: IRFunction) -> IRFunction:
         if func.name in self.functions:
-            raise IRError(f"duplicate function {func.name!r}")
+            raise IRError(f"duplicate function {func.name!r}", code="RPR-I034")
         self.functions[func.name] = func
         return func
 

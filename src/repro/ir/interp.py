@@ -69,7 +69,7 @@ class Interp:
             return value.value
         if isinstance(value, Temp):
             return self.env[value.name]
-        raise SimulationError(f"bad operand {value!r}")
+        raise SimulationError(f"bad operand {value!r}", code="RPR-X001")
 
     def write(self, temp: Temp, pattern: int) -> None:
         self.env[temp.name] = truncate(pattern, temp.ty.width)
@@ -96,8 +96,7 @@ class Interp:
                 steps += 1
                 if steps > self.max_steps:
                     raise SimulationError(
-                        f"{func.name}: exceeded {self.max_steps} interpreter steps"
-                    )
+                        f"{func.name}: exceeded {self.max_steps} interpreter steps", code="RPR-X002")
                 op = instr.op
                 if op in (OpKind.MOV, OpKind.TRUNC, OpKind.ZEXT, OpKind.SEXT):
                     # the hardware cycle model evaluates casts through
@@ -131,8 +130,7 @@ class Interp:
                     if not (0 <= idx_s < len(mem)):
                         raise SimulationError(
                             f"{func.name}: out-of-bounds read "
-                            f"{instr.attrs['array']}[{idx_s}] (size {len(mem)})"
-                        )
+                            f"{instr.attrs['array']}[{idx_s}] (size {len(mem)})", code="RPR-X003")
                     self.write(instr.dest, mem[idx_s])
                 elif op == OpKind.STORE:
                     mem = self.memories[instr.attrs["array"]]
@@ -141,8 +139,7 @@ class Interp:
                     if not (0 <= idx_s < len(mem)):
                         raise SimulationError(
                             f"{func.name}: out-of-bounds write "
-                            f"{instr.attrs['array']}[{idx_s}] (size {len(mem)})"
-                        )
+                            f"{instr.attrs['array']}[{idx_s}] (size {len(mem)})", code="RPR-X004")
                     value = instr.args[1]
                     arr = func.arrays[instr.attrs["array"]]
                     mem[idx_s] = truncate(self.read(value), arr.elem.width)
@@ -183,7 +180,7 @@ class Interp:
                     self.write(instr.dest,
                                fn(truncate(self.read(instr.args[0]), 64)))
                 else:
-                    raise SimulationError(f"unhandled op {op}")
+                    raise SimulationError(f"unhandled op {op}", code="RPR-X005")
 
             term = block.term
             if isinstance(term, Jump):
@@ -196,7 +193,7 @@ class Interp:
                 result.steps = steps
                 return result
             else:  # pragma: no cover - verifier excludes this
-                raise SimulationError(f"bad terminator {term!r}")
+                raise SimulationError(f"bad terminator {term!r}", code="RPR-X006")
 
 
 def run_to_completion(
@@ -237,6 +234,6 @@ def run_to_completion(
             elif kind == "assert_fail":
                 event = gen.send("continue" if nabort else "abort")
             else:  # pragma: no cover
-                raise SimulationError(f"unknown event {event!r}")
+                raise SimulationError(f"unknown event {event!r}", code="RPR-X007")
     except StopIteration as stop:
         return stop.value, outputs

@@ -54,7 +54,7 @@ def binop(op: OpKind, x: int, xty: CType, y: int, yty: CType, where: str = "?") 
         return xv * yv
     if op in (OpKind.DIV, OpKind.MOD):
         if yv == 0:
-            raise SimulationError(f"{where}: division by zero")
+            raise SimulationError(f"{where}: division by zero", code="RPR-X010")
         q = abs(xv) // abs(yv)  # C truncates toward zero
         if (xv < 0) != (yv < 0):
             q = -q
@@ -65,7 +65,7 @@ def binop(op: OpKind, x: int, xty: CType, y: int, yty: CType, where: str = "?") 
         return truncate(xv, ct.width) | truncate(yv, ct.width)
     if op == OpKind.XOR:
         return truncate(xv, ct.width) ^ truncate(yv, ct.width)
-    raise SimulationError(f"{where}: {op} is not a binary arithmetic op")
+    raise SimulationError(f"{where}: {op} is not a binary arithmetic op", code="RPR-X011")
 
 
 def compare(
@@ -106,7 +106,7 @@ def unop(op: OpKind, x: int, xty: CType) -> int:
         return ~truncate(x, xty.width)
     if op == OpKind.LNOT:
         return int(truncate(x, xty.width) == 0)
-    raise SimulationError(f"{op} is not a unary op")
+    raise SimulationError(f"{op} is not a unary op", code="RPR-X012")
 
 
 def cast(op: OpKind, x: int, xty: CType) -> int:

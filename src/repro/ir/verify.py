@@ -7,7 +7,9 @@ has not produced garbage).
 
 from __future__ import annotations
 
-from repro.errors import IRError
+from repro.diagnostics.sink import DiagnosticSink
+from repro.diagnostics.span import Span
+from repro.errors import IRError, ReproError
 from repro.ir.cfg import CFG
 from repro.ir.function import IRFunction
 from repro.ir.instr import Branch, Jump, Return
@@ -35,72 +37,109 @@ _ARITY: dict[OpKind, tuple[int, int]] = {
 }
 
 
-def verify_function(func: IRFunction) -> None:
-    """Raise :class:`IRError` on any malformation; silent when clean."""
+def _instr_span(instr) -> Span | None:
+    """Span for an instruction from the lowering-attached ``coord`` attr.
+
+    The attr is a ``(file, line)`` tuple (that shape is load-bearing for
+    the fault injector and instrumentation passes — do not change it).
+    """
+    coord = instr.attrs.get("coord")
+    if not (isinstance(coord, tuple) and len(coord) == 2):
+        return None
+    file, line = coord
+    if not line:
+        return None
+    return Span(file=str(file), line=int(line))
+
+
+def verify_function(func: IRFunction,
+                    sink: DiagnosticSink | None = None) -> None:
+    """Raise :class:`IRError` on any malformation; silent when clean.
+
+    With a collect-mode ``sink``, verification recovers per basic block so
+    one pass reports every malformation in the function.
+    """
+    sink = sink if sink is not None else DiagnosticSink(strict=True)
     if func.entry not in func.blocks:
-        raise IRError(f"{func.name}: entry block {func.entry!r} missing")
+        raise IRError(f"{func.name}: entry block {func.entry!r} missing", code="RPR-I001")
 
     streams = set(func.stream_names())
     for bname, block in func.blocks.items():
-        where = f"{func.name}/{bname}"
-        if block.term is None:
-            raise IRError(f"{where}: missing terminator")
-        if not isinstance(block.term, (Jump, Branch, Return)):
-            raise IRError(f"{where}: unknown terminator {block.term!r}")
-        for idx, instr in enumerate(block.instrs):
-            ctx = f"{where}[{idx}] {instr}"
-            info = op_info(instr.op)
-            lo, hi = _ARITY.get(instr.op, (2, 2))
-            if not (lo <= len(instr.args) <= hi):
-                raise IRError(f"{ctx}: arity {len(instr.args)} not in [{lo},{hi}]")
-            if instr.op == OpKind.STREAM_READ:
-                if len(instr.dests) != 2:
-                    raise IRError(f"{ctx}: stream_read needs (ok, value) dests")
-            elif instr.op == OpKind.TAP_READ:
-                if len(instr.dests) < 1:
-                    raise IRError(f"{ctx}: tap_read needs (ok, values...) dests")
-                if "channel" not in instr.attrs:
-                    raise IRError(f"{ctx}: tap_read without channel")
-            elif instr.op in (OpKind.STREAM_WRITE, OpKind.STREAM_CLOSE,
-                              OpKind.STORE, OpKind.ASSERT_CHECK, OpKind.TAP):
-                if instr.dests:
-                    raise IRError(f"{ctx}: op must not produce a value")
-            else:
-                if len(instr.dests) != 1:
-                    raise IRError(f"{ctx}: op must produce exactly one value")
-            if instr.op in (OpKind.LOAD, OpKind.STORE):
-                array = instr.attrs.get("array")
-                if array not in func.arrays:
-                    raise IRError(f"{ctx}: unknown array {array!r}")
-            if instr.op in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
-                            OpKind.STREAM_CLOSE):
-                stream = instr.attrs.get("stream")
-                if stream not in streams:
-                    raise IRError(f"{ctx}: unknown stream {stream!r}")
-            if instr.op == OpKind.ASSERT_CHECK and "assertion" not in instr.attrs:
-                raise IRError(f"{ctx}: assert_check without assertion site")
-            if instr.op == OpKind.TAP and "channel" not in instr.attrs:
-                raise IRError(f"{ctx}: tap without channel")
-            for value in list(instr.args) + list(instr.dests):
-                if isinstance(value, Temp):
-                    declared = func.scalars.get(value.name)
-                    if declared is None:
-                        raise IRError(f"{ctx}: undeclared temp {value.name!r}")
-                    if declared != value.ty:
-                        raise IRError(
-                            f"{ctx}: temp {value.name!r} type {value.ty} "
-                            f"!= declared {declared}"
-                        )
-                elif not isinstance(value, Const):
-                    raise IRError(f"{ctx}: bad operand {value!r}")
-            _ = info
+        try:
+            # recovery point: a malformed block doesn't stop the check of
+            # its siblings
+            _verify_block(func, bname, block, streams)
+        except ReproError as exc:
+            sink.capture(exc)
 
     # CFG-level checks: every reachable target exists (CFG.build raises),
     # and at least one block returns or the function loops forever by
     # design (stream-driven processes commonly never return).
-    CFG.build(func)
+    try:
+        CFG.build(func)
+    except ReproError as exc:
+        sink.capture(exc)
 
 
-def verify_module(module) -> None:
+def _verify_block(func: IRFunction, bname: str, block, streams: set) -> None:
+    where = f"{func.name}/{bname}"
+    if block.term is None:
+        raise IRError(f"{where}: missing terminator", code="RPR-I002")
+    if not isinstance(block.term, (Jump, Branch, Return)):
+        raise IRError(f"{where}: unknown terminator {block.term!r}", code="RPR-I003")
+    for idx, instr in enumerate(block.instrs):
+        ctx = f"{where}[{idx}] {instr}"
+        span = _instr_span(instr)
+        info = op_info(instr.op)
+        lo, hi = _ARITY.get(instr.op, (2, 2))
+        if not (lo <= len(instr.args) <= hi):
+            raise IRError(f"{ctx}: arity {len(instr.args)} not in [{lo},{hi}]", code="RPR-I004", span=span)
+        if instr.op == OpKind.STREAM_READ:
+            if len(instr.dests) != 2:
+                raise IRError(f"{ctx}: stream_read needs (ok, value) dests", code="RPR-I005", span=span)
+        elif instr.op == OpKind.TAP_READ:
+            if len(instr.dests) < 1:
+                raise IRError(f"{ctx}: tap_read needs (ok, values...) dests", code="RPR-I006", span=span)
+            if "channel" not in instr.attrs:
+                raise IRError(f"{ctx}: tap_read without channel", code="RPR-I007", span=span)
+        elif instr.op in (OpKind.STREAM_WRITE, OpKind.STREAM_CLOSE,
+                          OpKind.STORE, OpKind.ASSERT_CHECK, OpKind.TAP):
+            if instr.dests:
+                raise IRError(f"{ctx}: op must not produce a value", code="RPR-I008", span=span)
+        else:
+            if len(instr.dests) != 1:
+                raise IRError(f"{ctx}: op must produce exactly one value", code="RPR-I009", span=span)
+        if instr.op in (OpKind.LOAD, OpKind.STORE):
+            array = instr.attrs.get("array")
+            if array not in func.arrays:
+                raise IRError(f"{ctx}: unknown array {array!r}", code="RPR-I010", span=span)
+        if instr.op in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+                        OpKind.STREAM_CLOSE):
+            stream = instr.attrs.get("stream")
+            if stream not in streams:
+                raise IRError(f"{ctx}: unknown stream {stream!r}", code="RPR-I011", span=span)
+        if instr.op == OpKind.ASSERT_CHECK and "assertion" not in instr.attrs:
+            raise IRError(f"{ctx}: assert_check without assertion site", code="RPR-I012", span=span)
+        if instr.op == OpKind.TAP and "channel" not in instr.attrs:
+            raise IRError(f"{ctx}: tap without channel", code="RPR-I013", span=span)
+        for value in list(instr.args) + list(instr.dests):
+            if isinstance(value, Temp):
+                declared = func.scalars.get(value.name)
+                if declared is None:
+                    raise IRError(f"{ctx}: undeclared temp {value.name!r}", code="RPR-I014", span=span)
+                if declared != value.ty:
+                    raise IRError(
+                        f"{ctx}: temp {value.name!r} type {value.ty} "
+                        f"!= declared {declared}", code="RPR-I015", span=span)
+            elif not isinstance(value, Const):
+                raise IRError(f"{ctx}: bad operand {value!r}", code="RPR-I016", span=span)
+        _ = info
+
+
+def verify_module(module, sink=None) -> None:
+    sink = sink if sink is not None else DiagnosticSink(strict=True)
     for func in module.functions.values():
-        verify_function(func)
+        try:
+            verify_function(func, sink=sink)
+        except ReproError as exc:
+            sink.capture(exc)

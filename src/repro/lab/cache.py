@@ -122,6 +122,10 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     errors: int = 0
+    #: corrupt entries found on get() — evicted and counted separately so
+    #: a sweep can surface "the cache directory is rotting" loudly rather
+    #: than silently re-synthesizing forever
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -130,15 +134,16 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "errors": self.errors,
+            "corrupt": self.corrupt,
         }
 
-    def snapshot(self) -> tuple[int, int, int, int, int]:
+    def snapshot(self) -> tuple[int, ...]:
         return (self.hits, self.misses, self.stores, self.evictions,
-                self.errors)
+                self.errors, self.corrupt)
 
-    def delta(self, before: tuple[int, int, int, int, int]) -> dict[str, int]:
+    def delta(self, before: tuple[int, ...]) -> dict[str, int]:
         now = self.snapshot()
-        keys = ("hits", "misses", "stores", "evictions", "errors")
+        keys = ("hits", "misses", "stores", "evictions", "errors", "corrupt")
         return {k: now[i] - before[i] for i, k in enumerate(keys)}
 
     def merge(self, other: dict[str, int]) -> None:
@@ -147,6 +152,7 @@ class CacheStats:
         self.stores += other.get("stores", 0)
         self.evictions += other.get("evictions", 0)
         self.errors += other.get("errors", 0)
+        self.corrupt += other.get("corrupt", 0)
 
     def __str__(self) -> str:
         return (f"cache hits={self.hits} misses={self.misses} "
@@ -191,6 +197,7 @@ class SynthesisCache:
             # truncated/corrupt entry (e.g. version skew): treat as a miss
             # and drop it so the slot heals on the next put
             self.stats.errors += 1
+            self.stats.corrupt += 1
             self.stats.misses += 1
             try:
                 os.unlink(path)

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+from repro.diagnostics.bridge import diagnostics_from_exception
+from repro.diagnostics.core import Diagnostic
 
 __all__ = ["PointOutcome", "LabExecutor"]
 
@@ -44,10 +47,20 @@ class PointOutcome:
     value: object = None        # worker return value when status == 'ok'
     error: str = ""             # one-line error summary otherwise
     detail: str = ""            # traceback text for failed points
+    #: structured diagnostic dicts for non-ok points (see
+    #: :mod:`repro.diagnostics`) — what result records and failure
+    #: bundles journal instead of the traceback strings above
+    diagnostics: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+def _harness_diagnostics(code: str, message: str) -> list:
+    """A coded diagnostic for failures with no exception object (a worker
+    that segfaulted, a point that timed out)."""
+    return [Diagnostic(code=code, severity="error", message=message).to_dict()]
 
 
 def _outcome_from_exc(index: int, exc: BaseException) -> PointOutcome:
@@ -56,6 +69,7 @@ def _outcome_from_exc(index: int, exc: BaseException) -> PointOutcome:
         status="failed",
         error=f"{type(exc).__name__}: {exc}",
         detail="".join(traceback.format_exception(exc)),
+        diagnostics=diagnostics_from_exception(exc),
     )
 
 
@@ -126,6 +140,9 @@ class LabExecutor:
                         emit(PointOutcome(
                             index=index, status="failed",
                             error="worker pool broke repeatedly; giving up",
+                            diagnostics=_harness_diagnostics(
+                                "RPR-E003",
+                                "worker pool broke repeatedly; giving up"),
                         ))
                     break
                 restarts += 1
@@ -164,6 +181,8 @@ class LabExecutor:
                     outcome = PointOutcome(
                         index=index, status="timeout",
                         error=f"timed out after {self.timeout}s",
+                        diagnostics=_harness_diagnostics(
+                            "RPR-E002", f"timed out after {self.timeout}s"),
                     )
                 except KeyboardInterrupt:
                     raise
@@ -172,6 +191,9 @@ class LabExecutor:
                     outcome = PointOutcome(
                         index=index, status="failed",
                         error=f"worker crashed: {type(exc).__name__}: {exc}",
+                        diagnostics=_harness_diagnostics(
+                            "RPR-E001",
+                            f"worker crashed: {type(exc).__name__}: {exc}"),
                     )
                 except BaseException as exc:
                     outcome = _outcome_from_exc(index, exc)

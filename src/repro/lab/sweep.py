@@ -11,12 +11,14 @@ interrupted run resumes where it stopped. ``repro sweep`` (see
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.synth import LEVELS, SynthesisOptions, synthesize
+from repro.diagnostics.bundle import bundle_name, write_bundle
 from repro.errors import ReproError
 from repro.lab.cache import SynthesisCache, cache_key
 from repro.lab.executor import LabExecutor, PointOutcome
@@ -42,6 +44,8 @@ __all__ = [
 
 class SweepError(ReproError):
     """Raised for malformed sweep specifications."""
+
+    code_prefix = "RPR-W"
 
 
 # ---- the swept space --------------------------------------------------------
@@ -116,8 +120,7 @@ class AppSpec:
     def make(cls, kind: str, **params) -> "AppSpec":
         if kind not in APP_BUILDERS:
             raise SweepError(
-                f"unknown app kind {kind!r}; have {sorted(APP_BUILDERS)}"
-            )
+                f"unknown app kind {kind!r}; have {sorted(APP_BUILDERS)}", code="RPR-W001")
         return cls(kind, tuple(sorted(params.items())))
 
     @property
@@ -134,7 +137,7 @@ def build_app(spec: AppSpec):
     try:
         builder = APP_BUILDERS[spec.kind]
     except KeyError:
-        raise SweepError(f"unknown app kind {spec.kind!r}") from None
+        raise SweepError(f"unknown app kind {spec.kind!r}", code="RPR-W002") from None
     return builder(dict(spec.params))
 
 
@@ -169,7 +172,7 @@ class SweepSpec:
         """The paper-shaped cross product app x level x variant."""
         for lv in levels:
             if lv not in LEVELS:
-                raise SweepError(f"bad assertion level {lv!r}")
+                raise SweepError(f"bad assertion level {lv!r}", code="RPR-W003")
         points = []
         for app in apps:
             for lv in levels:
@@ -179,8 +182,7 @@ class SweepSpec:
                     except KeyError:
                         raise SweepError(
                             f"unknown option variant {var!r}; "
-                            f"have {sorted(OPTION_VARIANTS)}"
-                        ) from None
+                            f"have {sorted(OPTION_VARIANTS)}", code="RPR-W004") from None
                     pid = f"{app.label}/{lv}"
                     if var != "default":
                         pid += f"/{var}"
@@ -236,11 +238,35 @@ def evaluate_point(args: tuple) -> dict:
         "variant": point.variant,
         "key": key,
         "cache_hit": cached is not None,
+        "cache_stats": cache.stats.as_dict(),
         "elapsed_s": round(time.monotonic() - t0, 4),
     }
     record.update(point_summary(image, point.device,
                                 resources=resources, fmax=fmax))
     return record
+
+
+def point_bundle_context(point: SweepPoint) -> tuple[dict, str | None]:
+    """(bundle context, source text) for one point — everything
+    :func:`repro.diagnostics.bundle.replay_bundle` needs to re-evaluate it.
+
+    The C source (when the app is a ``csource`` spec) is pulled out of the
+    params so the bundle stores it as ``source.c`` rather than inlined in
+    the manifest.
+    """
+    params = dict(point.app.params)
+    source = params.pop("source", None)
+    context = {
+        "point": {
+            "point_id": point.point_id,
+            "app_kind": point.app.kind,
+            "app_params": sorted(params.items()),
+            "level": point.level,
+            "variant": point.variant,
+            "options": dataclasses.asdict(point.options),
+        },
+    }
+    return context, source
 
 
 # ---- the driver -------------------------------------------------------------
@@ -323,7 +349,9 @@ def run_sweep(
         "failed": 0,
         "cache_hits": 0,
         "cache_misses": 0,
+        "cache_corrupt": 0,
     }
+    bundle_paths: list[str] = []
 
     def manifest(status: str, wall: float) -> dict:
         return {
@@ -335,6 +363,7 @@ def run_sweep(
             "cache_root": str(cache_root) if cache_root else None,
             "store_root": str(store_root),
             "counters": dict(counters),
+            "bundles": list(bundle_paths),
             "wall_time_s": round(wall, 3),
             "points": [p.point_id for p in spec.points],
         }
@@ -358,15 +387,30 @@ def run_sweep(
                 counters["cache_hits"] += 1
             else:
                 counters["cache_misses"] += 1
+            corrupt = (record.get("cache_stats") or {}).get("corrupt", 0)
+            counters["cache_corrupt"] += corrupt
             note = "hit" if record.get("cache_hit") else "miss"
+            if corrupt:
+                note += f", {corrupt} corrupt cache entr" \
+                        + ("y evicted" if corrupt == 1 else "ies evicted")
         else:
             record = {
                 "point_id": point.point_id,
                 "status": oc.status,
                 "error": oc.error,
+                "diagnostics": list(oc.diagnostics),
             }
             counters["failed"] += 1
             note = oc.error
+            context, source = point_bundle_context(point)
+            bdir = write_bundle(
+                run.dir / "bundles" / bundle_name(point.point_id),
+                "sweep", list(oc.diagnostics),
+                context=context, source=source,
+            )
+            record["bundle"] = str(bdir)
+            bundle_paths.append(str(bdir))
+            note += f" [bundle: {bdir}]"
         run.append(record)
         finished = counters["done"] + counters["failed"]
         say(f"[{finished + counters['skipped_resume']}/{counters['total']}] "
@@ -391,6 +435,14 @@ def run_sweep(
         f"skipped={counters['skipped_resume']}, cache "
         f"hits={counters['cache_hits']} misses={counters['cache_misses']}, "
         f"wall time {wall:.2f}s")
+    if counters["cache_corrupt"]:
+        say(f"sweep {spec.name}: WARNING: evicted "
+            f"{counters['cache_corrupt']} corrupt cache "
+            f"entr{'y' if counters['cache_corrupt'] == 1 else 'ies'} "
+            f"under {cache_root} (affected points re-synthesized)")
+    if bundle_paths:
+        say(f"sweep {spec.name}: {len(bundle_paths)} failure bundle(s) "
+            f"written; inspect with 'repro replay <bundle>'")
 
     latest: dict[str, dict] = {}
     for rec in run.records():

@@ -56,8 +56,7 @@ class RtlSim:
         if module.meta.get("pipelines"):
             raise SimulationError(
                 f"{module.name}: RTL simulation of pipelined regions is not "
-                "supported; use the cycle model"
-            )
+                "supported; use the cycle model", code="RPR-X101")
         self.module = module
         self.streams = streams
         self.ext_hdl = ext_hdl or (lambda v: v)
@@ -101,8 +100,7 @@ class RtlSim:
                 raise SimulationError(
                     f"{module.name}: stream {name!r} matches neither a "
                     f"{name}_re nor a {name}_we port; module streams are "
-                    f"{sorted(self._stream_port_names(port_set))}"
-                )
+                    f"{sorted(self._stream_port_names(port_set))}", code="RPR-X102")
 
     @staticmethod
     def _stream_port_names(port_set: set[str]) -> set[str]:
@@ -127,7 +125,7 @@ class RtlSim:
         for stream, ch in self._writers.items():
             if name == f"{stream}_full":
                 return int(not ch.can_push())
-        raise SimulationError(f"{self.module.name}: unknown port {name!r}")
+        raise SimulationError(f"{self.module.name}: unknown port {name!r}", code="RPR-X103")
 
     def eval(self, expr: R.Expr) -> int:
         if isinstance(expr, R.Ref):
@@ -149,7 +147,7 @@ class RtlSim:
                 return truncate(v, expr.width)
             if expr.op == "sext":
                 return truncate(sign_extend(v, expr.operand.width), expr.width)
-            raise SimulationError(f"unknown unary {expr.op}")
+            raise SimulationError(f"unknown unary {expr.op}", code="RPR-X104")
         if isinstance(expr, R.BinExpr):
             a = self.eval(expr.left)
             b = self.eval(expr.right)
@@ -172,7 +170,7 @@ class RtlSim:
             if op in ("/", "%"):
                 a, b = _value_operands(a, b, expr)
                 if b == 0:
-                    raise SimulationError(f"{self.module.name}: divide by zero")
+                    raise SimulationError(f"{self.module.name}: divide by zero", code="RPR-X105")
                 q = abs(a) // abs(b)
                 if (a < 0) != (b < 0):
                     q = -q
@@ -206,7 +204,7 @@ class RtlSim:
                 return truncate(
                     (a << expr.right.width) | b, expr.width
                 )
-            raise SimulationError(f"unknown binop {op}")
+            raise SimulationError(f"unknown binop {op}", code="RPR-X106")
         if isinstance(expr, R.CondExpr):
             return truncate(
                 self.eval(expr.iftrue) if self.eval(expr.cond) else
@@ -221,7 +219,7 @@ class RtlSim:
                 return truncate(self.ext_hdl(self.eval(expr.index)), expr.width)
             mem = self.memories[expr.memory]
             return mem[self.eval(expr.index) % len(mem)]
-        raise SimulationError(f"unknown expr {expr!r}")
+        raise SimulationError(f"unknown expr {expr!r}", code="RPR-X107")
 
     def _exec(self, stmt: R.Stmt, deferred: list) -> None:
         if isinstance(stmt, R.BlockingAssign):
@@ -240,7 +238,7 @@ class RtlSim:
             for s in branch:
                 self._exec(s, deferred)
         else:
-            raise SimulationError(f"unknown stmt {stmt!r}")
+            raise SimulationError(f"unknown stmt {stmt!r}", code="RPR-X108")
 
     # ---- clocking --------------------------------------------------------------
 
@@ -256,7 +254,7 @@ class RtlSim:
             self.injector.tick()
         sc = self._state_by_index.get(state)
         if sc is None:
-            raise SimulationError(f"{self.module.name}: no state {state}")
+            raise SimulationError(f"{self.module.name}: no state {state}", code="RPR-X109")
         if sc.stall is not None and self.eval(sc.stall):
             self.stalled += 1
             return "stalled"

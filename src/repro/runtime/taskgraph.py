@@ -23,6 +23,8 @@ from repro.ir.ops import OpKind
 class GraphError(ReproError):
     """Raised for malformed task graphs."""
 
+    code_prefix = "RPR-R"
+
 
 @dataclass(frozen=True)
 class Endpoint:
@@ -35,7 +37,7 @@ class Endpoint:
     def parse(cls, text: str) -> "Endpoint":
         process, _, port = text.partition(".")
         if not port:
-            raise GraphError(f"endpoint {text!r} must be 'process.port'")
+            raise GraphError(f"endpoint {text!r} must be 'process.port'", code="RPR-R001")
         return cls(process, port)
 
     def __str__(self) -> str:
@@ -135,8 +137,8 @@ class Application:
         if function is None:
             if len(module.functions) != 1:
                 raise GraphError(
-                    f"source defines {sorted(module.functions)}; pass function="
-                )
+                    f"source defines {sorted(module.functions)}; "
+                    f"pass function=", code="RPR-R002")
             function = next(iter(module.functions))
         if defines and "NABORT" in defines:
             self.nabort = True
@@ -158,7 +160,7 @@ class Application:
     ) -> ProcessDef:
         name = name or func.name
         if name in self.processes:
-            raise GraphError(f"duplicate process {name!r}")
+            raise GraphError(f"duplicate process {name!r}", code="RPR-R003")
         pd = ProcessDef(
             name=name,
             func=func,
@@ -221,14 +223,14 @@ class Application:
     def add_tap(self, name: str, source: str, dest: str,
                 widths: tuple[int, ...]) -> TapDef:
         if name in self.taps:
-            raise GraphError(f"duplicate tap {name!r}")
+            raise GraphError(f"duplicate tap {name!r}", code="RPR-R004")
         td = TapDef(name, source, dest, tuple(widths))
         self.taps[name] = td
         return td
 
     def _add_stream(self, sd: StreamDef) -> StreamDef:
         if sd.name in self.streams:
-            raise GraphError(f"duplicate stream {sd.name!r}")
+            raise GraphError(f"duplicate stream {sd.name!r}", code="RPR-R005")
         self.streams[sd.name] = sd
         return sd
 
@@ -275,8 +277,8 @@ class Application:
                 if ep is not None and ep.process == process:
                     if ep.port in out:
                         raise GraphError(
-                            f"{process}.{ep.port} bound to multiple streams"
-                        )
+                            f"{process}.{ep.port} bound to multiple "
+                            f"streams", code="RPR-R006")
                     out[ep.port] = sd
         return out
 
@@ -289,19 +291,19 @@ class Application:
             binding = self.stream_binding(pd.name)
             for param in pd.stream_params:
                 if param not in binding:
-                    raise GraphError(f"{pd.name}.{param} is unbound")
+                    raise GraphError(f"{pd.name}.{param} is unbound", code="RPR-R007")
             reads, writes = _stream_directions(pd.func)
             for param, sd in binding.items():
                 is_source = sd.source is not None and sd.source.process == pd.name \
                     and sd.source.port == param
                 if is_source and param in reads and param not in writes:
                     raise GraphError(
-                        f"{pd.name}.{param} reads stream {sd.name} but is its producer"
-                    )
+                        f"{pd.name}.{param} reads stream {sd.name} "
+                        f"but is its producer", code="RPR-R008")
                 if not is_source and param in writes and param not in reads:
                     raise GraphError(
-                        f"{pd.name}.{param} writes stream {sd.name} but is its consumer"
-                    )
+                        f"{pd.name}.{param} writes stream {sd.name} "
+                        f"but is its consumer", code="RPR-R009")
 
     def fpga_processes(self) -> list[ProcessDef]:
         return [p for p in self.processes.values() if p.kind == "fpga"]

@@ -1,0 +1,91 @@
+"""The CI lint that keeps every raise site coded."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_diagnostics  # noqa: E402
+
+
+def test_src_tree_is_clean(capsys):
+    rc = lint_diagnostics.main(["lint", str(REPO_ROOT / "src" / "repro")])
+    out = capsys.readouterr()
+    assert rc == 0, out.out
+    assert "0 problem(s)" in out.err
+
+
+def test_uncoded_raise_is_flagged(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.errors import ReproError\n"
+        "class MyError(ReproError):\n"
+        "    code_prefix = 'RPR-Z'\n"
+        "def f():\n"
+        "    raise MyError('oops')\n"
+    )
+    rc = lint_diagnostics.main(["lint", str(bad)])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "without an explicit code=" in out.out
+    assert "RPR-Z" in out.out  # the expected prefix is suggested
+
+
+def test_wrong_prefix_and_malformed_codes_are_flagged(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.errors import ReproError\n"
+        "class MyError(ReproError):\n"
+        "    code_prefix = 'RPR-Z'\n"
+        "def f():\n"
+        "    raise MyError('a', code='RPR-Q001')\n"
+        "def g():\n"
+        "    raise MyError('b', code='Z1')\n"
+    )
+    rc = lint_diagnostics.main(["lint", str(bad)])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "does not match the class's category prefix" in out.out.replace(
+        "\n", " ")
+    assert "not of the form" in out.out.replace("\n", " ")
+
+
+def test_default_code_installers_and_splats_are_exempt(tmp_path, capsys):
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "from repro.errors import ReproError\n"
+        "class AutoError(ReproError):\n"
+        "    code_prefix = 'RPR-Z'\n"
+        "    def __init__(self, message, **kwargs):\n"
+        "        kwargs.setdefault('code', 'RPR-Z900')\n"
+        "        super().__init__(message, **kwargs)\n"
+        "def f():\n"
+        "    raise AutoError('fine without a code')\n"
+        "def g(**kw):\n"
+        "    raise AutoError('splat hides the code', **kw)\n"
+    )
+    rc = lint_diagnostics.main(["lint", str(ok)])
+    capsys.readouterr()
+    assert rc == 0
+
+
+def test_subclasses_inherit_prefixes_across_files(tmp_path, capsys):
+    # class discovery runs to a fixpoint over all files, so a subclass in
+    # one file inherits the prefix its base declares in another
+    (tmp_path / "base.py").write_text(
+        "from repro.errors import ReproError\n"
+        "class BaseErr(ReproError):\n"
+        "    code_prefix = 'RPR-Z'\n"
+    )
+    (tmp_path / "sub.py").write_text(
+        "from base import BaseErr\n"
+        "class SubErr(BaseErr):\n"
+        "    pass\n"
+        "def f():\n"
+        "    raise SubErr('x', code='RPR-Q001')\n"
+    )
+    rc = lint_diagnostics.main(["lint", str(tmp_path)])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "RPR-Z" in out.out

@@ -1,0 +1,75 @@
+"""DiagnosticSink: collect-vs-strict semantics, notes, ordering."""
+
+import pytest
+
+from repro.diagnostics.core import Diagnostic
+from repro.diagnostics.sink import DiagnosticSink
+from repro.diagnostics.span import Span
+from repro.errors import DiagnosticError, LoweringError
+
+
+def diag(code="RPR-L010", severity="error", line=1, msg="bad"):
+    return Diagnostic(code=code, severity=severity, message=msg,
+                      span=Span(file="t.c", line=line))
+
+
+def test_collect_mode_accumulates_without_raising():
+    sink = DiagnosticSink(strict=False)
+    sink.emit(diag(severity="warning"))
+    sink.emit(diag(severity="error"))
+    sink.emit(diag(severity="error", line=2))
+    assert len(sink) == 3
+    assert sink.has_errors
+    assert len(sink.errors) == 2
+
+
+def test_strict_emit_raises_on_error_severity():
+    sink = DiagnosticSink(strict=True)
+    sink.emit(diag(severity="note"))  # non-errors never raise
+    with pytest.raises(DiagnosticError) as exc_info:
+        sink.emit(diag(code="RPR-T003"))
+    assert exc_info.value.code == "RPR-T003"
+    # the diagnostic was still recorded before the raise
+    assert len(sink) == 2
+
+
+def test_strict_capture_reraises_the_original_exception():
+    sink = DiagnosticSink(strict=True)
+    err = LoweringError("no goto", code="RPR-L010")
+    with pytest.raises(LoweringError) as exc_info:
+        sink.capture(err)
+    assert exc_info.value is err
+    assert len(sink) == 0  # strict capture records nothing
+
+
+def test_collect_capture_converts_error_to_diagnostic():
+    sink = DiagnosticSink(strict=False)
+    sink.capture(LoweringError("no goto", code="RPR-L010",
+                               span=Span(file="t.c", line=7)))
+    assert [d.code for d in sink] == ["RPR-L010"]
+    assert sink.diagnostics[0].span.line == 7
+
+
+def test_note_attaches_to_most_recent_diagnostic():
+    sink = DiagnosticSink(strict=False)
+    sink.emit(diag())
+    sink.note("while lowering function 'proc'")
+    assert sink.diagnostics[0].notes == ("while lowering function 'proc'",)
+
+
+def test_sorted_is_source_order():
+    sink = DiagnosticSink(strict=False)
+    sink.emit(diag(line=9))
+    sink.emit(diag(line=2))
+    sink.emit(diag(line=5))
+    assert [d.span.line for d in sink.sorted()] == [2, 5, 9]
+
+
+def test_raise_if_errors_raises_first_in_source_order():
+    sink = DiagnosticSink(strict=False)
+    sink.emit(diag(code="RPR-L011", line=9))
+    sink.emit(diag(code="RPR-T003", line=2))
+    with pytest.raises(DiagnosticError) as exc_info:
+        sink.raise_if_errors()
+    assert exc_info.value.code == "RPR-T003"
+    DiagnosticSink(strict=False).raise_if_errors()  # empty sink: no-op

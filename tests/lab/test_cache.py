@@ -134,6 +134,7 @@ def test_cache_roundtrip_and_stats(tmp_path):
     assert cache.get("deadbeef") == {"x": 1}
     assert cache.stats.as_dict() == {
         "hits": 1, "misses": 1, "stores": 1, "evictions": 0, "errors": 0,
+        "corrupt": 0,
     }
 
 
@@ -152,6 +153,7 @@ def test_corrupt_entry_heals_as_miss(tmp_path):
     path.write_bytes(b"not a pickle")
     assert cache.get("abcd") is None
     assert cache.stats.errors == 1
+    assert cache.stats.corrupt == 1
     assert not path.exists()  # the bad entry was dropped
 
 

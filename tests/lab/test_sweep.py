@@ -86,7 +86,7 @@ def test_sweep_completes_and_journal_matches(tmp_path):
     assert m["status"] == "completed"
     assert m["counters"] == {
         "total": 4, "skipped_resume": 0, "done": 4, "failed": 0,
-        "cache_hits": 0, "cache_misses": 4,
+        "cache_hits": 0, "cache_misses": 4, "cache_corrupt": 0,
     }
     assert m["wall_time_s"] >= 0
     assert set(result.records) == {p.point_id for p in spec.points}

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI lint: every raised ReproError must carry an explicit error code.
+
+Two AST passes over the source tree:
+
+1. **Class discovery** (to a fixpoint, so ordering across files does not
+   matter): collect every class transitively derived from ``ReproError``,
+   remembering its ``code_prefix`` (inherited when not overridden) and
+   whether its ``__init__`` installs a default code (e.g. DeadlockError's
+   ``kwargs.setdefault("code", ...)``), which exempts bare raises.
+2. **Raise checking**: every ``raise <ErrorClass>(...)`` must pass a
+   ``code=`` keyword (or splat ``**kwargs`` we cannot see through).
+   Literal codes must be well-formed ``RPR-<letter><3 digits>`` and agree
+   with the raising class's category prefix.
+
+Usage: python tools/lint_diagnostics.py [ROOT ...]   (default: src/repro)
+Exit status is the number of violations (capped at 1 for CI semantics).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+CODE_RE = re.compile(r"^RPR-[A-Z]\d{3}$")
+ROOT_CLASS = "ReproError"
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """`Name` or dotted `Attribute` → its final identifier."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ErrorClassInfo:
+    def __init__(self, name: str, bases: list[str], prefix: str | None,
+                 defaults_code: bool):
+        self.name = name
+        self.bases = bases
+        self.prefix = prefix          # explicit code_prefix, if assigned
+        self.defaults_code = defaults_code
+
+
+def _scan_classes(tree: ast.AST) -> list[ErrorClassInfo]:
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = [b for b in (_terminal_name(x) for x in node.bases) if b]
+        prefix = None
+        defaults_code = False
+        for item in node.body:
+            if isinstance(item, ast.Assign):
+                targets = [t.id for t in item.targets
+                           if isinstance(t, ast.Name)]
+                if "code_prefix" in targets and \
+                        isinstance(item.value, ast.Constant) and \
+                        isinstance(item.value.value, str):
+                    prefix = item.value.value
+            elif isinstance(item, ast.FunctionDef) and \
+                    item.name == "__init__":
+                for call in ast.walk(item):
+                    if isinstance(call, ast.Call) and \
+                            isinstance(call.func, ast.Attribute) and \
+                            call.func.attr == "setdefault" and \
+                            call.args and \
+                            isinstance(call.args[0], ast.Constant) and \
+                            call.args[0].value == "code":
+                        defaults_code = True
+        found.append(ErrorClassInfo(node.name, bases, prefix, defaults_code))
+    return found
+
+
+def collect_error_classes(trees: dict[Path, ast.AST]):
+    """Fixpoint over all files: name → (prefix, defaults_code)."""
+    all_classes = [ci for tree in trees.values()
+                   for ci in _scan_classes(tree)]
+    known: dict[str, ErrorClassInfo] = {}
+    member = {ROOT_CLASS}
+    changed = True
+    while changed:
+        changed = False
+        for ci in all_classes:
+            if ci.name in member:
+                continue
+            if any(b in member for b in ci.bases):
+                member.add(ci.name)
+                known[ci.name] = ci
+                changed = True
+    # resolve inherited prefixes / default-code flags
+    resolved: dict[str, tuple[str | None, bool]] = {
+        ROOT_CLASS: ("RPR-E", False),
+    }
+
+    def resolve(name: str, seen: frozenset = frozenset()):
+        if name in resolved:
+            return resolved[name]
+        ci = known.get(name)
+        if ci is None or name in seen:
+            return (None, False)
+        prefix, defaults = ci.prefix, ci.defaults_code
+        for base in ci.bases:
+            bp, bd = resolve(base, seen | {name})
+            prefix = prefix or bp
+            defaults = defaults or bd
+        resolved[name] = (prefix, defaults)
+        return resolved[name]
+
+    for name in list(known):
+        resolve(name)
+    return resolved
+
+
+def check_raises(path: Path, tree: ast.AST,
+                 classes: dict[str, tuple[str | None, bool]]) -> list[str]:
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        call = node.exc
+        if not isinstance(call, ast.Call):
+            continue  # bare re-raise / raise of a variable
+        name = _terminal_name(call.func)
+        if name not in classes:
+            continue
+        prefix, defaults_code = classes[name]
+        where = f"{path}:{node.lineno}"
+        if any(kw.arg is None for kw in call.keywords):
+            continue  # **kwargs splat — can't see through it
+        code_kw = next((kw for kw in call.keywords if kw.arg == "code"),
+                       None)
+        if code_kw is None:
+            if defaults_code:
+                continue
+            problems.append(
+                f"{where}: raise {name}(...) without an explicit code= "
+                f"(expected {prefix or 'RPR-?'}NNN)")
+            continue
+        if isinstance(code_kw.value, ast.Constant) and \
+                isinstance(code_kw.value.value, str):
+            code = code_kw.value.value
+            if not CODE_RE.match(code):
+                problems.append(
+                    f"{where}: raise {name}(code={code!r}) is not of the "
+                    f"form RPR-<letter><3 digits>")
+            elif prefix is not None and not code.startswith(prefix):
+                problems.append(
+                    f"{where}: raise {name}(code={code!r}) does not match "
+                    f"the class's category prefix {prefix!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [Path("src/repro")]
+    trees: dict[Path, ast.AST] = {}
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            try:
+                trees[path] = ast.parse(path.read_text(),
+                                        filename=str(path))
+            except SyntaxError as exc:
+                print(f"{path}: not parseable: {exc}", file=sys.stderr)
+                return 1
+    classes = collect_error_classes(trees)
+    problems = []
+    for path, tree in sorted(trees.items()):
+        problems.extend(check_raises(path, tree, classes))
+    for p in problems:
+        print(p)
+    n_raises = sum(
+        1 for tree in trees.values() for node in ast.walk(tree)
+        if isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call)
+        and _terminal_name(node.exc.func) in classes
+    )
+    print(f"lint_diagnostics: {len(classes)} ReproError classes, "
+          f"{n_raises} coded raise sites, {len(problems)} problem(s)",
+          file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
