@@ -70,6 +70,7 @@ def _options(args) -> SynthesisOptions:
         replicate=not args.no_replicate,
         share=not args.no_share,
         multichecker=args.multichecker,
+        sim_backend=getattr(args, "sim_backend", "compiled"),
     )
 
 
@@ -79,6 +80,7 @@ def _options_dict(args) -> dict:
         "replicate": not args.no_replicate,
         "share": not args.no_share,
         "multichecker": args.multichecker,
+        "sim_backend": getattr(args, "sim_backend", "compiled"),
     }
 
 
@@ -277,6 +279,7 @@ def cmd_campaign(args) -> int:
         seed=args.seed,
         count=args.count,
         nabort=args.nabort,
+        options=SynthesisOptions(sim_backend=args.sim_backend),
         jobs=args.jobs,
         cache_root=args.cache,
     )
@@ -378,6 +381,7 @@ def cmd_difftest(args) -> int:
         gen=GenConfig(max_stmts=args.stmts),
         max_cycles=args.max_cycles,
         reduce=not args.no_reduce,
+        sim_backend=args.sim_backend,
     )
     try:
         result = run_difftest_campaign(
@@ -400,6 +404,31 @@ def cmd_difftest(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.simc.bench import compare_bench, render_bench, run_bench
+
+    doc = run_bench(quick=args.quick)
+    print(render_bench(doc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        problems = compare_bench(doc, baseline, threshold=args.threshold)
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline}, "
+              f"threshold {args.threshold:.0%})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +446,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--no-share", action="store_true")
         p.add_argument("--multichecker", action="store_true",
                        help="round-robin shared checker (Sec. 3.3 extension)")
+        p.add_argument("--sim-backend", default="compiled",
+                       choices=("interp", "compiled"),
+                       help="simulation backend: specialize schedules to "
+                            "Python bytecode (compiled, default) or walk "
+                            "them (interp)")
 
     p = sub.add_parser("compile", help="emit Verilog + report")
     common(p)
@@ -435,6 +469,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--no-replicate", action="store_true")
     p.add_argument("--no-share", action="store_true")
     p.add_argument("--multichecker", action="store_true")
+    p.add_argument("--sim-backend", default="compiled",
+                   choices=("interp", "compiled"))
     p.add_argument("--feed", default="", help="comma-separated input words")
     p.add_argument("--color", action="store_true",
                    help="ANSI-colored diagnostics")
@@ -484,6 +520,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker processes for the scenario grid")
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="synthesis cache directory (one image per level)")
+    p.add_argument("--sim-backend", default="compiled",
+                   choices=("interp", "compiled"),
+                   help="simulation backend for scenario execution")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -541,7 +580,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="re-run one saved seed file instead of a campaign")
     p.add_argument("--original", action="store_true",
                    help="with --replay: run the unreduced program")
+    p.add_argument("--sim-backend", default="interp",
+                   choices=("interp", "compiled"),
+                   help="'compiled' adds the repro.simc specialized "
+                        "simulators as strict lockstep legs")
     p.set_defaults(func=cmd_difftest)
+
+    p = sub.add_parser(
+        "bench",
+        help="interp-vs-compiled simulation perf bench with baseline gate",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="single timing repeat per leg (same workloads)")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the bench document to this file")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="fail if any speedup regresses vs this baseline")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="relative speedup loss that counts as a "
+                        "regression (default 0.30)")
+    p.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -53,6 +53,10 @@ class SynthesisOptions:
     #: into one round-robin pipelined checker fed by per-assertion FIFOs.
     multichecker: bool = False
     multichecker_group: int = 32
+    #: simulation backend for execution (:mod:`repro.simc`): "compiled"
+    #: specializes each schedule to Python bytecode (interp fallback on
+    #: unsupported constructs), "interp" forces the tree-walking model
+    sim_backend: str = "compiled"
 
     def key_parts(self) -> tuple:
         """Stable (name, value) tuple of *every* field, for cache keying.
@@ -205,6 +209,7 @@ def synthesize(
         nabort=hw_app.nabort,
         assertion_level=assertions,
         latency_regions=latency_regions,
+        sim_backend=options.sim_backend,
     )
     image.registry = registry  # type: ignore[attr-defined]
     return image

@@ -30,10 +30,12 @@ makes assertion behaviour itself differential-tested.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.core.instrument import instrument_unoptimized
-from repro.errors import ReproError, SimulationError
+from repro.errors import ReproError, SimCompileError, SimulationError
 from repro.frontend.lowering import lower_source
 from repro.hls.compiler import CompiledProcess, compile_process
 from repro.hls.constraints import HLSConfig
@@ -135,6 +137,11 @@ def divergence_diagnostics(div) -> list[dict]:
     ).to_dict()]
 
 
+#: how many recent per-cycle register snapshots the lockstep loop retains
+#: for divergence context (ring buffer; tuples, not dict copies)
+REG_WINDOW = 8
+
+
 @dataclass
 class DiffReport:
     """Outcome of one three-way differential run."""
@@ -145,6 +152,9 @@ class DiffReport:
     cm_cycles: int = 0
     rtl_cycles: int = 0
     assertions: int = 0  # instrumented assertion count
+    #: last :data:`REG_WINDOW` register-file snapshots before a
+    #: cyclemodel-vs-rtl divergence (empty when the run agreed)
+    reg_window: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -226,6 +236,7 @@ def run_difftest(
     faults: tuple = (),
     max_cycles: int = 200_000,
     cache=None,
+    sim_backend: str = "interp",
 ) -> DiffReport:
     """Run ``source`` through all three models; report the first divergence.
 
@@ -235,7 +246,19 @@ def run_difftest(
     non-empty tuple *should* produce a divergence — that is how the oracle
     itself is tested. ``cache`` is an optional
     :class:`repro.lab.cache.SynthesisCache` memoizing compilation.
+
+    ``sim_backend="compiled"`` adds the :mod:`repro.simc` compiled
+    simulators as a fourth and fifth leg, run in the same lockstep loop
+    and compared tick-for-tick against their tree-walking counterparts
+    (phases ``cyclemodel-vs-compiled`` / ``rtl-vs-compiled``). The
+    compiled legs are constructed in strict mode: a design the code
+    generator cannot specialize is a harness error (RPR-Y008), not a
+    silent fallback.
     """
+    if sim_backend not in ("interp", "compiled"):
+        raise DifftestError(
+            f"unknown sim backend {sim_backend!r}; expected "
+            "interp/compiled", code="RPR-Y009")
     func, n_asserts = _prepare(source, filename)
     reads, writes = _stream_roles(func)
     if len(reads) > 1:
@@ -307,13 +330,14 @@ def run_difftest(
 
     # -- phase 2: cycle model vs RTL, in lockstep ---------------------------
     d = _lockstep(cp, reads, writes, stimulus, out_streams, max_cycles,
-                  report)
+                  report, sim_backend=sim_backend)
     report.divergence = d
     return report
 
 
 def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
-              max_cycles: int, report: DiffReport) -> Divergence | None:
+              max_cycles: int, report: DiffReport,
+              sim_backend: str = "interp") -> Divergence | None:
     func = cp.hw_func
     ch_cm = _fresh_channels(func, reads, writes, stimulus)
     ch_rt = _fresh_channels(func, reads, writes, stimulus)
@@ -322,6 +346,25 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
         sim = RtlSim(cp.rtl, ch_rt)
     except SimulationError as exc:
         raise DifftestError(f"RTL simulator rejected module: {exc}", code="RPR-Y006") from exc
+
+    # optional compiled legs: the simc-specialized simulators replay the
+    # identical stimulus on their own channels; any tick where their
+    # status, register file or stream traffic differs from the
+    # tree-walking models is a backend divergence
+    cpe = csim = None
+    ch_ccm = ch_crt = None
+    if sim_backend == "compiled":
+        from repro import simc
+
+        ch_ccm = _fresh_channels(func, reads, writes, stimulus)
+        ch_crt = _fresh_channels(func, reads, writes, stimulus)
+        try:
+            cpe = simc.make_process_exec(cp.schedule, ch_ccm, strict=True)
+            csim = simc.make_rtl_sim(cp.rtl, ch_crt, strict=True)
+        except (SimCompileError, SimulationError) as exc:
+            raise DifftestError(
+                f"compiled backend rejected design: {exc}", code="RPR-Y008"
+            ) from exc
 
     labels = {sc.index: sc.label for sc in cp.rtl.states}
     checked = {s: 0 for s in out_streams}
@@ -332,6 +375,28 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
     reg_delta: tuple[int, str, int, int] | None = None
     scalars = {n: t for n, t in func.scalars.items()
                if f"r_{n}" in sim.regs}
+    # lazy per-cycle capture: one itemgetter call per side builds a value
+    # tuple at C speed; the per-register truncate/compare scan only runs
+    # on the (at most one) cycle where the tuples first disagree. The
+    # ring buffer keeps the last few snapshots for divergence context.
+    reg_names = list(scalars)
+    cm_get = rt_get = None
+    if reg_names:
+        cm_get = itemgetter(*reg_names)
+        rt_get = itemgetter(*[f"r_{n}" for n in reg_names])
+        if len(reg_names) == 1:  # itemgetter of one key returns a scalar
+            _cg, _rg = cm_get, rt_get
+            cm_get = lambda d, g=_cg: (g(d),)  # noqa: E731
+            rt_get = lambda d, g=_rg: (g(d),)  # noqa: E731
+    ring: deque = deque(maxlen=REG_WINDOW)
+
+    def flush_ring() -> None:
+        report.reg_window = [
+            {"cycle": c,
+             "cyclemodel": dict(zip(reg_names, a)),
+             "rtl": dict(zip(reg_names, b))}
+            for c, a, b in ring
+        ]
 
     def here(cycle: int) -> dict:
         state = labels.get(sim.regs.get("state"), "?")
@@ -340,6 +405,7 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
         if reg_delta is not None:
             d["cycle"] = reg_delta[0]
             d["signal"] = reg_delta[1]
+        flush_ring()
         return d
 
     for cycle in range(1, max_cycles + 1):
@@ -355,6 +421,11 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
             return Divergence(phase="cyclemodel-vs-rtl", kind="error",
                               message=f"RTL simulator raised: {exc}",
                               **here(cycle))
+
+        if cpe is not None:
+            d = _compiled_step(cycle, s_cm, s_rt, pe, sim, cpe, csim, here)
+            if d is not None:
+                return d
 
         for s in out_streams:
             qa, qb = list(ch_cm[s].queue), list(ch_rt[s].queue)
@@ -374,13 +445,22 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
                     )
             checked[s] = n
 
-        if reg_delta is None and not pe.done and not sim.done:
-            for name, ty in scalars.items():
-                cm_v = truncate(pe.env.get(name, 0), ty.width)
-                rt_v = sim.regs[f"r_{name}"]
-                if cm_v != rt_v:
-                    reg_delta = (cycle, f"r_{name}", cm_v, rt_v)
-                    break
+        if reg_delta is None and cm_get is not None \
+                and not pe.done and not sim.done:
+            cm_t = cm_get(pe.env)
+            rt_t = rt_get(sim.regs)
+            ring.append((cycle, cm_t, rt_t))
+            if cm_t != rt_t:
+                # localize with the exact historical semantics: compare
+                # width-truncated env values in declaration order, first
+                # mismatch wins (a raw-pattern difference that truncates
+                # equal is not a delta)
+                for name, ty in scalars.items():
+                    cm_v = truncate(pe.env.get(name, 0), ty.width)
+                    rt_v = sim.regs[f"r_{name}"]
+                    if cm_v != rt_v:
+                        reg_delta = (cycle, f"r_{name}", cm_v, rt_v)
+                        break
 
         if s_cm == "done" and s_rt == "done":
             break
@@ -413,4 +493,115 @@ def _lockstep(cp: CompiledProcess, reads, writes, stimulus, out_streams,
             values={"cyclemodel": pe.cycles, "rtl": sim.cycles},
             **here(sim.cycles),
         )
+
+    if cpe is not None:
+        d = _compiled_final(pe, sim, cpe, csim, ch_cm, ch_rt, ch_ccm, ch_crt,
+                            out_streams, here)
+        if d is not None:
+            return d
+    return None
+
+
+def _compiled_step(cycle, s_cm, s_rt, pe, sim, cpe, csim, here):
+    """One lockstep tick of the compiled legs, compared to the interpreted
+    ones. Status, exception text, FSM position and the full register file /
+    environment must match every cycle — the comparisons are plain dict
+    equality, so the common all-agree case costs two C-level compares."""
+    try:
+        s_ccm = cpe.tick() if not cpe.done else "done"
+        e_ccm = None
+    except SimulationError as exc:
+        s_ccm, e_ccm = "error", str(exc)
+    try:
+        s_crt = csim.tick() if not csim.done else "done"
+        e_crt = None
+    except SimulationError as exc:
+        s_crt, e_crt = "error", str(exc)
+
+    if s_ccm != s_cm or e_ccm is not None \
+            or (pe.block, pe.step) != (cpe.block, cpe.step):
+        return Divergence(
+            phase="cyclemodel-vs-compiled", kind="backend",
+            message=f"compiled cycle model diverged at cycle {cycle}: "
+                    f"interp {s_cm} at {pe.block}[{pe.step}], "
+                    f"compiled {s_ccm} at {cpe.block}[{cpe.step}]"
+                    + (f" ({e_ccm})" if e_ccm else ""),
+            values={"interp": s_cm, "compiled": e_ccm or s_ccm},
+            **here(cycle))
+    if s_crt != s_rt or e_crt is not None:
+        return Divergence(
+            phase="rtl-vs-compiled", kind="backend",
+            message=f"compiled RTL simulator diverged at cycle {cycle}: "
+                    f"interp {s_rt}, compiled {s_crt}"
+                    + (f" ({e_crt})" if e_crt else ""),
+            values={"interp": s_rt, "compiled": e_crt or s_crt},
+            **here(cycle))
+    if pe.env != cpe.env:
+        diffs = {k: (pe.env.get(k), cpe.env.get(k))
+                 for k in set(pe.env) | set(cpe.env)
+                 if pe.env.get(k) != cpe.env.get(k)}
+        name = sorted(diffs)[0]
+        return Divergence(
+            phase="cyclemodel-vs-compiled", kind="backend",
+            message=f"compiled cycle model env diverged at cycle {cycle}: "
+                    f"{name} interp={diffs[name][0]} "
+                    f"compiled={diffs[name][1]}",
+            signal=name,
+            values={"interp": diffs[name][0], "compiled": diffs[name][1]},
+            cycle=cycle)
+    if sim.regs != csim.regs:
+        diffs = {k: (sim.regs.get(k), csim.regs.get(k))
+                 for k in set(sim.regs) | set(csim.regs)
+                 if sim.regs.get(k) != csim.regs.get(k)}
+        name = sorted(diffs)[0]
+        return Divergence(
+            phase="rtl-vs-compiled", kind="backend",
+            message=f"compiled RTL register diverged at cycle {cycle}: "
+                    f"{name} interp={diffs[name][0]} "
+                    f"compiled={diffs[name][1]}",
+            signal=name,
+            values={"interp": diffs[name][0], "compiled": diffs[name][1]},
+            cycle=cycle)
+    return None
+
+
+def _compiled_final(pe, sim, cpe, csim, ch_cm, ch_rt, ch_ccm, ch_crt,
+                    out_streams, here):
+    """End-of-run checks for the compiled legs: stream contents, cycle and
+    stall counters, and RTL tap captures must be bit-identical."""
+    for s in out_streams:
+        for who, a, b in (("cyclemodel-vs-compiled", ch_cm[s], ch_ccm[s]),
+                          ("rtl-vs-compiled", ch_rt[s], ch_crt[s])):
+            if list(a.queue) != list(b.queue):
+                return Divergence(
+                    phase=who, kind="backend",
+                    message=f"output {s}: interp backend wrote "
+                            f"{len(a.queue)} words, compiled wrote "
+                            f"{len(b.queue)} (or contents differ)",
+                    stream=s,
+                    values={"interp": len(a.queue),
+                            "compiled": len(b.queue)},
+                    **here(sim.cycles))
+    counters = (
+        ("cyclemodel-vs-compiled", "cycles", pe.cycles, cpe.cycles),
+        ("cyclemodel-vs-compiled", "stalls",
+         pe.stall_cycles, cpe.stall_cycles),
+        ("rtl-vs-compiled", "cycles", sim.cycles, csim.cycles),
+        ("rtl-vs-compiled", "stalls", sim.stalled, csim.stalled),
+    )
+    for who, what, a, b in counters:
+        if a != b:
+            return Divergence(
+                phase=who, kind="backend",
+                message=f"{what}: interp backend counted {a}, "
+                        f"compiled counted {b}",
+                values={"interp": a, "compiled": b},
+                **here(sim.cycles))
+    if sim.taps != csim.taps:
+        return Divergence(
+            phase="rtl-vs-compiled", kind="backend",
+            message="RTL tap captures differ between backends",
+            values={"interp": {k: len(v) for k, v in sim.taps.items()},
+                    "compiled": {k: len(v) for k, v in csim.taps.items()}},
+            **here(sim.cycles))
     return None

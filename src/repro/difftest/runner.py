@@ -54,6 +54,9 @@ class DifftestSpec:
     max_cycles: int = 200_000
     reduce: bool = True
     reduce_checks: int = 300
+    #: "interp" runs the classic three-way oracle; "compiled" adds the
+    #: :mod:`repro.simc` specialized simulators as strict lockstep legs
+    sim_backend: str = "interp"
 
     def seed_list(self) -> list[int]:
         lo, hi = self.seeds
@@ -62,7 +65,7 @@ class DifftestSpec:
     def fingerprint(self) -> str:
         fp = stable_fingerprint(
             "difftest", self.name, self.seeds, self.gen.key_parts(),
-            self.max_cycles,
+            self.max_cycles, self.sim_backend,
         )
         return f"{fp:012x}"
 
@@ -88,6 +91,7 @@ def evaluate_seed(args: tuple) -> dict:
     report = run_difftest(
         prog.render(), prog.feed, filename=f"seed{seed}.c",
         max_cycles=spec.max_cycles, cache=cache,
+        sim_backend=spec.sim_backend,
     )
     record = {
         "point_id": f"seed-{seed}",
@@ -99,6 +103,7 @@ def evaluate_seed(args: tuple) -> dict:
         "rtl_cycles": report.rtl_cycles,
         "divergent": not report.ok,
         "cache_hit": cache.stats.hits > 0,
+        "sim_backend": spec.sim_backend,
         "elapsed_s": round(time.monotonic() - t0, 4),
     }
     if report.ok:
@@ -116,14 +121,16 @@ def evaluate_seed(args: tuple) -> dict:
         def still_fails(candidate) -> bool:
             r = run_difftest(candidate.render(), candidate.feed,
                              filename=f"seed{seed}-reduce.c",
-                             max_cycles=spec.max_cycles, cache=cache)
+                             max_cycles=spec.max_cycles, cache=cache,
+                             sim_backend=spec.sim_backend)
             return same_bug(original, r.divergence)
 
         reduced = reduce_program(prog, still_fails,
                                  max_checks=spec.reduce_checks)
         final = run_difftest(reduced.render(), reduced.feed,
                              filename=f"seed{seed}-reduced.c",
-                             max_cycles=spec.max_cycles, cache=cache)
+                             max_cycles=spec.max_cycles, cache=cache,
+                             sim_backend=spec.sim_backend)
         record["reduced_source"] = reduced.render()
         record["reduced_feed"] = list(reduced.feed)
         record["reduced_stmts"] = reduced.stmt_count()

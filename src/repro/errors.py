@@ -39,6 +39,7 @@ __all__ = [
     "ReproError",
     "ReproTypeError",
     "SchedulingError",
+    "SimCompileError",
     "SimulationError",
     "TypeError_",
 ]
@@ -170,6 +171,19 @@ class SimulationError(ReproError):
     code_prefix = "RPR-X"
 
 
+class SimCompileError(ReproError):
+    """Raised by the compiled-simulation backend (:mod:`repro.simc`) when a
+    design cannot be specialized to Python bytecode.
+
+    Backend selection (:func:`repro.simc.make_rtl_sim` /
+    :func:`repro.simc.make_process_exec`) catches this and falls back to
+    the interpreted simulators, surfacing the reason as an ``RPR-K101``
+    warning diagnostic; strict call sites (the difftest lockstep legs)
+    let it propagate."""
+
+    code_prefix = "RPR-K"
+
+
 class DeadlockError(SimulationError):
     """Raised when every process in a simulation is blocked (hang detected).
 
@@ -254,6 +268,7 @@ CODE_PREFIXES: dict[str, str] = {
     "RPR-B": "resource binding",
     "RPR-C": "RTL code generation",
     "RPR-X": "simulation (interpreter, cycle model, RTL sim; X9xx = hangs)",
+    "RPR-K": "compiled-simulation backend (codegen, backend selection)",
     "RPR-A": "assertion synthesis passes",
     "RPR-F": "fault-injection configuration",
     "RPR-G": "campaign orchestration",
@@ -261,5 +276,6 @@ CODE_PREFIXES: dict[str, str] = {
     "RPR-R": "task-graph construction (processes, streams, taps)",
     "RPR-W": "design-space sweeps",
     "RPR-Y": "differential-testing harness",
+    "RPR-M": "performance-bench harness (backend mismatch, baseline gate)",
     "RPR-E": "generic / internal (E999 = bridged non-toolchain exception)",
 }

@@ -133,6 +133,9 @@ class ProcessExec:
     consuming TAP_READ side use the same mapping).
     """
 
+    #: which simulation backend this class implements (repro.simc overrides)
+    backend = "interp"
+
     def __init__(
         self,
         fsched: FunctionSchedule,

@@ -35,6 +35,22 @@ def _value_operands(a: int, b: int, expr: "R.BinExpr") -> tuple[int, int]:
     return a, b
 
 
+def _peek_fn(ch: Channel) -> Callable[[], int]:
+    return lambda: int(ch.queue[0]) if ch.queue else 0
+
+
+def _empty_fn(ch: Channel) -> Callable[[], int]:
+    return lambda: int(not ch.can_pop())
+
+
+def _eos_fn(ch: Channel) -> Callable[[], int]:
+    return lambda: int(ch.closed)
+
+
+def _full_fn(ch: Channel) -> Callable[[], int]:
+    return lambda: int(not ch.can_push())
+
+
 @dataclass
 class RtlRunResult:
     cycles: int
@@ -45,6 +61,9 @@ class RtlRunResult:
 
 class RtlSim:
     """Cycle simulator for one sequential module bound to channels."""
+
+    #: which simulation backend this class implements (repro.simc overrides)
+    backend = "interp"
 
     def __init__(
         self,
@@ -102,6 +121,18 @@ class RtlSim:
                     f"{name}_re nor a {name}_we port; module streams are "
                     f"{sorted(self._stream_port_names(port_set))}", code="RPR-X102")
 
+        # port-value dispatch: name -> zero-arg callable, precomputed once
+        # so the per-access cost is a dict hit instead of a linear scan over
+        # every bound stream. The compiled backend (repro.simc) reuses this
+        # table for ports it could not resolve statically.
+        self._port_fns: dict[str, Callable[[], int]] = {}
+        for stream, ch in self._readers.items():
+            self._port_fns[f"{stream}_data"] = _peek_fn(ch)
+            self._port_fns[f"{stream}_empty"] = _empty_fn(ch)
+            self._port_fns[f"{stream}_eos"] = _eos_fn(ch)
+        for stream, ch in self._writers.items():
+            self._port_fns[f"{stream}_full"] = _full_fn(ch)
+
     @staticmethod
     def _stream_port_names(port_set: set[str]) -> set[str]:
         """Stream names implied by the module's strobe ports."""
@@ -115,17 +146,10 @@ class RtlSim:
     # ---- evaluation -----------------------------------------------------------
 
     def _port_value(self, name: str) -> int:
-        for stream, ch in self._readers.items():
-            if name == f"{stream}_data":
-                return int(ch.queue[0]) if ch.queue else 0
-            if name == f"{stream}_empty":
-                return int(not ch.can_pop())
-            if name == f"{stream}_eos":
-                return int(ch.closed)
-        for stream, ch in self._writers.items():
-            if name == f"{stream}_full":
-                return int(not ch.can_push())
-        raise SimulationError(f"{self.module.name}: unknown port {name!r}", code="RPR-X103")
+        fn = self._port_fns.get(name)
+        if fn is None:
+            raise SimulationError(f"{self.module.name}: unknown port {name!r}", code="RPR-X103")
+        return fn()
 
     def eval(self, expr: R.Expr) -> int:
         if isinstance(expr, R.Ref):

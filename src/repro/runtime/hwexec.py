@@ -79,6 +79,9 @@ class HardwareImage:
     assertion_level: str = "none"
     #: timing assertions (repro.core.timing_assert.LatencyRegion)
     latency_regions: list = field(default_factory=list)
+    #: simulation backend requested at synthesis time ("interp"/"compiled");
+    #: execute() can still override per run
+    sim_backend: str = "compiled"
 
     def decode_failure(self, stream: str, word: int) -> list[tuple[str, AssertionSite]]:
         decode = self.assert_decode.get(stream)
@@ -110,6 +113,8 @@ class HwResult:
     completed: bool
     cycles: int
     outputs: dict[str, list[int]] = field(default_factory=dict)
+    #: warning dicts from compiled->interp backend fallbacks (RPR-K101)
+    backend_diagnostics: list[dict] = field(default_factory=list)
     stderr: list[str] = field(default_factory=list)
     failures: list[tuple[str, AssertionSite]] = field(default_factory=list)
     aborted_by: AssertionSite | None = None
@@ -228,6 +233,7 @@ def execute(
     idle_limit: int = 64,
     watchdog: WatchdogConfig | None = None,
     faults=(),
+    sim_backend: str | None = None,
 ) -> HwResult:
     """Run the synthesized application cycle by cycle.
 
@@ -235,10 +241,16 @@ def execute(
     ``max_cycles``/``idle_limit`` arguments are folded into a default
     config when it is None). ``faults`` is an iterable of runtime faults
     (:mod:`repro.faults.runtime`) injected into the channel fabric and
-    process registers for this run only.
+    process registers for this run only. ``sim_backend`` overrides the
+    image's synthesis-time backend choice (``None`` keeps it); fallbacks
+    to the interpreter are recorded in ``HwResult.backend_diagnostics``.
     """
+    from repro import simc
+
     cfg = watchdog or WatchdogConfig(max_cycles=max_cycles,
                                      idle_limit=idle_limit)
+    backend = simc.resolve_backend(
+        sim_backend or getattr(image, "sim_backend", None))
     app = image.app
     app.validate()
 
@@ -256,17 +268,20 @@ def execute(
     }
 
     execs: dict[str, ProcessExec] = {}
+    backend_diags: list[dict] = []
     for pd in app.fpga_processes():
         binding = {
             param: channels[sd.name]
             for param, sd in app.stream_binding(pd.name).items()
         }
-        execs[pd.name] = ProcessExec(
+        execs[pd.name] = simc.make_process_exec(
             image.compiled[pd.name].schedule,
-            streams=binding,
+            binding,
             taps=taps,
             ext_funcs=pd.ext_hw,
             name=pd.name,
+            backend=backend,
+            diagnostics=backend_diags,
         )
 
     collectors = [
@@ -283,7 +298,8 @@ def execute(
     injector = RuntimeFaultInjector(faults)
     injector.attach(channels, execs)
 
-    result = HwResult(completed=False, cycles=0, reason=TIMEOUT)
+    result = HwResult(completed=False, cycles=0, reason=TIMEOUT,
+                      backend_diagnostics=backend_diags)
     fed_order = sorted(feeders)
     sink_order = sorted(cpu_outputs)
     feed_rr = 0
@@ -429,6 +445,7 @@ def execute(
             "iterations": pe.iterations_started,
             "stream_ops": pe.stream_ops,
             "quarantined": pe.quarantined,
+            "backend": getattr(pe, "backend", "interp"),
         }
     result.fault_events = injector.event_log()
     injector.detach()

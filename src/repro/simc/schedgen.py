@@ -1,0 +1,892 @@
+"""Compiled cycle-model simulation: specialize a ``FunctionSchedule``.
+
+The interpreted :class:`repro.hls.cyclemodel.ProcessExec` dispatches every
+instruction of every control step through :mod:`repro.ir.semantics` on
+every cycle — re-deriving C usual-arithmetic-conversion types, widths and
+masks that are all compile-time constants of the schedule. This module
+walks the schedule **once**, emitting one Python function per
+``(block, step)`` pair with those conversions constant-folded: operand
+interpretation becomes a branchless sign-extension or nothing, masks
+become hex literals, constant operands fold to their converted values, and
+stream handshakes become direct bound-method calls on the
+:class:`Channel` objects.
+
+Pipelined regions compile too: each modulo-scheduled stage becomes one
+overlay-passing function (stage-register semantics via the same
+``overlay`` + ``_pending_env`` discipline the interpreter uses), and the
+per-block tick function replays ``_tick_pipe``'s initiation / squash /
+drain protocol with the per-stage instruction lists resolved at compile
+time. Any block the codegen skipped falls back to the interpreted path
+mid-run. Everything observable (``env`` contents, stall/cycle counters,
+``stream_ops``, channel stats, watchdog/fault hooks including
+``upset_register``) is shared with the base class, which is what lets the
+difftest lockstep oracle compare the two backends cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimCompileError, SimulationError
+from repro.frontend.ctypes_ import CType, common_type
+from repro.hls.cyclemodel import Channel, ProcessExec
+from repro.hls.schedule import FunctionSchedule
+from repro.ir import semantics
+from repro.ir.instr import Branch, Instr, Jump, Return
+from repro.ir.ops import OpKind
+from repro.ir.values import Const, Temp, Value
+from repro.utils.bitops import mask, truncate
+
+from .codecache import cached_source, compile_source
+from .rtlgen import _Emitter, _sext_src
+
+__all__ = ["CompiledProcessExec", "generate_sched_source",
+           "sched_exec_source"]
+
+
+def _identity(v):
+    return v
+
+
+class _Opnd:
+    """One IR operand: either a literal (folded) or a source fragment.
+
+    For :class:`Temp` operands the fragment reads ``env`` and — by the
+    ``_write`` invariant — always holds the unsigned pattern truncated to
+    the temp's declared width. :class:`Const` operands keep their raw
+    value so the exact interpreter conversions can be replayed on them at
+    compile time.
+    """
+
+    __slots__ = ("src", "ty", "lit")
+
+    def __init__(self, src: str | None, ty: CType, lit: int | None) -> None:
+        self.src = src
+        self.ty = ty
+        self.lit = lit
+
+
+class _SchedCompiler:
+    def __init__(self, fsched: FunctionSchedule) -> None:
+        self.fsched = fsched
+        self.func = fsched.func
+        self.name = self.func.name
+        # ("stream"|"tap", channel name) -> local variable prefix
+        self.channels: dict[tuple[str, str], str] = {}
+        self.mem_locals: dict[str, str] = {
+            name: f"_m{i}" for i, name in enumerate(self.func.arrays)
+        }
+        self.mem_sizes: dict[str, int] = {
+            name: arr.size for name, arr in self.func.arrays.items()
+        }
+        self.mem_widths: dict[str, int] = {
+            name: arr.elem.width for name, arr in self.func.arrays.items()
+        }
+        #: when set (pipelined-stage codegen), reads check the iteration
+        #: overlay dict of this name first and writes go through it plus
+        #: ``_pending_env`` — the interpreter's ``_read``/``_write``
+        #: overlay discipline, resolved at compile time
+        self.ov: str | None = None
+
+    # ---- operands -------------------------------------------------------------
+
+    def opnd(self, v: Value) -> _Opnd:
+        if isinstance(v, Const):
+            return _Opnd(None, v.ty, v.value)
+        if isinstance(v, Temp):
+            if self.ov is not None:
+                n = v.name
+                return _Opnd(
+                    f"({self.ov}[{n!r}] if {n!r} in {self.ov} "
+                    f"else E[{n!r}])", v.ty, None)
+            return _Opnd(f"E[{v.name!r}]", v.ty, None)
+        raise SimCompileError(
+            f"{self.name}: bad operand {v!r}", code="RPR-K020")
+
+    def chan(self, instr: Instr) -> str:
+        if "stream" in instr.attrs:
+            key = ("stream", instr.attrs["stream"])
+        else:
+            key = ("tap", instr.attrs["channel"])
+        local = self.channels.get(key)
+        if local is None:
+            local = f"_c{len(self.channels)}"
+            self.channels[key] = local
+        return local
+
+    def value_src(self, em: _Emitter, o: _Opnd, ct: CType) -> str:
+        """Source for ``interpret(truncate(interpret(x, xty), ct.w), ct)``.
+
+        The mathematical value of the operand after the C usual arithmetic
+        conversions to ``ct`` — possibly negative when ``ct`` is signed.
+        """
+        if o.lit is not None:
+            return repr(semantics.interpret(
+                truncate(semantics.interpret(o.lit, o.ty), ct.width), ct))
+        cm = mask(ct.width)
+        if o.ty.signed:
+            s = em.fresh()
+            em.put(f"{s} = {_sext_src(o.src, o.ty.width)} & {hex(cm)}")
+            masked_at = ct.width
+        elif ct.width < o.ty.width:
+            s = em.fresh()
+            em.put(f"{s} = {o.src} & {hex(cm)}")
+            masked_at = ct.width
+        else:
+            s = o.src
+            masked_at = o.ty.width
+        if ct.signed and masked_at >= ct.width:
+            if s == o.src:
+                v = em.fresh()
+                em.put(f"{v} = {s}")
+                s = v
+            out = em.fresh()
+            em.put(f"{out} = {_sext_src(s, ct.width)}")
+            return out
+        return s
+
+    def pattern_src(self, em: _Emitter, o: _Opnd, ct: CType) -> str:
+        """Like :meth:`value_src` but stops at the ``ct``-width pattern
+        (the final signed interpretation elided) — for bitwise ops, which
+        re-truncate both converted operands anyway."""
+        if o.lit is not None:
+            return hex(truncate(
+                truncate(semantics.interpret(o.lit, o.ty), ct.width),
+                ct.width))
+        cm = mask(ct.width)
+        if o.ty.signed:
+            s = em.fresh()
+            em.put(f"{s} = {_sext_src(o.src, o.ty.width)} & {hex(cm)}")
+            return s
+        if ct.width < o.ty.width:
+            s = em.fresh()
+            em.put(f"{s} = {o.src} & {hex(cm)}")
+            return s
+        return o.src
+
+    # ---- instruction execution -------------------------------------------------
+
+    def _store(self, em: _Emitter, dest: Temp, src: str,
+               fits_width: int | None = None) -> None:
+        """``E[dest] = src`` with the ``_write`` truncation; the mask is
+        elided when the value provably fits (non-negative, ``fits_width``
+        bits). In overlay mode the write lands in the iteration overlay
+        and is journaled for the end-of-cycle ``_pending_env`` commit."""
+        if fits_width is not None and fits_width <= dest.ty.width:
+            rhs = src
+        else:
+            rhs = f"{src} & {hex(mask(dest.ty.width))}"
+        if self.ov is None:
+            em.put(f"E[{dest.name!r}] = {rhs}")
+        else:
+            v = em.fresh()
+            em.put(f"{v} = {rhs}")
+            em.put(f"{self.ov}[{dest.name!r}] = {v}")
+            em.put(f"_pend(({dest.name!r}, {v}))")
+
+    def _store_lit(self, em: _Emitter, dest: Temp, value: int) -> None:
+        lit = truncate(value, dest.ty.width)
+        if self.ov is None:
+            em.put(f"E[{dest.name!r}] = {lit}")
+        else:
+            em.put(f"{self.ov}[{dest.name!r}] = {lit}")
+            em.put(f"_pend(({dest.name!r}, {lit}))")
+
+    def exec_instr(self, em: _Emitter, instr: Instr) -> None:
+        pred = instr.attrs.get("pred")
+        if pred is not None:
+            p = self.opnd(pred)
+            if p.lit is not None:
+                if p.lit == 0:
+                    return  # statically squashed
+            else:
+                em.put(f"if {p.src}:")
+                em.indent += 1
+                self._exec_body(em, instr)
+                em.indent -= 1
+                return
+        self._exec_body(em, instr)
+
+    def _exec_body(self, em: _Emitter, instr: Instr) -> None:
+        op = instr.op
+        if op in (OpKind.MOV, OpKind.TRUNC, OpKind.ZEXT, OpKind.SEXT):
+            o = self.opnd(instr.args[0])
+            d = instr.dest
+            if o.lit is not None:
+                self._store_lit(em, d, semantics.cast(op, o.lit, o.ty))
+            elif op == OpKind.SEXT:
+                self._store(em, d, f"({_sext_src(o.src, o.ty.width)})")
+            else:
+                self._store(em, d, o.src, fits_width=o.ty.width)
+            return
+        if op in (OpKind.NEG, OpKind.NOT, OpKind.LNOT):
+            o = self.opnd(instr.args[0])
+            d = instr.dest
+            if o.lit is not None:
+                self._store_lit(em, d, semantics.unop(op, o.lit, o.ty))
+            elif op == OpKind.NEG:
+                v = (_sext_src(o.src, o.ty.width) if o.ty.signed else o.src)
+                self._store(em, d, f"(-({v}))")
+            elif op == OpKind.NOT:
+                self._store(em, d, f"(~{o.src})")
+            else:  # LNOT
+                self._store(em, d, f"(1 if {o.src} == 0 else 0)",
+                            fits_width=1)
+            return
+        if op == OpKind.SELECT:
+            cond, a, b = (self.opnd(x) for x in instr.args)
+            d = instr.dest
+            chosen = []
+            for o in (a, b):
+                if o.lit is not None:
+                    chosen.append((repr(semantics.interpret(o.lit, o.ty)),
+                                   None))
+                elif o.ty.signed:
+                    chosen.append((f"({_sext_src(o.src, o.ty.width)})", None))
+                else:
+                    chosen.append((o.src, o.ty.width))
+            if cond.lit is not None:
+                src, fits = chosen[0] if cond.lit != 0 else chosen[1]
+                self._store(em, d, src, fits_width=fits)
+                return
+            em.put(f"if {cond.src}:")
+            em.indent += 1
+            self._store(em, d, chosen[0][0], fits_width=chosen[0][1])
+            em.indent -= 1
+            em.put("else:")
+            em.indent += 1
+            self._store(em, d, chosen[1][0], fits_width=chosen[1][1])
+            em.indent -= 1
+            return
+        if op in (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
+                  OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.SHL, OpKind.SHR):
+            self._binop(em, instr)
+            return
+        if op in (OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE,
+                  OpKind.GT, OpKind.GE):
+            self._compare(em, instr)
+            return
+        if op == OpKind.LOAD:
+            arr = instr.attrs["array"]
+            local = self.mem_locals.get(arr)
+            if local is None:
+                raise SimCompileError(
+                    f"{self.name}: load from unknown array {arr!r}",
+                    code="RPR-K020")
+            idx = self._index_src(em, self.opnd(instr.args[0]), arr)
+            self._store(em, instr.dest, f"{local}[{idx}]",
+                        fits_width=self.mem_widths[arr])
+            return
+        if op == OpKind.STORE:
+            arr = instr.attrs["array"]
+            local = self.mem_locals.get(arr)
+            if local is None:
+                raise SimCompileError(
+                    f"{self.name}: store to unknown array {arr!r}",
+                    code="RPR-K020")
+            idx = self._index_src(em, self.opnd(instr.args[0]), arr)
+            o = self.opnd(instr.args[1])
+            ew = self.mem_widths[arr]
+            if o.lit is not None:
+                val = hex(truncate(o.lit, ew))
+            elif ew < o.ty.width:
+                val = f"({o.src} & {hex(mask(ew))})"
+            else:
+                val = o.src
+            if self.ov is None:
+                em.put(f"{local}[{idx}] = {val}")
+            else:  # stage writes commit at end of cycle
+                em.put(f"_pendm(({arr!r}, {idx}, {val}))")
+            return
+        if op == OpKind.STREAM_READ:
+            ch = self.chan(instr)
+            ok_t, val_t = instr.dests
+            em.put(f"if {ch}_q:")
+            em.indent += 1
+            em.put("P.stream_ops += 1")
+            self._store_lit(em, ok_t, 1)
+            self._store(em, val_t, f"{ch}_pop()")
+            em.indent -= 1
+            em.put("else:")
+            em.indent += 1
+            self._store_lit(em, ok_t, 0)
+            self._store_lit(em, val_t, 0)
+            em.indent -= 1
+            return
+        if op == OpKind.TAP_READ:
+            ch = self.chan(instr)
+            em.put(f"if {ch}_q:")
+            em.indent += 1
+            rec = em.fresh()
+            em.put(f"{rec} = {ch}_pop()")
+            self._store_lit(em, instr.dests[0], 1)
+            for k, dest in enumerate(instr.dests[1:]):
+                # zip() semantics: a short record leaves later dests alone
+                em.put(f"if {k} < _len({rec}):")
+                em.indent += 1
+                self._store(em, dest, f"{rec}[{k}]")
+                em.indent -= 1
+            em.indent -= 1
+            em.put("else:")
+            em.indent += 1
+            for dest in instr.dests:
+                self._store_lit(em, dest, 0)
+            em.indent -= 1
+            return
+        if op == OpKind.STREAM_WRITE:
+            ch = self.chan(instr)
+            o = self.opnd(instr.args[0])
+            if o.lit is not None:
+                em.put(f"{ch}_push({o.lit} & {ch}_m)")
+            else:
+                em.put(f"{ch}_push({o.src} & {ch}_m)")
+            em.put("P.stream_ops += 1")
+            return
+        if op == OpKind.STREAM_CLOSE:
+            em.put(f"{self.chan(instr)}_close()")
+            return
+        if op == OpKind.TAP:
+            ch = self.chan(instr)
+            parts = []
+            for a in instr.args:
+                o = self.opnd(a)
+                if o.lit is not None:
+                    parts.append(repr(truncate(o.lit, o.ty.width)))
+                else:
+                    parts.append(o.src)
+            tup = ", ".join(parts)
+            if len(parts) == 1:
+                tup += ","
+            em.put(f"{ch}_push(({tup}))")
+            return
+        if op == OpKind.EXT_HDL:
+            o = self.opnd(instr.args[0])
+            if o.lit is not None:
+                arg = hex(truncate(o.lit, 64))
+            elif o.ty.width > 64:
+                arg = f"({o.src} & {hex(mask(64))})"
+            else:
+                arg = o.src
+            self._store(em, instr.dest, f"_ext({arg})")
+            return
+        raise SimCompileError(
+            f"{self.name}: op {op} is outside the compiled-model subset",
+            code="RPR-K020")
+
+    def _index_src(self, em: _Emitter, o: _Opnd, arr: str) -> str:
+        size = self.mem_sizes[arr]
+        if o.lit is not None:
+            return repr(semantics.interpret(o.lit, o.ty) % size)
+        if o.ty.signed:
+            return f"{_sext_src(o.src, o.ty.width)} % {size}"
+        return f"{o.src} % {size}"
+
+    def _binop(self, em: _Emitter, instr: Instr) -> None:
+        op = instr.op
+        a, b = (self.opnd(x) for x in instr.args)
+        d = instr.dest
+        if a.lit is not None and b.lit is not None:
+            try:
+                self._store_lit(em, d, semantics.binop(
+                    op, a.lit, a.ty, b.lit, b.ty, where=self.name))
+                return
+            except SimulationError:
+                pass  # e.g. constant division by zero: must raise at runtime
+        if op in (OpKind.SHL, OpKind.SHR):
+            if b.lit is not None:
+                amt = repr(truncate(b.lit, b.ty.width) % 64)
+            else:
+                amt = f"({b.src} % 64)"
+            if op == OpKind.SHL:
+                x = (repr(semantics.interpret(a.lit, a.ty))
+                     if a.lit is not None else
+                     f"({_sext_src(a.src, a.ty.width)})" if a.ty.signed
+                     else a.src)
+                self._store(em, d, f"({x} << {amt})")
+            elif a.ty.signed:
+                x = (repr(semantics.interpret(a.lit, a.ty))
+                     if a.lit is not None else
+                     f"({_sext_src(a.src, a.ty.width)})")
+                self._store(em, d, f"({x} >> {amt})")
+            else:
+                x = (hex(truncate(a.lit, a.ty.width))
+                     if a.lit is not None else a.src)
+                self._store(em, d, f"({x} >> {amt})",
+                            fits_width=a.ty.width)
+            return
+        ct = common_type(a.ty, b.ty)
+        if op in (OpKind.AND, OpKind.OR, OpKind.XOR):
+            pya = self.pattern_src(em, a, ct)
+            pyb = self.pattern_src(em, b, ct)
+            pyop = {OpKind.AND: "&", OpKind.OR: "|", OpKind.XOR: "^"}[op]
+            self._store(em, d, f"({pya} {pyop} {pyb})", fits_width=ct.width)
+            return
+        va = self.value_src(em, a, ct)
+        vb = self.value_src(em, b, ct)
+        if op == OpKind.ADD:
+            self._store(em, d, f"({va} + {vb})")
+        elif op == OpKind.SUB:
+            self._store(em, d, f"({va} - {vb})")
+        elif op == OpKind.MUL:
+            self._store(em, d, f"({va} * {vb})")
+        elif op == OpKind.DIV:
+            self._store(em, d, f"_div({va}, {vb})")
+        else:  # MOD
+            self._store(em, d, f"_mod({va}, {vb})")
+
+    def _compare(self, em: _Emitter, instr: Instr) -> None:
+        op = instr.op
+        a, b = (self.opnd(x) for x in instr.args)
+        d = instr.dest
+        force = instr.attrs.get("force_compare_width")
+        if a.lit is not None and b.lit is not None:
+            self._store_lit(em, d, semantics.compare(
+                op, a.lit, a.ty, b.lit, b.ty, force_width=force))
+            return
+        if force is not None:
+            va = self._forced_src(em, a, force)
+            vb = self._forced_src(em, b, force)
+        else:
+            ct = common_type(a.ty, b.ty)
+            va = self.value_src(em, a, ct)
+            vb = self.value_src(em, b, ct)
+        pyop = {OpKind.EQ: "==", OpKind.NE: "!=", OpKind.LT: "<",
+                OpKind.LE: "<=", OpKind.GT: ">", OpKind.GE: ">="}[op]
+        self._store(em, d, f"(1 if {va} {pyop} {vb} else 0)", fits_width=1)
+
+    def _forced_src(self, em: _Emitter, o: _Opnd, force: int) -> str:
+        """``truncate(interpret(x, xty), force)`` — the narrow-compare
+        translation fault."""
+        if o.lit is not None:
+            return hex(truncate(semantics.interpret(o.lit, o.ty), force))
+        fm = mask(force)
+        if o.ty.signed:
+            s = em.fresh()
+            em.put(f"{s} = {_sext_src(o.src, o.ty.width)} & {hex(fm)}")
+            return s
+        if force < o.ty.width:
+            s = em.fresh()
+            em.put(f"{s} = {o.src} & {hex(fm)}")
+            return s
+        return o.src
+
+    # ---- readiness --------------------------------------------------------------
+
+    def ready_check(self, em: _Emitter, instr: Instr,
+                    fail: str = "return 'stalled'") -> None:
+        if instr.op not in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+                            OpKind.TAP_READ):
+            return  # close (and non-stream ops) never stall
+        pred = instr.attrs.get("pred")
+        indent = 0
+        if pred is not None:
+            p = self.opnd(pred)
+            if p.lit is not None:
+                if p.lit == 0:
+                    return  # squashed handshake never stalls
+            else:
+                em.put(f"if {p.src}:")
+                em.indent += 1
+                indent = 1
+        ch = self.chan(instr)
+        if instr.op in (OpKind.STREAM_READ, OpKind.TAP_READ):
+            cond = f"not ({ch}_q or {ch}.closed)"
+        else:
+            cond = f"not {ch}_can()"
+        em.put(f"if {cond}:")
+        em.indent += 1
+        em.put(fail)
+        em.indent -= 1
+        em.indent -= indent
+
+    @staticmethod
+    def _is_streamlike(instr: Instr) -> bool:
+        return instr.op in (OpKind.STREAM_READ, OpKind.STREAM_WRITE,
+                            OpKind.TAP_READ)
+
+    # ---- step functions ---------------------------------------------------------
+
+    def step_fn(self, em: _Emitter, fid: int, block_name: str,
+                step: int) -> str:
+        bs = self.fsched.blocks[block_name]
+        block = self.func.blocks[block_name]
+        indices = bs.steps[step] if step < len(bs.steps) else []
+        instrs = [block.instrs[i] for i in indices]
+        fname = f"_f{fid}"
+        em.put(f"def {fname}():")
+        em.indent += 1
+        em.put(f"# {block_name}[{step}]")
+        for instr in instrs:
+            self.ready_check(em, instr)
+        for instr in instrs:
+            self.exec_instr(em, instr)
+        em.put(f"P.step = {step + 1}")
+        if step + 1 >= bs.length:
+            term = block.term
+            if isinstance(term, Jump):
+                em.put(f"P._enter_block({term.target!r})")
+            elif isinstance(term, Branch):
+                c = self.opnd(term.cond)
+                if c.lit is not None:
+                    target = term.iftrue if c.lit != 0 else term.iffalse
+                    em.put(f"P._enter_block({target!r})")
+                else:
+                    em.put(f"if {c.src}:")
+                    em.indent += 1
+                    em.put(f"P._enter_block({term.iftrue!r})")
+                    em.indent -= 1
+                    em.put("else:")
+                    em.indent += 1
+                    em.put(f"P._enter_block({term.iffalse!r})")
+                    em.indent -= 1
+            elif isinstance(term, Return):
+                em.put("P.done = True")
+                em.put("return 'done'")
+            else:
+                raise SimCompileError(
+                    f"{self.name}: unsupported terminator "
+                    f"{type(term).__name__}", code="RPR-K020")
+        em.put("return 'active'")
+        em.indent -= 1
+        em.put("")
+        return fname
+
+    # ---- pipelined blocks -------------------------------------------------------
+
+    def pipe_fn(self, em: _Emitter, fid: int, block_name: str) -> str:
+        """Compile one modulo-scheduled loop: per-stage ready/exec
+        functions plus a tick function replaying the interpreter's
+        initiation / squash / drain protocol with the stage instruction
+        lists resolved at compile time."""
+        ps = self.fsched.pipelines[block_name]
+        stage_ops: dict[int, list[Instr]] = {}
+        for stage in range(ps.latency):
+            # same comprehension as the interpreted _tick_pipe: plan order
+            # is instr_step iteration order, one list per stage
+            ops = [ps.instrs[i] for i, s in ps.instr_step.items()
+                   if s == stage]
+            if ops:
+                stage_ops[stage] = ops
+
+        self.ov = "o"
+        rdy_fns: dict[int, str] = {}
+        ex_fns: dict[int, str] = {}
+        try:
+            for stage, ops in stage_ops.items():
+                if any(self._is_streamlike(i) for i in ops):
+                    fname = f"_p{fid}r{stage}"
+                    em.put(f"def {fname}(o):")
+                    em.indent += 1
+                    for instr in ops:
+                        self.ready_check(em, instr, fail="return False")
+                    em.put("return True")
+                    em.indent -= 1
+                    em.put("")
+                    rdy_fns[stage] = fname
+                fname = f"_p{fid}x{stage}"
+                em.put(f"def {fname}(o):")
+                em.indent += 1
+                em.put(f"# {block_name} stage {stage}")
+                for instr in ops:
+                    self.exec_instr(em, instr)
+                em.put("return None")
+                em.indent -= 1
+                em.put("")
+                ex_fns[stage] = fname
+        finally:
+            self.ov = None
+
+        rdy_tbl = ", ".join(f"{s}: {f}" for s, f in rdy_fns.items())
+        ex_tbl = ", ".join(f"{s}: {f}" for s, f in ex_fns.items())
+        fname = f"_pipe{fid}"
+        ok = ps.ok.name if ps.ok is not None else None
+        em.put(f"_p{fid}rd = {{{rdy_tbl}}}")
+        em.put(f"_p{fid}ex = {{{ex_tbl}}}")
+        em.put(f"def {fname}():")
+        em.indent += 1
+        em.put(f"# pipelined block {block_name!r} "
+               f"(ii={ps.ii}, latency={ps.latency})")
+        em.put("inflight = P._inflight")
+        em.put(f"_rd = _p{fid}rd")
+        em.put(f"_ex = _p{fid}ex")
+        # a handshake stuck mid-pipeline stalls everything
+        em.put("for it in inflight:")
+        em.indent += 1
+        em.put("if it['squashed']:")
+        em.indent += 1
+        em.put("continue")
+        em.indent -= 1
+        em.put("r = _rd.get(it['stage'])")
+        em.put("if r is not None and not r(it['overlay']):")
+        em.indent += 1
+        em.put("return 'stalled'")
+        em.indent -= 2
+        # initiation: starvation skips this cycle's initiation (a bubble)
+        em.put("new_iter = None")
+        em.put(f"if not P._draining and P._since_init + 1 >= {ps.ii}:")
+        em.indent += 1
+        em.put("o = {}")
+        rdy0 = rdy_fns.get(0)
+        if rdy0 is not None:
+            em.put(f"if {rdy0}(o):")
+            em.indent += 1
+            em.put("new_iter = {'stage': 0, 'overlay': o, "
+                   "'squashed': False}")
+            em.indent -= 1
+            em.put("elif not inflight:")
+            em.indent += 1
+            em.put("return 'stalled'  # nothing to advance: pipeline idles")
+            em.indent -= 1
+        else:
+            em.put("new_iter = {'stage': 0, 'overlay': o, "
+                   "'squashed': False}")
+        em.indent -= 1
+        em.put("for it in inflight:")
+        em.indent += 1
+        em.put("if it['squashed']:")
+        em.indent += 1
+        em.put("continue")
+        em.indent -= 1
+        em.put("f = _ex.get(it['stage'])")
+        em.put("if f is not None:")
+        em.indent += 1
+        em.put("f(it['overlay'])")
+        em.indent -= 2
+        em.put("if new_iter is not None:")
+        em.indent += 1
+        ex0 = ex_fns.get(0)
+        if ex0 is not None:
+            em.put(f"{ex0}(new_iter['overlay'])")
+        if ok is not None:
+            em.put(f"if (new_iter['overlay'][{ok!r}] if {ok!r} in "
+                   f"new_iter['overlay'] else E.get({ok!r}, 0)) == 0:")
+            em.indent += 1
+            em.put("new_iter['squashed'] = True")
+            em.put("P._draining = True")
+            em.indent -= 1
+            em.put("else:")
+            em.indent += 1
+            em.put("P.iterations_started += 1")
+            em.indent -= 1
+        else:
+            em.put("P.iterations_started += 1")
+        em.put("inflight.append(new_iter)")
+        em.put("P._since_init = 0")
+        em.indent -= 1
+        em.put("else:")
+        em.indent += 1
+        em.put("P._since_init += 1")
+        em.indent -= 1
+        em.put("for it in inflight:")
+        em.indent += 1
+        em.put("it['stage'] += 1")
+        em.indent -= 1
+        em.put(f"P._inflight = [it for it in inflight if it['stage'] < "
+               f"{ps.latency} and not it['squashed']]")
+        # commit end-of-cycle register/memory writes
+        em.put("_pel = P._pending_env")
+        em.put("if _pel:")
+        em.indent += 1
+        em.put("for name, value in _pel:")
+        em.indent += 1
+        em.put("E[name] = value")
+        em.indent -= 1
+        em.put("_pel.clear()")
+        em.indent -= 1
+        em.put("_pml = P._pending_mem")
+        em.put("if _pml:")
+        em.indent += 1
+        em.put("_mems = P.memories")
+        em.put("for mem_name, idx, value in _pml:")
+        em.indent += 1
+        em.put("_mems[mem_name][idx] = value")
+        em.indent -= 1
+        em.put("_pml.clear()")
+        em.indent -= 1
+        em.put("if P._draining and not P._inflight:")
+        em.indent += 1
+        em.put(f"P._enter_block({ps.exit_block!r})")
+        em.indent -= 1
+        em.put("return 'active'")
+        em.indent -= 1
+        em.put("")
+        return fname
+
+    # ---- whole schedule ---------------------------------------------------------
+
+    def generate(self) -> str:
+        body = _Emitter()
+        body.indent = 1
+        table: dict[str, list[str]] = {}
+        pipe_table: dict[str, str] = {}
+        fid = 0
+        for block_name in self.func.blocks:
+            if block_name in self.fsched.pipelines:
+                pipe_table[block_name] = self.pipe_fn(body, fid, block_name)
+                fid += 1
+                continue
+            bs = self.fsched.blocks.get(block_name)
+            if bs is None:
+                continue
+            fns = []
+            for step in range(bs.length):
+                fns.append(self.step_fn(body, fid, block_name, step))
+                fid += 1
+            table[block_name] = fns
+
+        em = _Emitter()
+        em.put(f"# compiled cycle model of process {self.name!r} "
+               f"({fid} step/pipeline functions)")
+        em.put("def _build(pe):")
+        em.indent += 1
+        em.put("P = pe")
+        em.put("E = pe.env")
+        em.put("_div = pe._sc_div")
+        em.put("_mod = pe._sc_mod")
+        em.put("_ext = pe.ext_funcs.get('ext_hdl', _IDENT)")
+        em.put("_pend = pe._pending_env.append")
+        em.put("_pendm = pe._pending_mem.append")
+        for (kind, name), local in self.channels.items():
+            src = "streams" if kind == "stream" else "taps"
+            em.put(f"{local} = pe.{src}[{name!r}]")
+            em.put(f"{local}_q = {local}.queue")
+            em.put(f"{local}_pop = {local}.pop")
+            em.put(f"{local}_push = {local}.push")
+            em.put(f"{local}_can = {local}.can_push")
+            em.put(f"{local}_close = {local}.close")
+            em.put(f"{local}_m = (1 << {local}.width) - 1")
+        for name, local in self.mem_locals.items():
+            em.put(f"{local} = pe.memories[{name!r}]")
+        em.put("")
+        em.lines.extend(body.lines)
+        rows = []
+        for block_name, fns in table.items():
+            rows.append(f"{block_name!r}: ({', '.join(fns)}"
+                        f"{',' if len(fns) == 1 else ''})")
+        prows = [f"{name!r}: {fn}" for name, fn in pipe_table.items()]
+        em.put(f"return {{{', '.join(rows)}}}, {{{', '.join(prows)}}}")
+        em.indent -= 1
+        return "\n".join(em.lines) + "\n"
+
+
+def _schedule_digest(fsched: FunctionSchedule) -> str:
+    """Deterministic textual identity of everything the codegen consumes."""
+    func = fsched.func
+    parts = [func.name, func.entry]
+    parts.append(repr(sorted(
+        (n, t.width, t.signed) for n, t in func.scalars.items())))
+    parts.append(repr(sorted(
+        (n, a.size, a.elem.width, a.elem.signed, tuple(a.init or ()))
+        for n, a in func.arrays.items())))
+    for bname in sorted(func.blocks):
+        block = func.blocks[bname]
+        parts.append(f"== {bname}")
+        parts.append(str(block.term))
+        for instr in block.instrs:
+            parts.append(repr(instr.op.value))
+            parts.append(repr(instr.dests))
+            parts.append(repr(instr.args))
+            parts.append(repr(sorted(
+                (k, repr(v)) for k, v in instr.attrs.items())))
+        bs = fsched.blocks.get(bname)
+        if bs is None:
+            parts.append("pipelined")
+        else:
+            parts.append(repr((bs.length, bs.steps)))
+        ps = fsched.pipelines.get(bname)
+        if ps is not None:
+            parts.append(repr((ps.header, ps.exit_block,
+                               ps.ok.name if ps.ok is not None else None,
+                               ps.ii, ps.latency,
+                               tuple(ps.instr_step.items()))))
+            for instr in ps.instrs:
+                parts.append(repr(instr.op.value))
+                parts.append(repr(instr.dests))
+                parts.append(repr(instr.args))
+                parts.append(repr(sorted(
+                    (k, repr(v)) for k, v in instr.attrs.items())))
+    return "\n".join(parts)
+
+
+def generate_sched_source(fsched: FunctionSchedule) -> str:
+    """Generate (uncached) compiled cycle-model source for ``fsched``."""
+    return _SchedCompiler(fsched).generate()
+
+
+def sched_exec_source(fsched: FunctionSchedule, cache=None) -> str:
+    """Cached variant of :func:`generate_sched_source`."""
+    return cached_source(
+        "sched",
+        (_schedule_digest(fsched),),
+        lambda: generate_sched_source(fsched),
+        cache=cache,
+    )
+
+
+class CompiledProcessExec(ProcessExec):
+    """Hybrid :class:`ProcessExec` with blocks compiled to bytecode.
+
+    ``_tick_seq`` dispatches to a compiled per-``(block, step)`` function
+    and ``_tick_pipe`` to a compiled per-pipeline tick function; any block
+    the codegen skipped falls back to the interpreted path mid-run (same
+    semantics, shared state). Raises :class:`SimCompileError` when the
+    schedule cannot be specialized.
+    """
+
+    backend = "compiled"
+
+    def __init__(
+        self,
+        fsched: FunctionSchedule,
+        streams: dict[str, Channel],
+        taps: dict[str, Channel] | None = None,
+        ext_funcs=None,
+        name: str | None = None,
+        cache=None,
+    ) -> None:
+        super().__init__(fsched, streams, taps, ext_funcs, name)
+        source = sched_exec_source(fsched, cache=cache)
+        self.source = source
+        code = compile_source(source, f"<simc-sched:{self.func.name}>")
+        ns = {"__builtins__": {}, "_IDENT": _identity, "_len": len}
+        exec(code, ns)
+        try:
+            self._seq_fns, self._pipe_fns = ns["_build"](self)
+        except KeyError as exc:
+            # an unbound tap channel the interpreter would only touch on
+            # first use; fall back so the lazier behaviour is preserved
+            raise SimCompileError(
+                f"{self.name}: cannot bind channel {exc} during "
+                "specialization", code="RPR-K021") from exc
+
+    # helpers referenced from generated code ------------------------------------
+
+    def _sc_div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise SimulationError(
+                f"{self.name}: division by zero", code="RPR-X010")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q
+
+    def _sc_mod(self, a: int, b: int) -> int:
+        if b == 0:
+            raise SimulationError(
+                f"{self.name}: division by zero", code="RPR-X010")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return a - q * b
+
+    # ---- clocking --------------------------------------------------------------
+
+    def _tick_seq(self) -> str:
+        fns = self._seq_fns.get(self.block)
+        if fns is None:
+            return ProcessExec._tick_seq(self)
+        return fns[self.step]()
+
+    def _tick_pipe(self) -> str:
+        fn = self._pipe_fns.get(self.block)
+        if fn is None:
+            return ProcessExec._tick_pipe(self)
+        return fn()

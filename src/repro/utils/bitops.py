@@ -9,26 +9,49 @@ deliberately injected.
 
 from __future__ import annotations
 
+#: memoized mask tables, indexed by width. Every simulator hot loop
+#: (interpreter, cycle model, RTL simulators — interpreted and compiled)
+#: funnels through :func:`truncate`/:func:`sign_extend`, so the
+#: ``(1 << width) - 1`` shift pair is recomputed millions of times per run
+#: for the same handful of widths; a dict hit replaces both shifts.
+#: Entries are tiny ints and the set of widths in any design is bounded
+#: (RPR-T001 caps declared widths), so the tables never need eviction.
+_MASKS: dict[int, int] = {}
+_SIGN_BITS: dict[int, int] = {}
+_MODULI: dict[int, int] = {}
+
 
 def mask(width: int) -> int:
     """All-ones mask of ``width`` bits. ``mask(0) == 0``."""
-    if width < 0:
-        raise ValueError(f"negative width {width}")
-    return (1 << width) - 1
+    m = _MASKS.get(width)
+    if m is None:
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        m = (1 << width) - 1
+        _MASKS[width] = m
+        _SIGN_BITS[width] = 1 << (width - 1) if width > 0 else 0
+        _MODULI[width] = 1 << width
+    return m
 
 
 def truncate(value: int, width: int) -> int:
     """Truncate ``value`` to ``width`` bits, returning the unsigned pattern."""
-    return value & mask(width)
+    m = _MASKS.get(width)
+    if m is None:
+        m = mask(width)
+    return value & m
 
 
 def sign_extend(value: int, width: int) -> int:
     """Interpret the low ``width`` bits of ``value`` as two's complement."""
     if width <= 0:
         return 0
-    value &= mask(width)
-    if value & (1 << (width - 1)):
-        return value - (1 << width)
+    m = _MASKS.get(width)
+    if m is None:
+        m = mask(width)
+    value &= m
+    if value & _SIGN_BITS[width]:
+        return value - _MODULI[width]
     return value
 
 

@@ -68,7 +68,12 @@ def test_every_options_field_invalidates(field):
     app = small_app()
     base = SynthesisOptions()
     value = getattr(base, field)
-    flipped = (not value) if isinstance(value, bool) else value + 1
+    if isinstance(value, bool):
+        flipped = not value
+    elif isinstance(value, str):
+        flipped = value + "-x"
+    else:
+        flipped = value + 1
     changed = dataclasses.replace(base, **{field: flipped})
     assert cache_key(app, "optimized", base) != \
         cache_key(app, "optimized", changed)

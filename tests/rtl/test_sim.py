@@ -261,3 +261,18 @@ def test_writer_requires_explicit_we_port():
     sim = RtlSim(cp.rtl, {"input": Channel("i"), "output": Channel("o")})
     assert set(sim._readers) == {"input"}
     assert set(sim._writers) == {"output"}
+
+
+def test_unknown_port_read_is_a_coded_error():
+    """Regression for the _port_value dispatch-dict rewrite: a port name
+    outside the prebuilt table must still raise the RPR-X103 diagnostic
+    (not a KeyError), and every declared stream port must be in it."""
+    cp = _identity_cp()
+    sim = RtlSim(cp.rtl, {"input": Channel("i"), "output": Channel("o")})
+    with pytest.raises(SimulationError) as ei:
+        sim._port_value("input_bogus")
+    assert ei.value.code == "RPR-X103"
+    assert "input_bogus" in str(ei.value)
+    for suffix in ("data", "empty", "eos"):
+        assert f"input_{suffix}" in sim._port_fns
+    assert "output_full" in sim._port_fns
