@@ -6,7 +6,9 @@
     python -m repro simulate app.c --feed 1,2,3 [--assertions LEVEL]
     python -m repro campaign --app tripledes --seed 0 --count 8 [--jobs N]
     python -m repro sweep --apps loopback:4,edge:16x8 --levels none,optimized \\
-        --jobs 4 --store lab-runs --cache lab-cache
+        --jobs 4 --store lab-runs --cache lab-cache \\
+        [--shard K/N] [--retries 2] [--hedge]
+    python -m repro merge <run-id-or-prefix> --store lab-runs
     python -m repro replay lab-runs/<run>/bundles/<point>
 
 ``compile`` writes one ``.v`` file per process plus ``report.txt`` (area,
@@ -24,7 +26,12 @@ Clang-style caret excerpts, stable ``RPR-*`` codes) and then full
 synthesis, optionally writing a replayable failure bundle. ``replay``
 re-runs a failure bundle (from ``synth``, a sweep, a campaign or a
 difftest) and exits 0 iff the recorded diagnostics reproduce
-byte-for-byte.
+byte-for-byte. ``sweep``, ``campaign`` and ``difftest`` all accept
+``--shard K/N`` (run one deterministic slice of the space), ``--retries``
+(exponential-backoff retry of transient failures) and ``--hedge``
+(speculative re-execution of stragglers); ``merge`` folds per-shard run
+directories back into one canonical run, byte-identical to merging an
+unsharded run.
 
 The C file must contain exactly one process whose first stream parameter
 is the input and second the output (the common case); richer task graphs
@@ -262,6 +269,29 @@ def cmd_simulate(args) -> int:
     return 0 if (hw.completed or hw.aborted) else 1
 
 
+def _shard_arg(args):
+    """--shard K/N -> ShardSpec (None when the flag is absent)."""
+    if not getattr(args, "shard", None):
+        return None
+    from repro.errors import ReproError
+    from repro.lab.shard import ShardSpec
+
+    try:
+        return ShardSpec.parse(args.shard)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _retry_arg(args):
+    """--retries N -> RetryPolicy with N+1 total attempts (0 -> None)."""
+    retries = getattr(args, "retries", 0)
+    if not retries:
+        return None
+    from repro.lab.retry import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries + 1)
+
+
 def cmd_campaign(args) -> int:
     from repro.faults.campaign import builtin_targets, run_campaign
 
@@ -282,6 +312,12 @@ def cmd_campaign(args) -> int:
         options=SynthesisOptions(sim_backend=args.sim_backend),
         jobs=args.jobs,
         cache_root=args.cache,
+        store_root=args.store,
+        shard=_shard_arg(args),
+        resume=not args.no_resume,
+        retry=_retry_arg(args),
+        timeout=args.timeout,
+        hedge=args.hedge,
     )
     print(result.render())
     return 0
@@ -334,6 +370,9 @@ def cmd_sweep(args) -> int:
             cache_root=args.cache,
             resume=not args.no_resume,
             timeout=args.timeout,
+            shard=_shard_arg(args),
+            retry=_retry_arg(args),
+            hedge=args.hedge,
         )
     except KeyboardInterrupt:
         print("sweep interrupted; rerun the same command to resume",
@@ -391,6 +430,9 @@ def cmd_difftest(args) -> int:
             cache_root=args.cache,
             resume=not args.no_resume,
             timeout=args.timeout,
+            shard=_shard_arg(args),
+            retry=_retry_arg(args),
+            hedge=args.hedge,
         )
     except KeyboardInterrupt:
         print("difftest interrupted; rerun the same command to resume",
@@ -402,6 +444,31 @@ def cmd_difftest(args) -> int:
     for path in result.seed_files:
         print(f"reproducer: {path}")
     return 0 if result.ok else 1
+
+
+def cmd_merge(args) -> int:
+    from repro.errors import ReproError
+    from repro.lab.shard import merge_runs
+
+    try:
+        result = merge_runs(args.store, args.run, out_dir=args.out,
+                            progress=sys.stderr)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(result.counters.items()))
+    print(f"merged run: {result.base_id} ({result.kind})")
+    print(f"sources: {', '.join(result.sources)}")
+    print(f"points: {len(result.records)} ({counts})")
+    print(f"results: {result.run.results_path}")
+    print(f"manifest: {result.run.manifest_path}")
+    if result.matrix_path is not None:
+        print(f"matrix: {result.matrix_path}")
+        print()
+        print(result.matrix_path.read_text(), end="")
+    if result.corrupt:
+        print(f"WARNING: {result.corrupt} torn/corrupt journal line(s) "
+              "skipped while merging", file=sys.stderr)
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -427,6 +494,19 @@ def cmd_bench(args) -> int:
         print(f"baseline check passed ({args.baseline}, "
               f"threshold {args.threshold:.0%})")
     return 0
+
+
+def _fabric_flags(p) -> None:
+    """Campaign-fabric flags shared by sweep/campaign/difftest."""
+    p.add_argument("--shard", default=None, metavar="K/N",
+                   help="run only the points hashing into slice K of N "
+                        "(own run directory; fold back with 'repro merge')")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transiently-failing points up to N times "
+                        "with exponential backoff")
+    p.add_argument("--hedge", action="store_true",
+                   help="speculatively re-submit straggling tail points "
+                        "(first result wins)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -523,6 +603,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sim-backend", default="compiled",
                    choices=("interp", "compiled"),
                    help="simulation backend for scenario execution")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="journal cells into this resumable result store")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell timeout")
+    p.add_argument("--no-resume", action="store_true",
+                   help="with --store: discard previous results")
+    _fabric_flags(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -549,6 +636,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-point timeout")
     p.add_argument("--no-resume", action="store_true",
                    help="discard previous results for this sweep")
+    _fabric_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -584,7 +672,20 @@ def main(argv: list[str] | None = None) -> int:
                    choices=("interp", "compiled"),
                    help="'compiled' adds the repro.simc specialized "
                         "simulators as strict lockstep legs")
+    _fabric_flags(p)
     p.set_defaults(func=cmd_difftest)
+
+    p = sub.add_parser(
+        "merge",
+        help="fold per-shard run directories into one canonical run",
+    )
+    p.add_argument("run", help="base run id, shard run id, or unique prefix")
+    p.add_argument("--store", default="lab-runs", metavar="DIR",
+                   help="result store holding the shard runs")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write the merged run here instead of "
+                        "<store>/<base>.merged")
+    p.set_defaults(func=cmd_merge)
 
     p = sub.add_parser(
         "bench",

@@ -212,6 +212,14 @@ class DifftestResult:
     manifest: dict
     records: dict[str, dict]
     seed_files: list[str] = field(default_factory=list)
+    #: the seeds this run was responsible for (== spec.seed_list() unless
+    #: the run was sharded with ``--shard K/N``)
+    selected: list[int] | None = None
+
+    @property
+    def seeds(self) -> list[int]:
+        return self.selected if self.selected is not None else \
+            self.spec.seed_list()
 
     @property
     def divergent(self) -> list[dict]:
@@ -225,7 +233,7 @@ class DifftestResult:
     @property
     def ok(self) -> bool:
         return (not self.divergent and not self.failed
-                and len(self.records) == len(self.spec.seed_list()))
+                and len(self.records) == len(self.seeds))
 
     def render(self) -> str:
         rows = []
@@ -243,7 +251,7 @@ class DifftestResult:
                         + (f" signal {d['signal']}" if "signal" in d else ""))
                 rows.append([rec["point_id"], rec["stmts"],
                              rec.get("cm_cycles", "-"), "DIVERGENT", what])
-        n = len(self.spec.seed_list())
+        n = len(self.seeds)
         ndiv, nfail = len(self.divergent), len(self.failed)
         title = (f"DIFFTEST {self.spec.name} ({n} seeds, run "
                  f"{self.run.run_id}): {ndiv} divergent, {nfail} failed")
@@ -262,37 +270,62 @@ def run_difftest_campaign(
     resume: bool = True,
     timeout: float | None = None,
     progress=None,
+    shard=None,
+    retry=None,
+    hedge: bool = False,
 ) -> DifftestResult:
-    """Evaluate every seed in ``spec``; journaled, resumable, cached."""
+    """Evaluate every seed in ``spec``; journaled, resumable, cached.
+
+    ``shard`` (:class:`repro.lab.shard.ShardSpec`) restricts the run to a
+    deterministic K/N slice of the seed range in its own run directory;
+    ``repro merge`` folds slices back together. ``retry``/``hedge``
+    configure executor fault tolerance.
+    """
     out = sys.stderr if progress is None else progress
     store = ResultStore(store_root)
-    run = store.open_run(spec.run_id())
+    all_seeds = spec.seed_list()
+    selected = (shard.select(all_seeds, key=lambda s: f"seed-{s}")
+                if shard is not None else all_seeds)
+    run_id = shard.run_id(spec.run_id()) if shard is not None \
+        else spec.run_id()
+    run = store.open_run(run_id)
     if not resume and run.results_path.exists():
         run.results_path.unlink()
     done = run.completed_ids() if resume else set()
-    pending = [s for s in spec.seed_list() if f"seed-{s}" not in done]
+    journal_corrupt = run.stats.corrupt
+    pending = [s for s in selected if f"seed-{s}" not in done]
 
     counters = {
-        "total": len(spec.seed_list()),
-        "skipped_resume": len(spec.seed_list()) - len(pending),
+        "total": len(selected),
+        "skipped_resume": len(selected) - len(pending),
         "done": 0,
         "failed": 0,
+        "retried": 0,
         "divergent": 0,
+        "journal_corrupt": journal_corrupt,
     }
     seed_files: list[str] = []
     bundle_paths: list[str] = []
+    executor = LabExecutor(jobs=jobs, timeout=timeout, retry=retry,
+                           hedge=hedge)
 
     def manifest(status: str, wall: float) -> dict:
+        counters["retried"] = executor.stats.retries
         return {
+            "kind": "difftest",
             "run_id": run.run_id,
+            "name": spec.name,
             "difftest": spec.name,
             "fingerprint": spec.fingerprint(),
             "status": status,
             "jobs": jobs,
+            "shard": shard.as_dict() if shard is not None else None,
             "seeds": list(spec.seeds),
             "cache_root": str(cache_root) if cache_root else None,
             "store_root": str(store_root),
             "counters": dict(counters),
+            "executor": executor.stats.as_dict(),
+            "retry": retry.as_dict() if retry is not None else None,
             "seed_files": list(seed_files),
             "bundles": list(bundle_paths),
             "wall_time_s": round(wall, 3),
@@ -302,8 +335,15 @@ def run_difftest_campaign(
         if out:
             print(text, file=out, flush=True)
 
-    say(f"difftest {spec.name}: {len(pending)}/{counters['total']} seeds to "
-        f"run ({counters['skipped_resume']} already done), jobs={jobs}")
+    shard_note = f" [shard {shard.index}/{shard.total}]" \
+        if shard is not None else ""
+    say(f"difftest {spec.name}{shard_note}: {len(pending)}/"
+        f"{counters['total']} seeds to run "
+        f"({counters['skipped_resume']} already done), jobs={jobs}")
+    if journal_corrupt:
+        say(f"difftest {spec.name}: WARNING: skipped {journal_corrupt} "
+            f"torn/corrupt journal line(s) in {run.results_path}; "
+            "affected seeds re-run")
     t0 = time.monotonic()
     run.write_manifest(manifest("running", 0.0))
 
@@ -312,6 +352,7 @@ def run_difftest_campaign(
         if oc.ok:
             record = dict(oc.value)
             record["status"] = "ok"
+            record["attempts"] = oc.attempts
             counters["done"] += 1
             if record.get("divergent"):
                 counters["divergent"] += 1
@@ -327,6 +368,7 @@ def run_difftest_campaign(
         else:
             record = {"point_id": f"seed-{seed}", "seed": seed,
                       "status": oc.status, "error": oc.error,
+                      "attempts": oc.attempts,
                       "diagnostics": list(oc.diagnostics)}
             counters["failed"] += 1
             note = oc.error
@@ -335,7 +377,6 @@ def run_difftest_campaign(
         say(f"[{finished + counters['skipped_resume']}/{counters['total']}] "
             f"seed {seed}: {oc.status} ({note})")
 
-    executor = LabExecutor(jobs=jobs, timeout=timeout)
     try:
         executor.map(evaluate_seed,
                      [(spec, s, cache_root) for s in pending],
@@ -367,4 +408,5 @@ def run_difftest_campaign(
             if path.exists() and str(path) not in seed_files:
                 seed_files.append(str(path))
     return DifftestResult(spec=spec, run=run, manifest=run.read_manifest(),
-                          records=latest, seed_files=sorted(seed_files))
+                          records=latest, seed_files=sorted(seed_files),
+                          selected=selected)

@@ -61,6 +61,9 @@ __all__ = [
     "CampaignTarget",
     "builtin_targets",
     "generate_scenarios",
+    "matrix_from_records",
+    "outcome_from_record",
+    "record_from_outcome",
     "run_campaign",
 ]
 
@@ -138,10 +141,18 @@ class CampaignResult:
     outcomes: list[RunOutcome]
 
     def outcome(self, scenario: str, level: str) -> RunOutcome:
+        oc = self.find(scenario, level)
+        if oc is None:
+            raise CampaignError(f"no outcome for {scenario!r} at {level!r}", code="RPR-G001")
+        return oc
+
+    def find(self, scenario: str, level: str) -> RunOutcome | None:
+        """Like :meth:`outcome` but None for cells this run did not
+        execute (a ``--shard K/N`` slice holds only its own cells)."""
         for oc in self.outcomes:
             if oc.scenario == scenario and oc.level == level:
                 return oc
-        raise CampaignError(f"no outcome for {scenario!r} at {level!r}", code="RPR-G001")
+        return None
 
     def summary(self, level: str | None = None) -> dict[str, int]:
         counts = {c: 0 for c in CLASSIFICATIONS}
@@ -178,10 +189,12 @@ class CampaignResult:
         headers = ["scenario"] + [f"level={lv}" for lv in self.levels]
         rows = []
         for sc in self.scenarios:
-            rows.append(
-                [sc.name]
-                + [self.outcome(sc.name, lv).cell for lv in self.levels]
-            )
+            cells = []
+            for lv in self.levels:
+                oc = self.find(sc.name, lv)
+                # cells outside this shard's slice render as a hole
+                cells.append(oc.cell if oc is not None else "-")
+            rows.append([sc.name] + cells)
         return render_table(
             headers, rows,
             title=f"FAULT CAMPAIGN {self.app} (seed={self.seed}, "
@@ -203,6 +216,88 @@ class CampaignResult:
         for sc in self.scenarios:
             lines.append(f"{sc.name}: {sc.description}")
         return "\n".join(lines)
+
+
+# ---- journal records --------------------------------------------------------
+
+
+def record_from_outcome(oc: RunOutcome) -> dict:
+    """One JSON-able journal record for a (scenario, level) cell.
+
+    Harness-error cells get ``status="failed"`` so a resumed run retries
+    them; every real classification (even silent corruption) is a
+    successfully *measured* cell and counts as done.
+    """
+    return {
+        "point_id": f"{oc.scenario}@{oc.level}",
+        "status": "failed" if oc.classification == HARNESS_ERROR else "ok",
+        "scenario": oc.scenario,
+        "level": oc.level,
+        "classification": oc.classification,
+        "reason": oc.reason,
+        "cycles": oc.cycles,
+        "detection_latency": oc.detection_latency,
+        "failures": oc.failures,
+        "quarantined": list(oc.quarantined),
+        "events": list(oc.events),
+        "diagnostics": list(oc.diagnostics),
+    }
+
+
+def outcome_from_record(rec: dict) -> RunOutcome:
+    """Inverse of :func:`record_from_outcome` (JSON lists -> tuples)."""
+    return RunOutcome(
+        scenario=rec["scenario"],
+        level=rec["level"],
+        classification=rec.get("classification", HARNESS_ERROR),
+        reason=rec.get("reason", ""),
+        cycles=int(rec.get("cycles", 0)),
+        detection_latency=rec.get("detection_latency"),
+        failures=int(rec.get("failures", 0)),
+        quarantined=tuple(rec.get("quarantined") or ()),
+        events=tuple(rec.get("events") or ()),
+        diagnostics=tuple(rec.get("diagnostics") or ()),
+    )
+
+
+def matrix_from_records(records: list[dict], context: dict) -> str:
+    """Render the coverage matrix + per-level summaries from journal
+    records alone — what ``repro merge`` writes as ``matrix.txt``.
+
+    Pure function of (records, manifest context), so merging the shards
+    of a K/N split and merging the unsharded run emit byte-identical
+    matrices. Cells absent from ``records`` render as holes.
+    """
+    cells: dict[tuple[str, str], RunOutcome] = {}
+    for rec in records:
+        if "scenario" not in rec or "level" not in rec:
+            continue
+        oc = outcome_from_record(rec)
+        cells[(oc.scenario, oc.level)] = oc
+    names = list(context.get("scenarios") or [])
+    levels = list(context.get("levels") or [])
+    if not names:
+        names = sorted({s for s, _ in cells})
+    if not levels:
+        levels = sorted({lv for _, lv in cells})
+    result = CampaignResult(
+        app=context.get("target", "?"),
+        seed=context.get("seed", 0),
+        levels=tuple(levels),
+        scenarios=[Scenario(name, "") for name in names],
+        outcomes=list(cells.values()),
+    )
+    lines = [result.matrix(), ""]
+    for lv in levels:
+        counts = result.summary(lv)
+        shown = list(CLASSIFICATIONS) + sorted(
+            c for c in counts if c not in CLASSIFICATIONS)
+        parts = ", ".join(f"{c}={counts[c]}" for c in shown)
+        lines.append(
+            f"level={lv}: {parts}; "
+            f"detection rate {100.0 * result.detection_rate(lv):.0f}%"
+        )
+    return "\n".join(lines)
 
 
 @dataclass
@@ -478,6 +573,12 @@ def run_campaign(
     jobs: int = 1,
     cache_root: str | None = None,
     bundle_dir: str | None = None,
+    store_root: str | None = None,
+    shard=None,
+    resume: bool = True,
+    retry=None,
+    timeout: float | None = None,
+    hedge: bool = False,
 ) -> CampaignResult:
     """Sweep ``count`` seeded scenarios across assertion ``levels``.
 
@@ -495,12 +596,24 @@ def run_campaign(
     recorded as a ``harness-error`` outcome with structured diagnostics
     instead of aborting the whole campaign; with ``bundle_dir`` set, each
     such cell also writes a replayable failure bundle there.
+
+    With ``store_root`` the campaign journals every cell into a
+    :class:`repro.lab.store.ResultStore` run (content-addressed by the
+    campaign configuration), so an interrupted campaign resumes by
+    re-running only missing and harness-error cells. ``shard``
+    (:class:`repro.lab.shard.ShardSpec`) restricts this invocation to one
+    deterministic K/N slice of the grid, journaled to its own run
+    directory; ``repro merge`` folds the slices back together.
+    ``retry``/``timeout``/``hedge`` configure executor fault tolerance.
     """
     import dataclasses as _dc
+    import sys
     from pathlib import Path
 
     from repro.diagnostics.bundle import bundle_name, write_bundle
     from repro.lab.executor import LabExecutor
+    from repro.lab.store import ResultStore
+    from repro.utils.idgen import stable_fingerprint
 
     requested = target if isinstance(target, str) else None
     if isinstance(target, str):
@@ -521,17 +634,84 @@ def run_campaign(
         list(scenarios) if scenarios is not None
         else generate_scenarios(app, seed=seed, count=count)
     )
+
+    cells = [(scenario, level)
+             for scenario in scenarios for level in levels]
+    if shard is not None:
+        cells = [(sc, lv) for sc, lv in cells
+                 if shard.contains(f"{sc.name}@{lv}")]
+
+    context = {
+        "target": target.name,
+        "seed": seed,
+        "count": count,
+        "levels": list(levels),
+        "nabort": nabort,
+        "options": _dc.asdict(options) if options is not None else None,
+        "scenarios": [sc.name for sc in scenarios],
+    }
+    run = None
+    resumed: dict[str, RunOutcome] = {}
+    counters = {"total": len(cells), "skipped_resume": 0, "done": 0,
+                "failed": 0, "journal_corrupt": 0}
+    if store_root is not None:
+        fp = stable_fingerprint(
+            "campaign", target.name, seed, count, tuple(levels), nabort,
+            options.key_parts() if options is not None else None,
+            tuple((sc.name, sc.description) for sc in scenarios),
+        )
+        base_id = f"campaign-{target.name}-{fp:012x}"
+        run_id = shard.run_id(base_id) if shard is not None else base_id
+        run = ResultStore(store_root).open_run(run_id)
+        if not resume and run.results_path.exists():
+            run.results_path.unlink()
+        if resume:
+            wanted = {f"{sc.name}@{lv}" for sc, lv in cells}
+            for rec in run.records():
+                pid = rec.get("point_id")
+                if pid in wanted and rec.get("status") == "ok":
+                    resumed[pid] = outcome_from_record(rec)
+        counters["journal_corrupt"] = run.stats.corrupt
+        if run.stats.corrupt:
+            print(f"campaign {target.name}: WARNING: skipped "
+                  f"{run.stats.corrupt} torn/corrupt journal line(s) in "
+                  f"{run.results_path}; affected cells re-run",
+                  file=sys.stderr)
+        counters["skipped_resume"] = len(resumed)
+
+    pending = [(sc, lv) for sc, lv in cells
+               if f"{sc.name}@{lv}" not in resumed]
     grid = [
         (target.watchdog, app, scenario, level, golden, nabort, options,
          cache_root)
-        for scenario in scenarios
-        for level in levels
+        for scenario, level in pending
     ]
-    executor = LabExecutor(jobs=jobs)
-    outcomes = []
+    executor = LabExecutor(jobs=jobs, timeout=timeout, retry=retry,
+                           hedge=hedge)
+
+    def manifest(status: str) -> dict:
+        return {
+            "kind": "campaign",
+            "run_id": run.run_id,
+            "name": target.name,
+            "fingerprint": f"{fp:012x}",
+            "status": status,
+            "jobs": jobs,
+            "shard": shard.as_dict() if shard is not None else None,
+            "context": context,
+            "counters": dict(counters),
+            "executor": executor.stats.as_dict(),
+            "retry": retry.as_dict() if retry is not None else None,
+            "points": sorted(f"{sc.name}@{lv}" for sc, lv in cells),
+        }
+
+    if run is not None:
+        run.write_manifest(manifest("running"))
+
+    by_id: dict[str, RunOutcome] = dict(resumed)
     for oc in executor.map(_run_one, grid):
+        scenario, level = pending[oc.index]
         if not oc.ok:
-            scenario, level = grid[oc.index][2], grid[oc.index][3]
             outcome = RunOutcome(
                 scenario=scenario.name, level=level,
                 classification=HARNESS_ERROR, reason=oc.error, cycles=0,
@@ -556,9 +736,24 @@ def run_campaign(
                                     if options is not None else None),
                     },
                 )
-            outcomes.append(outcome)
-            continue
-        outcomes.append(oc.value)
+        else:
+            outcome = oc.value
+        if outcome.classification == HARNESS_ERROR:
+            counters["failed"] += 1
+        else:
+            counters["done"] += 1
+        by_id[f"{scenario.name}@{level}"] = outcome
+        if run is not None:
+            record = record_from_outcome(outcome)
+            record["attempts"] = oc.attempts
+            run.append(record)
+
+    if run is not None:
+        counters["retried"] = executor.stats.retries
+        run.write_manifest(manifest(
+            "completed" if counters["failed"] == 0
+            else "completed-with-failures"))
+    outcomes = [by_id[f"{sc.name}@{lv}"] for sc, lv in cells]
     return CampaignResult(
         app=target.name,
         seed=seed,

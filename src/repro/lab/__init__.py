@@ -41,16 +41,39 @@ into four small, separately testable pieces:
     cross product, ``run_sweep`` drives it through the three pieces above,
     and ``repro sweep`` exposes it on the command line.
 
+On top of those sit the fault-tolerant **campaign fabric** pieces:
+
+``retry``
+    Per-point retry with exponential backoff + deterministic jitter.
+    Transient failures (worker crash RPR-E001, timeout RPR-E002, pool
+    break RPR-E003) retry; synthesis errors do not. A circuit breaker
+    degrades to no-retry when a large fraction of points is failing.
+
+``shard``
+    Deterministic K/N sharding by stable point fingerprint, plus
+    ``merge_runs``: fold per-shard run directories into one canonical run
+    that is byte-identical whether the campaign ran sharded, unsharded,
+    interrupted-and-resumed, or under chaos.
+
+``chaos``
+    Deterministic fault injection into the fabric itself (worker crashes,
+    hangs, torn journal writes) — the harness that proves the pieces
+    above actually deliver their guarantees.
+
 Determinism contract: workers receive pure, picklable inputs
 (:class:`SweepPoint`), the toolchain itself is seedless, and outcomes are
 collected in submission order — so the same spec produces byte-identical
 tables at any ``--jobs`` value, and cached artifacts are indistinguishable
-from freshly synthesized ones.
+from freshly synthesized ones. Retries, hedging, sharding and chaos all
+preserve that contract at the *merged record* level.
 """
 
 from repro.lab.cache import CacheStats, SynthesisCache, cache_key
-from repro.lab.executor import LabExecutor, PointOutcome
-from repro.lab.store import ResultStore, RunHandle
+from repro.lab.chaos import ChaosMonkey, ChaosSpec, active_chaos
+from repro.lab.executor import ExecStats, LabExecutor, PointOutcome
+from repro.lab.retry import CircuitBreaker, RetryPolicy
+from repro.lab.shard import MergeResult, ShardSpec, merge_runs
+from repro.lab.store import ResultStore, RunHandle, StoreStats
 from repro.lab.sweep import (
     AppSpec,
     SweepPoint,
@@ -63,15 +86,25 @@ from repro.lab.sweep import (
 __all__ = [
     "AppSpec",
     "CacheStats",
+    "ChaosMonkey",
+    "ChaosSpec",
+    "CircuitBreaker",
+    "ExecStats",
     "LabExecutor",
+    "MergeResult",
     "PointOutcome",
     "ResultStore",
+    "RetryPolicy",
     "RunHandle",
+    "ShardSpec",
+    "StoreStats",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
     "SynthesisCache",
+    "active_chaos",
     "cache_key",
     "evaluate_point",
+    "merge_runs",
     "run_sweep",
 ]

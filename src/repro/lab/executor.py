@@ -1,41 +1,65 @@
-"""Crash-isolated parallel point runner for design-space sweeps.
+"""Fault-tolerant parallel point runner for design-space campaigns.
 
 ``LabExecutor.map`` evaluates picklable work items through a
 ``ProcessPoolExecutor`` (or inline for ``jobs <= 1`` — the two paths are
 behaviorally identical, which is what makes "same results at any --jobs"
-testable). The executor never lets one bad point kill a sweep:
+testable). The executor is the fabric layer of million-point campaigns,
+so it never lets one bad point — or one bad *worker* — cost the run:
 
 * a worker **exception** is caught and recorded as a failed
   :class:`PointOutcome` (traceback preserved) while every other point
   completes;
 * a worker **hard crash** (segfault, ``os._exit``) breaks the pool; the
-  executor records the point it was waiting on as failed, starts a fresh
-  pool for the unfinished remainder, and if that pool breaks too it marks
-  the stragglers failed rather than looping — the sweep always terminates
-  and the failed points stay re-runnable via the resumable store. Crashing
-  points are never re-executed inline, so a hostile worker cannot take the
-  orchestrating process down with it;
-* a per-point **timeout** marks the point failed with ``status="timeout"``
-  rather than waiting forever (the stuck worker process is abandoned to
-  the pool's shutdown);
+  executor salvages every completed result, blames the crash on the
+  oldest started point (``RPR-E001``), requeues the rest on a fresh
+  pool, and gives up with ``RPR-E003`` rather than looping if pools keep
+  breaking spontaneously;
+* per-point **timeouts are deadline-based**: each point's clock starts
+  when its worker actually begins (not when the future was submitted, and
+  not when the driver happens to wait on it). A point past its deadline
+  is marked ``status="timeout"`` (``RPR-E002``) and its stuck worker
+  process is **hard-killed** — the pool slot is reclaimed and pool
+  shutdown never blocks on an abandoned worker;
+* with a :class:`repro.lab.retry.RetryPolicy`, transient failures
+  (crash/timeout codes) are **retried** with exponential backoff and
+  deterministic jitter, bounded by the policy's circuit breaker; the
+  final :class:`PointOutcome` journals how many attempts ran;
+* with ``hedge=True``, **stragglers are hedged**: once the queue is
+  drained and a point has run far beyond the median completion time, a
+  speculative duplicate is submitted and the first result wins (the
+  loser is ignored, and hard-killed at teardown if it never finishes);
 * **KeyboardInterrupt** propagates — resumability is the store's job
   (:mod:`repro.lab.store`), not the executor's.
 
 Results always come back in submission order regardless of completion
-order, so parallel sweeps are deterministic given deterministic workers.
+order, so parallel campaigns are deterministic given deterministic
+workers. :mod:`repro.lab.chaos` hooks into the worker shim, which is how
+the crash/hang half of the chaos suite exercises everything above.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+import shutil
+import signal
+import tempfile
+import time
 import traceback
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
-from dataclasses import dataclass, field
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.diagnostics.bridge import diagnostics_from_exception
 from repro.diagnostics.core import Diagnostic
 
-__all__ = ["PointOutcome", "LabExecutor"]
+__all__ = ["ExecStats", "PointOutcome", "LabExecutor"]
 
 
 @dataclass
@@ -51,10 +75,35 @@ class PointOutcome:
     #: :mod:`repro.diagnostics`) — what result records and failure
     #: bundles journal instead of the traceback strings above
     diagnostics: list = field(default_factory=list)
+    #: how many executions this point took (1 = no retries); journaled
+    #: into result records by the sweep/campaign/difftest drivers
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+@dataclass
+class ExecStats:
+    """What the fabric did beyond plain execution, for manifests."""
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_kills: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    pool_breaks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_kills": self.worker_kills,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "pool_breaks": self.pool_breaks,
+        }
 
 
 def _harness_diagnostics(code: str, message: str) -> list:
@@ -73,22 +122,105 @@ def _outcome_from_exc(index: int, exc: BaseException) -> PointOutcome:
     )
 
 
+def _worker_shim(fn, item, trace_path, token):
+    """Worker-side wrapper around ``fn``.
+
+    Publishes the worker's pid to ``trace_path`` the moment execution
+    starts — that file's mtime is the point's deadline clock and its
+    content is what the driver ``SIGKILL``s when the point hangs — and
+    gives :mod:`repro.lab.chaos` its injection seam (a chaos-armed run
+    may crash or hang right here, exactly like a faulty worker would).
+    """
+    if trace_path:
+        try:
+            with open(trace_path, "w") as fh:
+                fh.write(str(os.getpid()))
+        except OSError:
+            pass
+    try:
+        from repro.lab.chaos import active_chaos
+
+        chaos = active_chaos()
+        if chaos is not None:
+            chaos.injure_worker(token)
+        return fn(item)
+    finally:
+        if trace_path:
+            try:
+                os.unlink(trace_path)
+            except OSError:
+                pass
+
+
+@dataclass
+class _Task:
+    """One scheduled execution of one point (retries/hedges clone it)."""
+
+    index: int
+    item: object
+    attempt: int = 1
+    hedge: bool = False
+    uid: int = 0                  # unique per submission (trace filename)
+    started: float | None = None  # wall-clock worker start, once observed
+    submitted: float | None = None  # fallback clock when start unobserved
+
+
+class _MapState:
+    """Book-keeping for one ``map`` call's pool path."""
+
+    def __init__(self, n_items: int) -> None:
+        self.n_items = n_items
+        self.ready: deque[_Task] = deque()
+        self.delayed: list[tuple[float, int, _Task]] = []  # heap
+        self.inflight: dict[object, _Task] = {}
+        self.resolved: dict[int, PointOutcome] = {}
+        self.index_inflight: dict[int, int] = {}
+        self.hedged: set[int] = set()
+        self.durations: list[float] = []
+        self.expected_break = False
+        self.seq = 0
+
+    def next_uid(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    @property
+    def done(self) -> bool:
+        return len(self.resolved) >= self.n_items
+
+
 class LabExecutor:
     """Runs ``fn(item)`` over many items with crash isolation.
 
     ``jobs <= 1`` runs inline (no subprocesses, no pickling round-trip);
-    ``jobs > 1`` uses a process pool. ``timeout`` bounds the wall time
-    spent waiting on any single point.
+    ``jobs > 1`` uses a process pool. ``timeout`` bounds the wall time a
+    point may *run* (measured from worker start); ``retry`` is an
+    optional :class:`repro.lab.retry.RetryPolicy`; ``hedge`` enables
+    speculative re-submission of tail stragglers.
     """
 
-    #: how many times a broken pool is replaced before giving up
-    MAX_POOL_RESTARTS = 1
+    #: how many times a spontaneously broken pool is replaced before the
+    #: remaining points are marked failed (deliberate stuck-worker kills
+    #: do not count against this)
+    MAX_POOL_RESTARTS = 2
+
+    #: event-loop wait quantum when deadlines/hedges need polling
+    QUANTUM = 0.05
 
     def __init__(self, jobs: int = 1, timeout: float | None = None,
-                 mp_context=None) -> None:
+                 mp_context=None, retry=None, hedge: bool = False,
+                 hedge_factor: float = 4.0, hedge_min_wait: float = 1.0,
+                 hedge_min_samples: int = 3) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.mp_context = mp_context
+        self.retry = retry
+        self.hedge = hedge
+        self.hedge_factor = hedge_factor
+        self.hedge_min_wait = hedge_min_wait
+        self.hedge_min_samples = hedge_min_samples
+        self.stats = ExecStats()
+        self._trace_dir: str | None = None
 
     def map(
         self,
@@ -99,22 +231,35 @@ class LabExecutor:
         """Evaluate ``fn`` over ``items``; one PointOutcome per item, in
         order. ``on_result`` is invoked once per point as it resolves."""
         items = list(items)
+        self.stats = ExecStats()
         if self.jobs == 1 or len(items) <= 1:
-            return self._map_inline(fn, enumerate(items), on_result)
+            return self._map_inline(fn, items, on_result)
         return self._map_pool(fn, items, on_result)
 
     # ---- inline path ----------------------------------------------------
 
-    def _map_inline(self, fn, indexed, on_result) -> list[PointOutcome]:
+    def _map_inline(self, fn, items, on_result) -> list[PointOutcome]:
         outcomes = []
-        for index, item in indexed:
-            try:
-                outcome = PointOutcome(index=index, status="ok",
-                                       value=fn(item))
-            except KeyboardInterrupt:
-                raise
-            except BaseException as exc:  # crash isolation
-                outcome = _outcome_from_exc(index, exc)
+        for index, item in enumerate(items):
+            attempt = 1
+            while True:
+                try:
+                    outcome = PointOutcome(index=index, status="ok",
+                                           value=fn(item))
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # crash isolation
+                    outcome = _outcome_from_exc(index, exc)
+                outcome.attempts = attempt
+                if (not outcome.ok and self.retry is not None
+                        and self.retry.should_retry(outcome, attempt)):
+                    self.stats.retries += 1
+                    attempt += 1
+                    time.sleep(self.retry.delay(attempt, repr(item)))
+                    continue
+                break
+            if self.retry is not None:
+                self.retry.observe(outcome.ok)
             outcomes.append(outcome)
             if on_result is not None:
                 on_result(outcome)
@@ -122,80 +267,368 @@ class LabExecutor:
 
     # ---- pool path ------------------------------------------------------
 
+    @property
+    def _needs_trace(self) -> bool:
+        return self.timeout is not None or self.hedge
+
     def _map_pool(self, fn, items, on_result) -> list[PointOutcome]:
-        outcomes: dict[int, PointOutcome] = {}
+        state = _MapState(len(items))
+        for index, item in enumerate(items):
+            state.ready.append(_Task(index=index, item=item,
+                                     uid=state.next_uid()))
+        if self._needs_trace:
+            self._trace_dir = tempfile.mkdtemp(prefix="labexec-")
 
         def emit(oc: PointOutcome) -> None:
-            outcomes[oc.index] = oc
+            state.resolved[oc.index] = oc
             if on_result is not None:
                 on_result(oc)
 
-        pending = list(enumerate(items))
+        pool = None
         restarts = 0
-        while pending:
-            pending = self._pool_round(fn, pending, emit)
-            if pending:
-                if restarts >= self.MAX_POOL_RESTARTS:
-                    for index, _item in pending:
-                        emit(PointOutcome(
-                            index=index, status="failed",
-                            error="worker pool broke repeatedly; giving up",
-                            diagnostics=_harness_diagnostics(
-                                "RPR-E003",
-                                "worker pool broke repeatedly; giving up"),
-                        ))
-                    break
-                restarts += 1
-        return [outcomes[i] for i in sorted(outcomes)]
-
-    def _pool_round(self, fn, pending, emit):
-        """One pool lifetime; returns the points left unresolved by a
-        broken pool (empty when the round completed normally)."""
-        unresolved: list[tuple[int, object]] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)),
-            mp_context=self.mp_context,
-        ) as pool:
-            futures = [(i, item, pool.submit(fn, item))
-                       for i, item in pending]
-            broken = False
-            for index, item, fut in futures:
+        try:
+            while not state.done:
+                now = time.monotonic()
+                while state.delayed and state.delayed[0][0] <= now:
+                    _, _, task = heapq.heappop(state.delayed)
+                    state.ready.append(task)
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, max(1, len(items))),
+                        mp_context=self.mp_context,
+                    )
+                broken = not self._submit_ready(pool, fn, state)
+                if not broken and state.inflight:
+                    done, _ = wait(list(state.inflight),
+                                   timeout=self._quantum(state),
+                                   return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        broken |= self._collect(fut, state, emit)
+                    broken |= self._reap_deadlines(state, emit)
+                    self._maybe_hedge(pool, fn, state)
+                elif not broken and not state.inflight:
+                    if state.delayed:
+                        pause = state.delayed[0][0] - time.monotonic()
+                        if pause > 0:
+                            time.sleep(min(pause, 1.0))
+                    elif not state.ready:
+                        break  # nothing anywhere: all resolved
+                broken = broken or self._pool_broken(pool)
                 if broken:
-                    # the pool died: salvage results that completed before
-                    # the break, requeue everything else for the next pool
-                    try:
-                        emit(PointOutcome(index=index, status="ok",
-                                          value=fut.result(timeout=0)))
-                    except KeyboardInterrupt:
-                        raise
-                    except BaseException:
-                        unresolved.append((index, item))
-                    continue
+                    deliberate = state.expected_break
+                    self._handle_break(state, emit)
+                    self._drain_pool(pool, state)
+                    pool = None
+                    if not deliberate:
+                        self.stats.pool_breaks += 1
+                        restarts += 1
+                        if restarts > self.MAX_POOL_RESTARTS:
+                            self._give_up(state, emit)
+                            break
+        finally:
+            self._drain_pool(pool, state)
+            if self._trace_dir is not None:
+                shutil.rmtree(self._trace_dir, ignore_errors=True)
+                self._trace_dir = None
+        return [state.resolved[i] for i in sorted(state.resolved)]
+
+    # ---- submission -----------------------------------------------------
+
+    def _trace_path(self, task: _Task) -> str | None:
+        if self._trace_dir is None:
+            return None
+        return os.path.join(self._trace_dir, f"t{task.uid}.pid")
+
+    def _submit_ready(self, pool, fn, state) -> bool:
+        """Submit every ready task; False when the pool refused (broken)."""
+        while state.ready:
+            task = state.ready.popleft()
+            if task.index in state.resolved:
+                continue
+            try:
+                fut = pool.submit(_worker_shim, fn, task.item,
+                                  self._trace_path(task), repr(task.item))
+            except BrokenExecutor:
+                state.ready.appendleft(task)
+                return False
+            except RuntimeError:
+                # pool is shutting down underneath us (interpreter exit)
+                state.ready.appendleft(task)
+                return False
+            task.submitted = time.time()
+            state.inflight[fut] = task
+            state.index_inflight[task.index] = \
+                state.index_inflight.get(task.index, 0) + 1
+        return True
+
+    def _quantum(self, state) -> float | None:
+        candidates = []
+        if self.timeout is not None or self.hedge:
+            candidates.append(self.QUANTUM)
+        if state.delayed:
+            candidates.append(
+                max(0.0, state.delayed[0][0] - time.monotonic()))
+        return min(candidates) if candidates else None
+
+    # ---- completion -----------------------------------------------------
+
+    def _collect(self, fut, state, emit) -> bool:
+        """Fold one completed future into the state; True on pool break."""
+        task = state.inflight.pop(fut, None)
+        if task is None:
+            return False
+        state.index_inflight[task.index] = \
+            max(0, state.index_inflight.get(task.index, 1) - 1)
+        if task.index in state.resolved:
+            # hedge loser (or post-kill echo of a timed-out point)
+            return False
+        try:
+            value = fut.result(timeout=0)
+        except KeyboardInterrupt:
+            raise
+        except BrokenExecutor:
+            # the whole pool died; _handle_break assigns blame with the
+            # full picture, so just put the task back in contention
+            state.inflight[fut] = task
+            state.index_inflight[task.index] += 1
+            return True
+        except BaseException as exc:
+            if state.index_inflight.get(task.index, 0) > 0:
+                return False  # a live twin may still succeed
+            self._finalize(task, _outcome_from_exc(task.index, exc),
+                           state, emit)
+            return False
+        # completed workers have unlinked their pid file, so fall back to
+        # submit time — with free workers the two clocks nearly coincide
+        start = task.started if task.started is not None else task.submitted
+        if start is not None:
+            state.durations.append(max(0.0, time.time() - start))
+        if task.hedge:
+            self.stats.hedge_wins += 1
+        self._finalize(task, PointOutcome(index=task.index, status="ok",
+                                          value=value), state, emit)
+        return False
+
+    def _finalize(self, task: _Task, outcome: PointOutcome, state,
+                  emit) -> None:
+        """Retry-or-emit decision for one finished execution."""
+        if task.index in state.resolved:
+            return
+        outcome.attempts = task.attempt
+        if (not outcome.ok and self.retry is not None
+                and self.retry.should_retry(outcome, task.attempt)):
+            self.stats.retries += 1
+            clone = replace(task, attempt=task.attempt + 1, hedge=False,
+                            started=None, uid=state.next_uid())
+            delay = self.retry.delay(clone.attempt, repr(task.item))
+            heapq.heappush(state.delayed,
+                           (time.monotonic() + delay, clone.uid, clone))
+            return
+        if self.retry is not None:
+            self.retry.observe(outcome.ok)
+        emit(outcome)
+
+    # ---- deadlines and stuck-worker kills -------------------------------
+
+    def _task_started(self, task: _Task) -> float | None:
+        """Wall-clock time the worker began this task (pid-file mtime)."""
+        if task.started is not None:
+            return task.started
+        path = self._trace_path(task)
+        if path is None:
+            return None
+        try:
+            task.started = os.stat(path).st_mtime
+        except OSError:
+            return None
+        return task.started
+
+    def _kill_task_worker(self, task: _Task) -> bool:
+        """SIGKILL the worker running ``task``; True when a kill was sent."""
+        path = self._trace_path(task)
+        if path is None:
+            return False
+        try:
+            with open(path) as fh:
+                pid = int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            return False
+        self.stats.worker_kills += 1
+        return True
+
+    def _reap_deadlines(self, state, emit) -> bool:
+        """Time out points that have *run* past the deadline; kill their
+        workers. Returns True when a kill will break the pool."""
+        if self.timeout is None:
+            return False
+        now = time.time()
+        broke = False
+        for fut, task in list(state.inflight.items()):
+            if fut.done():
+                continue
+            started = self._task_started(task)
+            if started is None or now - started < self.timeout:
+                continue
+            state.inflight.pop(fut)
+            state.index_inflight[task.index] = \
+                max(0, state.index_inflight.get(task.index, 1) - 1)
+            self.stats.timeouts += 1
+            already = task.index in state.resolved
+            if not fut.cancel():
+                if self._kill_task_worker(task):
+                    state.expected_break = True
+                    broke = True
+            if not already:
+                self._finalize(task, PointOutcome(
+                    index=task.index, status="timeout",
+                    error=f"timed out after {self.timeout}s",
+                    diagnostics=_harness_diagnostics(
+                        "RPR-E002", f"timed out after {self.timeout}s"),
+                ), state, emit)
+        return broke
+
+    # ---- straggler hedging ----------------------------------------------
+
+    def _maybe_hedge(self, pool, fn, state) -> None:
+        """Speculatively duplicate tail stragglers, first result wins."""
+        if not self.hedge or state.ready or state.delayed:
+            return
+        if len(state.durations) < self.hedge_min_samples:
+            return
+        if len(state.inflight) >= self.jobs:
+            return  # no idle workers to speculate on
+        ordered = sorted(state.durations)
+        median = ordered[len(ordered) // 2]
+        threshold = max(self.hedge_min_wait, self.hedge_factor * median)
+        now = time.time()
+        for fut, task in list(state.inflight.items()):
+            if task.hedge or task.index in state.hedged:
+                continue
+            started = self._task_started(task)
+            if started is None or now - started < threshold:
+                continue
+            twin = replace(task, hedge=True, started=None,
+                           uid=state.next_uid())
+            try:
+                tfut = pool.submit(_worker_shim, fn, twin.item,
+                                   self._trace_path(twin), repr(twin.item))
+            except (BrokenExecutor, RuntimeError):
+                return
+            twin.submitted = time.time()
+            state.inflight[tfut] = twin
+            state.index_inflight[twin.index] = \
+                state.index_inflight.get(twin.index, 0) + 1
+            state.hedged.add(task.index)
+            self.stats.hedges += 1
+            if len(state.inflight) >= self.jobs:
+                return
+
+    # ---- pool breaks ----------------------------------------------------
+
+    @staticmethod
+    def _pool_broken(pool) -> bool:
+        return bool(getattr(pool, "_broken", False))
+
+    def _handle_break(self, state, emit) -> None:
+        """Salvage a broken pool: keep completed results, blame the crash
+        (when spontaneous) on the oldest started task, requeue the rest."""
+        candidates: list[_Task] = []
+        for fut, task in list(state.inflight.items()):
+            if task.index in state.resolved:
+                continue
+            if fut.done() and not fut.cancelled():
                 try:
-                    outcome = PointOutcome(
-                        index=index, status="ok",
-                        value=fut.result(timeout=self.timeout),
-                    )
-                except TimeoutError:
-                    fut.cancel()
-                    outcome = PointOutcome(
-                        index=index, status="timeout",
-                        error=f"timed out after {self.timeout}s",
-                        diagnostics=_harness_diagnostics(
-                            "RPR-E002", f"timed out after {self.timeout}s"),
-                    )
+                    value = fut.result(timeout=0)
                 except KeyboardInterrupt:
                     raise
-                except BrokenExecutor as exc:
-                    broken = True
-                    outcome = PointOutcome(
-                        index=index, status="failed",
-                        error=f"worker crashed: {type(exc).__name__}: {exc}",
-                        diagnostics=_harness_diagnostics(
-                            "RPR-E001",
-                            f"worker crashed: {type(exc).__name__}: {exc}"),
-                    )
+                except BrokenExecutor:
+                    candidates.append(task)
+                    continue
                 except BaseException as exc:
-                    outcome = _outcome_from_exc(index, exc)
-                emit(outcome)
-        return unresolved
+                    self._finalize(task, _outcome_from_exc(task.index, exc),
+                                   state, emit)
+                    continue
+                self._finalize(task, PointOutcome(
+                    index=task.index, status="ok", value=value), state, emit)
+                continue
+            fut.cancel()
+            candidates.append(task)
+        state.inflight.clear()
+        state.index_inflight.clear()
+        # one task per index survives (hedge twins collapse)
+        by_index: dict[int, _Task] = {}
+        for task in candidates:
+            keep = by_index.get(task.index)
+            if keep is None or (keep.hedge and not task.hedge):
+                by_index[task.index] = task
+        ordered = [by_index[i] for i in sorted(by_index)]
+        blame: _Task | None = None
+        if not state.expected_break and ordered:
+            started = [t for t in ordered
+                       if self._task_started(t) is not None]
+            blame = (started or ordered)[0]
+            msg = ("worker crashed: the process pool broke while this "
+                   "point was running")
+            self._finalize(blame, PointOutcome(
+                index=blame.index, status="failed",
+                error=msg,
+                diagnostics=_harness_diagnostics("RPR-E001", msg),
+            ), state, emit)
+        for task in ordered:
+            if task is blame:
+                continue
+            state.ready.append(replace(task, hedge=False, started=None,
+                                       uid=state.next_uid()))
+        state.expected_break = False
+
+    def _give_up(self, state, emit) -> None:
+        """Pools keep breaking spontaneously: fail the stragglers."""
+        leftovers = list(state.ready) + [t for _, _, t in state.delayed]
+        state.ready.clear()
+        state.delayed.clear()
+        msg = "worker pool broke repeatedly; giving up"
+        for task in leftovers:
+            if task.index in state.resolved:
+                continue
+            oc = PointOutcome(
+                index=task.index, status="failed", error=msg,
+                diagnostics=_harness_diagnostics("RPR-E003", msg),
+            )
+            oc.attempts = task.attempt
+            if self.retry is not None:
+                self.retry.observe(False)
+            emit(oc)
+
+    # ---- teardown -------------------------------------------------------
+
+    def _drain_pool(self, pool, state=None) -> None:
+        """Dispose of a pool without ever blocking on a stuck worker."""
+        if pool is None:
+            return
+        # snapshot first: shutdown() clears _processes even with wait=False
+        processes = getattr(pool, "_processes", None) or {}
+        procs = [processes[k] for k in list(processes)]
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for p in procs:
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for p in procs:
+            try:
+                p.join(max(0.0, deadline - time.monotonic()))
+                if p.is_alive():
+                    p.kill()
+                    p.join(1.0)
+            except Exception:
+                pass

@@ -22,6 +22,8 @@ from repro.diagnostics.bundle import bundle_name, write_bundle
 from repro.errors import ReproError
 from repro.lab.cache import SynthesisCache, cache_key
 from repro.lab.executor import LabExecutor, PointOutcome
+from repro.lab.retry import RetryPolicy
+from repro.lab.shard import ShardSpec
 from repro.lab.store import ResultStore, RunHandle
 from repro.platform.device import EP2S180, DeviceModel
 from repro.platform.report import point_summary
@@ -280,10 +282,18 @@ class SweepResult:
     run: RunHandle
     manifest: dict
     records: dict[str, dict]
+    #: the points this run was responsible for (== spec.points unless the
+    #: run was sharded with ``--shard K/N``)
+    selected: list[SweepPoint] | None = None
+
+    @property
+    def points(self) -> list[SweepPoint]:
+        return self.selected if self.selected is not None else \
+            self.spec.points
 
     def rows(self) -> list[list[object]]:
         rows = []
-        for p in self.spec.points:
+        for p in self.points:
             rec = self.records.get(p.point_id)
             if rec is None:
                 rows.append([p.point_id, "-", "-", "-", "-", "-", "missing"])
@@ -309,13 +319,13 @@ class SweepResult:
              "cache"],
             self.rows(),
             title=f"SWEEP {self.spec.name} "
-                  f"({len(self.spec.points)} points, run {self.run.run_id})",
+                  f"({len(self.points)} points, run {self.run.run_id})",
         )
 
     @property
     def ok(self) -> bool:
         return self.manifest.get("counters", {}).get("failed", 0) == 0 and \
-            len(self.records) == len(self.spec.points)
+            len(self.records) == len(self.points)
 
 
 def run_sweep(
@@ -326,54 +336,87 @@ def run_sweep(
     resume: bool = True,
     timeout: float | None = None,
     progress=None,
+    shard: ShardSpec | None = None,
+    retry: RetryPolicy | None = None,
+    hedge: bool = False,
 ) -> SweepResult:
     """Evaluate ``spec``, journaling every point; resumable and cached.
 
     ``progress`` is a writable text stream (defaults to stderr; pass
     ``False`` to silence). On KeyboardInterrupt the manifest is finalized
     with ``status="interrupted"`` before the exception propagates; a rerun
-    with ``resume=True`` picks up the missing points.
+    with ``resume=True`` picks up the missing points. ``shard`` restricts
+    the run to one deterministic K/N slice of the space (own run
+    directory; fold slices back with :func:`repro.lab.shard.merge_runs`);
+    ``retry``/``hedge`` configure the executor's fault tolerance.
     """
     out = sys.stderr if progress is None else progress
     store = ResultStore(store_root)
-    run = store.open_run(spec.run_id())
+    selected = (shard.select(spec.points, key=lambda p: p.point_id)
+                if shard is not None else list(spec.points))
+    run_id = shard.run_id(spec.run_id()) if shard is not None \
+        else spec.run_id()
+    run = store.open_run(run_id)
     if not resume and run.results_path.exists():
         run.results_path.unlink()
     done = run.completed_ids() if resume else set()
-    pending = [p for p in spec.points if p.point_id not in done]
+    journal_corrupt = run.stats.corrupt
+    pending = [p for p in selected if p.point_id not in done]
 
     counters = {
-        "total": len(spec.points),
-        "skipped_resume": len(spec.points) - len(pending),
+        "total": len(selected),
+        "skipped_resume": len(selected) - len(pending),
         "done": 0,
         "failed": 0,
+        "retried": 0,
         "cache_hits": 0,
         "cache_misses": 0,
         "cache_corrupt": 0,
+        "journal_corrupt": journal_corrupt,
     }
     bundle_paths: list[str] = []
+    executor = LabExecutor(jobs=jobs, timeout=timeout, retry=retry,
+                           hedge=hedge)
 
     def manifest(status: str, wall: float) -> dict:
+        counters["retried"] = executor.stats.retries
         return {
+            "kind": "sweep",
             "run_id": run.run_id,
+            "name": spec.name,
             "sweep": spec.name,
             "fingerprint": spec.fingerprint(),
             "status": status,
             "jobs": jobs,
+            "shard": shard.as_dict() if shard is not None else None,
             "cache_root": str(cache_root) if cache_root else None,
             "store_root": str(store_root),
             "counters": dict(counters),
+            "executor": executor.stats.as_dict(),
+            "retry": retry.as_dict() if retry is not None else None,
+            "breaker_open": retry.breaker_open if retry is not None
+            else False,
             "bundles": list(bundle_paths),
             "wall_time_s": round(wall, 3),
-            "points": [p.point_id for p in spec.points],
+            "points": [p.point_id for p in selected],
+            "spec_points": len(spec.points),
         }
 
     def say(text: str) -> None:
         if out:
             print(text, file=out, flush=True)
 
-    say(f"sweep {spec.name}: {len(pending)}/{len(spec.points)} points to "
-        f"run ({counters['skipped_resume']} already done), jobs={jobs}")
+    shard_note = f" [shard {shard.index}/{shard.total}]" \
+        if shard is not None else ""
+    say(f"sweep {spec.name}{shard_note}: {len(pending)}/{len(selected)} "
+        f"points to run ({counters['skipped_resume']} already done), "
+        f"jobs={jobs}")
+    if journal_corrupt:
+        say(f"sweep {spec.name}: WARNING: skipped {journal_corrupt} "
+            f"torn/corrupt journal line"
+            f"{'' if journal_corrupt == 1 else 's'} in "
+            f"{run.results_path} (a previous run died mid-write; the "
+            "affected points re-run)")
     t0 = time.monotonic()
     run.write_manifest(manifest("running", 0.0))
 
@@ -382,6 +425,7 @@ def run_sweep(
         if oc.ok:
             record = dict(oc.value)
             record["status"] = "ok"
+            record["attempts"] = oc.attempts
             counters["done"] += 1
             if record.get("cache_hit"):
                 counters["cache_hits"] += 1
@@ -398,6 +442,7 @@ def run_sweep(
                 "point_id": point.point_id,
                 "status": oc.status,
                 "error": oc.error,
+                "attempts": oc.attempts,
                 "diagnostics": list(oc.diagnostics),
             }
             counters["failed"] += 1
@@ -416,7 +461,6 @@ def run_sweep(
         say(f"[{finished + counters['skipped_resume']}/{counters['total']}] "
             f"{point.point_id}: {oc.status} ({note})")
 
-    executor = LabExecutor(jobs=jobs, timeout=timeout)
     try:
         executor.map(evaluate_point,
                      [(p, cache_root) for p in pending],
@@ -450,4 +494,4 @@ def run_sweep(
         if pid is not None:
             latest[pid] = rec
     return SweepResult(spec=spec, run=run, manifest=run.read_manifest(),
-                       records=latest)
+                       records=latest, selected=selected)

@@ -111,3 +111,135 @@ def test_jobs_floor_is_one():
 @pytest.mark.parametrize("jobs", [1, 3])
 def test_empty_items(jobs):
     assert LabExecutor(jobs=jobs).map(square, []) == []
+
+
+# ---- campaign-fabric behaviors (retry, kill, hedge) ----------------------
+
+def crash_once(args):
+    """Crash hard on the first execution of the marked item, succeed
+    after: the marker file is the cross-process attempt ledger."""
+    value, marker = args
+    if value == 2 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("fired")
+        os._exit(13)
+    return value * 10
+
+
+def sleep_forever(x):
+    if x == 1:
+        import time
+        time.sleep(600)
+    return x
+
+
+def write_pid_then_hang(args):
+    value, pid_file = args
+    if value == 1:
+        with open(pid_file, "w") as fh:
+            fh.write(str(os.getpid()))
+        import time
+        time.sleep(600)
+    return value
+
+
+def straggle_once(args):
+    """Sleep only on the first execution of the marked item, so the hedge
+    twin (or a retry) returns promptly."""
+    value, marker = args
+    if value == 1:
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return value + 100   # second execution: fast
+        import time
+        time.sleep(600)
+    return value + 100
+
+
+def test_timed_out_worker_is_hard_killed(tmp_path):
+    """Regression for the stuck-worker leak: a point past its deadline
+    must be RPR-E002-coded, its worker process SIGKILLed, and shutdown
+    must not block on the abandoned worker."""
+    import time as _time
+
+    pid_file = str(tmp_path / "stuck.pid")
+    ex = LabExecutor(jobs=2, timeout=1.0)
+    t0 = _time.monotonic()
+    outcomes = ex.map(write_pid_then_hang,
+                      [(0, pid_file), (1, pid_file), (2, pid_file)])
+    wall = _time.monotonic() - t0
+    # a blocking pool shutdown would wait out the full 600 s sleep
+    assert wall < 30
+    assert [oc.status for oc in outcomes] == ["ok", "timeout", "ok"]
+    codes = {d.get("code") for d in outcomes[1].diagnostics}
+    assert "RPR-E002" in codes
+    assert ex.stats.timeouts == 1
+    assert ex.stats.worker_kills == 1
+    # the stuck worker is actually dead, not orphaned
+    pid = int(open(pid_file).read())
+    deadline = _time.monotonic() + 10
+    while _time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            break
+        _time.sleep(0.1)
+    else:
+        raise AssertionError(f"stuck worker {pid} still alive")
+
+
+def test_crash_retry_recovers_in_pool(tmp_path):
+    from repro.lab.retry import RetryPolicy
+
+    marker = str(tmp_path / "crashed.marker")
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, breaker=None)
+    ex = LabExecutor(jobs=2, retry=policy)
+    outcomes = ex.map(crash_once, [(i, marker) for i in range(5)])
+    assert [oc.status for oc in outcomes] == ["ok"] * 5
+    assert outcomes[2].value == 20
+    assert outcomes[2].attempts >= 2       # journaled retry count
+    assert ex.stats.retries >= 1
+    assert all(oc.attempts == 1 for oc in outcomes
+               if oc.index != 2)
+
+
+def test_timeout_retry_recovers_inline(tmp_path):
+    from repro.lab.retry import RetryPolicy
+
+    marker = str(tmp_path / "slow.marker")
+    policy = RetryPolicy(max_attempts=2, base_delay=0.01, breaker=None)
+    ex = LabExecutor(jobs=2, timeout=2.0, retry=policy)
+    outcomes = ex.map(straggle_once, [(i, marker) for i in range(3)])
+    assert [oc.status for oc in outcomes] == ["ok"] * 3
+    assert outcomes[1].attempts == 2
+    assert ex.stats.timeouts == 1
+
+
+def test_permanent_failures_are_not_retried():
+    from repro.lab.retry import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, breaker=None)
+    ex = LabExecutor(jobs=1, retry=policy)
+    outcomes = ex.map(flaky, [1, 3, 5])
+    assert [oc.status for oc in outcomes] == ["ok", "failed", "ok"]
+    # ValueError carries a non-transient diagnostic: exactly one attempt
+    assert outcomes[1].attempts == 1
+    assert ex.stats.retries == 0
+
+
+def test_hedging_rescues_stragglers(tmp_path):
+    import time as _time
+
+    marker = str(tmp_path / "straggler.marker")
+    ex = LabExecutor(jobs=4, hedge=True, hedge_factor=2.0,
+                     hedge_min_wait=0.5, hedge_min_samples=3)
+    t0 = _time.monotonic()
+    outcomes = ex.map(straggle_once, [(i, marker) for i in range(8)])
+    wall = _time.monotonic() - t0
+    assert wall < 60          # far below the 600 s straggler sleep
+    assert [oc.status for oc in outcomes] == ["ok"] * 8
+    assert outcomes[1].value == 101
+    assert ex.stats.hedges >= 1
+    assert ex.stats.hedge_wins >= 1

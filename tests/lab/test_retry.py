@@ -1,0 +1,100 @@
+"""RetryPolicy: classification, backoff determinism, circuit breaker."""
+
+from repro.lab.executor import PointOutcome
+from repro.lab.retry import (
+    BREAKER_CODE,
+    TRANSIENT_CODES,
+    CircuitBreaker,
+    RetryPolicy,
+    is_transient,
+)
+
+
+def outcome(status="failed", codes=()):
+    return PointOutcome(
+        index=0, status=status, error="x",
+        diagnostics=[{"code": c, "severity": "error", "message": "m"}
+                     for c in codes],
+    )
+
+
+# ---- transient classification -------------------------------------------
+
+def test_harness_codes_are_transient():
+    for code in sorted(TRANSIENT_CODES):
+        assert is_transient(outcome(codes=[code])), code
+
+
+def test_synthesis_errors_are_permanent():
+    assert not is_transient(outcome(codes=["RPR-L001"]))
+    # mixed harness + toolchain codes: the toolchain error will recur
+    assert not is_transient(outcome(codes=["RPR-E002", "RPR-T003"]))
+
+
+def test_unclassified_failures_are_transient():
+    assert is_transient(outcome(status="timeout"))
+    assert is_transient(outcome(status="failed"))
+    assert not is_transient(outcome(status="ok"))
+
+
+# ---- policy decisions ----------------------------------------------------
+
+def test_should_retry_respects_max_attempts():
+    policy = RetryPolicy(max_attempts=3, breaker=None)
+    oc = outcome(codes=["RPR-E001"])
+    assert policy.should_retry(oc, 1)
+    assert policy.should_retry(oc, 2)
+    assert not policy.should_retry(oc, 3)
+
+
+def test_should_not_retry_permanent_failures():
+    policy = RetryPolicy(max_attempts=3, breaker=None)
+    assert not policy.should_retry(outcome(codes=["RPR-L001"]), 1)
+
+
+def test_backoff_is_exponential_capped_and_deterministic():
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0,
+                         breaker=None)
+    assert policy.delay(2) == 0.1
+    assert policy.delay(3) == 0.2
+    assert policy.delay(4) == 0.4
+    assert policy.delay(5) == 0.5   # capped
+    jittered = RetryPolicy(base_delay=0.1, jitter=0.5, breaker=None)
+    d1 = jittered.delay(2, "point-a")
+    assert d1 == jittered.delay(2, "point-a")      # deterministic
+    assert 0.1 <= d1 <= 0.1 * 1.5                  # bounded stretch
+    assert jittered.delay(2, "point-a") != jittered.delay(2, "point-b")
+
+
+# ---- circuit breaker -----------------------------------------------------
+
+def test_breaker_opens_past_threshold_with_rpr_coded_diagnostic():
+    breaker = CircuitBreaker(threshold=0.25, min_points=8)
+    for _ in range(5):
+        breaker.observe(True)
+    for _ in range(3):
+        breaker.observe(False)
+    assert breaker.open
+    diag = breaker.tripped_diagnostic
+    assert diag is not None and diag["code"] == BREAKER_CODE
+    assert "no-retry" in diag["message"]
+
+
+def test_breaker_needs_a_meaningful_sample():
+    breaker = CircuitBreaker(threshold=0.25, min_points=20)
+    for _ in range(5):
+        breaker.observe(False)   # 100% failing, but only 5 points
+    assert not breaker.open
+
+
+def test_open_breaker_stops_retries():
+    policy = RetryPolicy(
+        max_attempts=3,
+        breaker=CircuitBreaker(threshold=0.25, min_points=4),
+    )
+    oc = outcome(codes=["RPR-E001"])
+    assert policy.should_retry(oc, 1)
+    for _ in range(4):
+        policy.observe(False)
+    assert policy.breaker_open
+    assert not policy.should_retry(oc, 1)

@@ -33,6 +33,41 @@ def test_torn_final_line_is_skipped(tmp_path):
     assert [r["point_id"] for r in run.records()] == ["a"]
 
 
+def test_corrupt_lines_are_counted_in_stats(tmp_path):
+    """Satellite contract: torn lines are not just skipped, they are
+    *counted* so drivers can warn that the journal took damage."""
+    run = ResultStore(tmp_path).open_run("r1")
+    run.append({"point_id": "a", "status": "ok"})
+    with open(run.results_path, "a") as fh:
+        fh.write("not json at all\n")
+        fh.write('{"point_id": "b", "stat')  # torn tail
+    recs = run.records()
+    assert run.stats.records == 1
+    assert run.stats.corrupt == 2
+    assert run.stats.as_dict() == {"records": 1, "corrupt": 2}
+    assert [r["point_id"] for r in recs] == ["a"]
+    # a clean scan resets the counters
+    run2 = ResultStore(tmp_path).open_run("clean")
+    run2.append({"point_id": "a", "status": "ok"})
+    run2.records()
+    assert run2.stats.corrupt == 0
+
+
+def test_append_heals_torn_tail_before_writing(tmp_path):
+    """Appending after a mid-write kill must not fuse the new record
+    onto the unterminated torn fragment."""
+    store = ResultStore(tmp_path)
+    run = store.open_run("r1")
+    run.append({"point_id": "a", "status": "ok"})
+    with open(run.results_path, "a") as fh:
+        fh.write('{"point_id": "b", "stat')  # killed mid-write, no \n
+    resumed = store.open_run("r1")  # fresh handle, as on resume
+    resumed.append({"point_id": "b", "status": "ok"})
+    recs = resumed.records()
+    assert [r["point_id"] for r in recs] == ["a", "b"]
+    assert resumed.stats.corrupt == 1  # the fragment, isolated
+
+
 def test_completed_ids_only_counts_ok(tmp_path):
     run = ResultStore(tmp_path).open_run("r1")
     run.append({"point_id": "a", "status": "ok"})

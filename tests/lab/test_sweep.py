@@ -86,7 +86,8 @@ def test_sweep_completes_and_journal_matches(tmp_path):
     assert m["status"] == "completed"
     assert m["counters"] == {
         "total": 4, "skipped_resume": 0, "done": 4, "failed": 0,
-        "cache_hits": 0, "cache_misses": 4, "cache_corrupt": 0,
+        "retried": 0, "cache_hits": 0, "cache_misses": 4,
+        "cache_corrupt": 0, "journal_corrupt": 0,
     }
     assert m["wall_time_s"] >= 0
     assert set(result.records) == {p.point_id for p in spec.points}
@@ -203,6 +204,57 @@ def test_evaluate_point_record_shape(tmp_path):
     for field in ("processes", "comb_aluts", "registers", "bram_bits",
                   "fmax_mhz", "assertion_level", "device"):
         assert field in rec
+
+
+# ---- sharding and journal damage ----------------------------------------
+
+def test_sharded_sweep_merge_is_byte_identical_to_unsharded(tmp_path):
+    """The tentpole identity: run each shard into the same store, merge,
+    and compare against the merged unsharded run — byte for byte."""
+    from repro.lab.shard import ShardSpec, merge_runs
+
+    spec = small_spec()
+    shard_points = []
+    for k in (1, 2):
+        res = quiet_sweep(spec, tmp_path, jobs=1, shard=ShardSpec(k, 2))
+        assert res.ok
+        assert res.manifest["shard"] == {"index": k, "total": 2}
+        assert res.manifest["counters"]["done"] == len(res.points)
+        shard_points.extend(p.point_id for p in res.points)
+    # the shards partition the spec exactly (some may be empty — the
+    # assignment is a hash, not round-robin)
+    assert sorted(shard_points) == sorted(p.point_id for p in spec.points)
+
+    plain_dir = tmp_path / "plain"
+    quiet_sweep(spec, plain_dir, jobs=1,
+                cache_root=tmp_path / "cache")  # shared cache, same work
+
+    merged_sharded = merge_runs(tmp_path / "runs", spec.run_id())
+    merged_plain = merge_runs(plain_dir / "runs", spec.run_id())
+    assert merged_sharded.sources == [
+        spec.run_id() + ".s1of2", spec.run_id() + ".s2of2",
+    ]
+    assert merged_sharded.run.results_path.read_bytes() == \
+        merged_plain.run.results_path.read_bytes()
+    assert merged_sharded.run.manifest_path.read_bytes() == \
+        merged_plain.run.manifest_path.read_bytes()
+    assert merged_sharded.counters == {"ok": 4}
+
+
+def test_corrupt_journal_warns_and_counts(tmp_path, capsys):
+    """Satellite: a torn journal line surfaces as a stderr warning and a
+    journal_corrupt counter, never silently."""
+    spec = small_spec()
+    first = quiet_sweep(spec, tmp_path, jobs=1)
+    # tear the journal tail, as a mid-write kill would
+    with open(first.run.results_path, "a") as fh:
+        fh.write('{"point_id": "loopback(n=9)/none", "stat')
+    second = run_sweep(spec, jobs=1, store_root=tmp_path / "runs",
+                       cache_root=tmp_path / "cache")  # progress → stderr
+    err = capsys.readouterr().err
+    assert "torn/corrupt journal line" in err
+    assert second.manifest["counters"]["journal_corrupt"] == 1
+    assert second.ok
 
 
 # ---- CLI -----------------------------------------------------------------
