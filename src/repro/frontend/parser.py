@@ -12,6 +12,7 @@ ANSI-C ``assert``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import pycparser
@@ -39,6 +40,12 @@ def _build_prolog() -> str:
 
 _PROLOG = _build_prolog()
 _PARSER = pycparser.CParser()
+#: pycparser's generated LALR parser keeps mutable state on the instance
+#: (symbol stack, lexer position), so concurrent parses through the shared
+#: instance corrupt each other. The serve daemon synthesizes on a thread
+#: pool; serializing just the parse step keeps it correct — parsing is a
+#: small slice of synthesis wall time.
+_PARSER_LOCK = threading.Lock()
 
 
 @dataclass
@@ -78,7 +85,8 @@ def parse_source(
     pre = preprocess(source, defines=defines, filename=filename, sink=sink)
     full = f'{_PROLOG}\n#line 1 "{filename}"\n{pre.text}'
     try:
-        ast = _PARSER.parse(full, filename=filename)
+        with _PARSER_LOCK:
+            ast = _PARSER.parse(full, filename=filename)
     except Exception as exc:  # pycparser's ParseError module moved across
         # releases (plyparser -> c_parser); match by name to stay compatible
         if type(exc).__name__ != "ParseError":

@@ -17,6 +17,9 @@ Properties:
 * **cross-process safe** — entries are written to a temp file and
   ``os.replace``-d into place, so concurrent sweep workers can share one
   cache directory without locks (last writer wins on identical content);
+* **thread-safe** — one handle may be shared across threads (the serve
+  daemon's request pool hammers a single warm handle); get/put/evict and
+  the stats counters are serialized by an internal lock;
 * **bounded** — an LRU sweep (by access time) evicts the oldest entries
   beyond ``max_entries``;
 * **observable** — hit/miss/store/eviction counters are kept per handle
@@ -28,6 +31,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -171,6 +175,11 @@ class SynthesisCache:
         self.root = Path(root) if root is not None else None
         self.max_entries = max_entries
         self.stats = CacheStats()
+        # the on-disk format is cross-process safe via atomic replaces,
+        # but one *handle* (stats counters + get/put/evict sequences) is
+        # not inherently thread-safe; the serve daemon shares a single
+        # warm handle across its whole request pool, so serialize here
+        self._lock = threading.RLock()
         if self.root is not None:
             (self.root / "objects").mkdir(parents=True, exist_ok=True)
 
@@ -183,60 +192,65 @@ class SynthesisCache:
 
     def get(self, key: str):
         """Return the cached object for ``key`` or None on a miss."""
-        if self.root is None:
-            self.stats.misses += 1
-            return None
-        path = self._path(key)
-        try:
-            with open(path, "rb") as fh:
-                obj = pickle.load(fh)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except Exception:
-            # truncated/corrupt entry (e.g. version skew): treat as a miss
-            # and drop it so the slot heals on the next put
-            self.stats.errors += 1
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+        with self._lock:
+            if self.root is None:
+                self.stats.misses += 1
+                return None
+            path = self._path(key)
             try:
-                os.unlink(path)
+                with open(path, "rb") as fh:
+                    obj = pickle.load(fh)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except Exception:
+                # truncated/corrupt entry (e.g. version skew): treat as a
+                # miss and drop it so the slot heals on the next put
+                self.stats.errors += 1
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                return None
+            self.stats.hits += 1
+            try:
+                os.utime(path)  # LRU touch
             except OSError:
                 pass
-            return None
-        self.stats.hits += 1
-        try:
-            os.utime(path)  # LRU touch
-        except OSError:
-            pass
-        return obj
+            return obj
 
     def put(self, key: str, obj) -> None:
         """Atomically store ``obj`` under ``key`` and run the LRU sweep."""
-        if self.root is None:
-            return
-        path = self._path(key)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._lock:
+            if self.root is None:
+                return
+            path = self._path(key)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
-        self._evict()
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+            self._evict()
 
     def _evict(self) -> None:
-        entries = sorted(
-            self.root.glob("objects/*.pkl"),
-            key=lambda p: p.stat().st_mtime,
-        )
+        entries = []
+        for p in self.root.glob("objects/*.pkl"):
+            try:
+                entries.append((p.stat().st_mtime, p))
+            except OSError:
+                continue  # concurrently evicted by another handle
+        entries.sort()
         while len(entries) > self.max_entries:
-            victim = entries.pop(0)
+            _, victim = entries.pop(0)
             try:
                 os.unlink(victim)
                 self.stats.evictions += 1
@@ -244,15 +258,17 @@ class SynthesisCache:
                 pass
 
     def __len__(self) -> int:
-        if self.root is None:
-            return 0
-        return sum(1 for _ in self.root.glob("objects/*.pkl"))
+        with self._lock:
+            if self.root is None:
+                return 0
+            return sum(1 for _ in self.root.glob("objects/*.pkl"))
 
     def clear(self) -> None:
-        if self.root is None:
-            return
-        for path in self.root.glob("objects/*.pkl"):
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+        with self._lock:
+            if self.root is None:
+                return
+            for path in self.root.glob("objects/*.pkl"):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass

@@ -40,6 +40,7 @@ __all__ = [
     "OPTION_VARIANTS",
     "build_app",
     "evaluate_point",
+    "evaluate_point_cached",
     "run_sweep",
 ]
 
@@ -213,17 +214,21 @@ class SweepSpec:
 # ---- point evaluation (runs inside workers) ---------------------------------
 
 
-def evaluate_point(args: tuple) -> dict:
-    """Worker entry: evaluate one point through the synthesis cache.
+def evaluate_point_cached(point: SweepPoint, cache: SynthesisCache) -> dict:
+    """Evaluate one point through an existing cache handle.
 
-    ``args`` is ``(point, cache_root)``; module-level and tuple-packed so
-    it pickles into ProcessPool workers. Returns a JSON-able record.
+    This is the in-process reuse seam: sweep workers call it with a fresh
+    per-call handle (via :func:`evaluate_point`), while the serve daemon
+    (:mod:`repro.serve`) calls it with one long-lived, thread-safe handle
+    so every request shares the same warm statistics and disk objects.
+    Returns a JSON-able record whose ``cache_stats`` field is the *delta*
+    this evaluation contributed (for a fresh handle that equals the
+    handle's full stats, so journaled records are unchanged).
     """
-    point, cache_root = args
     app = build_app(point.app)
-    cache = SynthesisCache(cache_root)
     key = cache_key(app, point.level, point.options, point.device)
     t0 = time.monotonic()
+    before = cache.stats.snapshot()
     cached = cache.get(key)
     if cached is not None:
         image, resources, fmax = cached
@@ -240,12 +245,22 @@ def evaluate_point(args: tuple) -> dict:
         "variant": point.variant,
         "key": key,
         "cache_hit": cached is not None,
-        "cache_stats": cache.stats.as_dict(),
+        "cache_stats": cache.stats.delta(before),
         "elapsed_s": round(time.monotonic() - t0, 4),
     }
     record.update(point_summary(image, point.device,
                                 resources=resources, fmax=fmax))
     return record
+
+
+def evaluate_point(args: tuple) -> dict:
+    """Worker entry: evaluate one point through the synthesis cache.
+
+    ``args`` is ``(point, cache_root)``; module-level and tuple-packed so
+    it pickles into ProcessPool workers. Returns a JSON-able record.
+    """
+    point, cache_root = args
+    return evaluate_point_cached(point, SynthesisCache(cache_root))
 
 
 def point_bundle_context(point: SweepPoint) -> tuple[dict, str | None]:

@@ -1,0 +1,149 @@
+"""Admission control: bounded work, bounded queues, fair-ish clients.
+
+Two independent budgets guard the daemon:
+
+* a **global** budget (``max_inflight`` running + ``queue_depth``
+  waiting) charged only to coalescing *leaders* — the requests that will
+  actually occupy a worker. Followers ride an existing flight for free.
+* a **per-client** budget charged to every request, so one greedy client
+  cannot consume the whole global budget (not even with followers, which
+  are cheap for the daemon but still hold a connection).
+
+Rejection is immediate and explicit — a structured ``rejected`` event
+with an RPR-V code — rather than unbounded queueing; the client's retry
+policy (:mod:`repro.lab.retry` classifies capacity rejections as
+transient) decides what to do next. ``start_drain`` flips the controller
+into shutdown mode: everything new is refused with RPR-V004 while
+already-admitted work runs to completion.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["AdmissionController", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for the daemon's ``/stats`` verb."""
+
+    admitted: int = 0
+    rejected_capacity: int = 0
+    rejected_client: int = 0
+    rejected_draining: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected_capacity": self.rejected_capacity,
+            "rejected_client": self.rejected_client,
+            "rejected_draining": self.rejected_draining,
+        }
+
+
+class AdmissionController:
+    def __init__(self, max_inflight: int = 4, queue_depth: int = 16,
+                 per_client: int = 16) -> None:
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}",
+                             code="RPR-V005")
+        if queue_depth < 0:
+            raise ServeError(f"queue_depth must be >= 0, got {queue_depth}",
+                             code="RPR-V005")
+        if per_client < 1:
+            raise ServeError(f"per_client must be >= 1, got {per_client}",
+                             code="RPR-V005")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.per_client = per_client
+        #: leaders running or queued; capacity = max_inflight + queue_depth
+        self._global = 0
+        self._clients: dict[str, int] = {}
+        self._draining = False
+        self._lock = threading.Lock()
+        self.stats = AdmissionStats()
+
+    @property
+    def capacity(self) -> int:
+        return self.max_inflight + self.queue_depth
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start_drain(self) -> None:
+        with self._lock:
+            self._draining = True
+
+    # -- per-client slots (every request) -------------------------------------
+
+    def acquire_client(self, client: str) -> None:
+        """Charge one per-client slot; raises RPR-V003/RPR-V004."""
+        with self._lock:
+            if self._draining:
+                self.stats.rejected_draining += 1
+                raise ServeError(
+                    "daemon is draining; not accepting new jobs",
+                    code="RPR-V004")
+            held = self._clients.get(client, 0)
+            if held >= self.per_client:
+                self.stats.rejected_client += 1
+                raise ServeError(
+                    f"client {client!r} already has {held} jobs in flight "
+                    f"(limit {self.per_client})", code="RPR-V003")
+            self._clients[client] = held + 1
+
+    def release_client(self, client: str) -> None:
+        with self._lock:
+            held = self._clients.get(client, 0)
+            if held <= 1:
+                self._clients.pop(client, None)
+            else:
+                self._clients[client] = held - 1
+
+    # -- global slots (leaders only) ------------------------------------------
+
+    def acquire_global(self) -> None:
+        """Charge one global slot; raises RPR-V002/RPR-V004.
+
+        Called from inside the coalescer's ``join`` critical section so
+        "no existing flight" and "has capacity" are decided atomically.
+        """
+        with self._lock:
+            if self._draining:
+                self.stats.rejected_draining += 1
+                raise ServeError(
+                    "daemon is draining; not accepting new jobs",
+                    code="RPR-V004")
+            if self._global >= self.capacity:
+                self.stats.rejected_capacity += 1
+                raise ServeError(
+                    f"at capacity: {self._global} jobs in flight or queued "
+                    f"(max_inflight={self.max_inflight} "
+                    f"queue_depth={self.queue_depth})", code="RPR-V002")
+            self._global += 1
+            self.stats.admitted += 1
+
+    def release_global(self) -> None:
+        with self._lock:
+            if self._global > 0:
+                self._global -= 1
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": self._global,
+                "capacity": self.capacity,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "per_client": self.per_client,
+                "clients": dict(self._clients),
+                "draining": self._draining,
+                **self.stats.as_dict(),
+            }

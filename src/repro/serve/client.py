@@ -1,0 +1,175 @@
+"""Client for the ``repro serve`` daemon — one connection per request.
+
+The protocol is one-request-per-connection (see
+:mod:`repro.serve.protocol`), so the client is stateless: every call
+opens a socket, writes one line, reads events until a terminal one, and
+returns a :class:`SubmitReply`. ``repro submit`` is a thin CLI shell over
+this module; tests drive it directly.
+
+The daemon address comes from the ``--address`` flag, the
+``REPRO_SERVE`` environment variable, or an address file ``repro serve``
+wrote — always ``host:port`` text.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+__all__ = ["ADDRESS_ENV", "ServeClient", "SubmitReply", "parse_address"]
+
+ADDRESS_ENV = "REPRO_SERVE"
+
+#: generous socket-level ceiling on top of the job timeout, so a wedged
+#: daemon cannot hang a client forever even with no job timeout set
+_SOCKET_GRACE_S = 10.0
+
+
+def parse_address(text: str | None) -> tuple[str, int]:
+    """``host:port`` -> tuple; falls back to ``$REPRO_SERVE``."""
+    if not text:
+        text = os.environ.get(ADDRESS_ENV, "")
+    if not text:
+        raise ServeError(
+            "no daemon address: pass --address host:port or set "
+            f"${ADDRESS_ENV}", code="RPR-V006")
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ServeError(f"bad daemon address {text!r}; expected host:port",
+                         code="RPR-V006")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServeError(f"bad port in daemon address {text!r}",
+                         code="RPR-V006") from None
+
+
+@dataclass
+class SubmitReply:
+    """Everything the daemon streamed back for one request."""
+
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> dict:
+        """The stream's final event (result/rejected/error/stats/pong)."""
+        if not self.events:
+            raise ServeError("empty reply from daemon", code="RPR-V006")
+        return self.events[-1]
+
+    @property
+    def accepted(self) -> dict | None:
+        for ev in self.events:
+            if ev.get("event") == "accepted":
+                return ev
+        return None
+
+    @property
+    def ok(self) -> bool:
+        t = self.terminal
+        return t.get("event") == "result" and t.get("status") == "ok"
+
+    @property
+    def rejected(self) -> bool:
+        return self.terminal.get("event") == "rejected"
+
+    @property
+    def status(self) -> str:
+        t = self.terminal
+        if t.get("event") == "result":
+            return t.get("status", "failed")
+        return t.get("event", "error")
+
+    @property
+    def record(self) -> dict | None:
+        return self.terminal.get("record")
+
+    @property
+    def coalesced(self) -> bool:
+        """True when the daemon rode an existing in-flight execution."""
+        acc = self.accepted
+        return bool(acc and acc.get("coalesced"))
+
+    @property
+    def fingerprint(self) -> str | None:
+        acc = self.accepted
+        if acc is not None:
+            return acc.get("fingerprint")
+        return self.terminal.get("fingerprint")
+
+    @property
+    def diagnostics(self) -> list[dict]:
+        return list(self.terminal.get("diagnostics", ()))
+
+
+class ServeClient:
+    """A named client of one daemon.
+
+    ``client_id`` is what per-client admission control budgets against;
+    parallel tools should pick distinct ids (the CLI defaults to
+    ``user@pid``).
+    """
+
+    def __init__(self, address: str | tuple[str, int] | None = None,
+                 client_id: str | None = None) -> None:
+        if isinstance(address, tuple):
+            self.address = address
+        else:
+            self.address = parse_address(address)
+        self.client_id = client_id or f"{os.environ.get('USER', 'user')}" \
+                                      f"@{os.getpid()}"
+
+    def _roundtrip(self, request: dict,
+                   timeout: float | None = None) -> SubmitReply:
+        """One connection: write the request, collect events until a
+        terminal one arrives."""
+        deadline = (timeout + _SOCKET_GRACE_S) if timeout else None
+        try:
+            with socket.create_connection(self.address, timeout=5.0) as conn:
+                conn.settimeout(deadline)
+                with conn.makefile("rwb") as stream:
+                    stream.write(protocol.encode(request))
+                    stream.flush()
+                    reply = SubmitReply()
+                    while True:
+                        line = stream.readline()
+                        if not line:
+                            break
+                        event = protocol.decode_line(line)
+                        reply.events.append(event)
+                        if event.get("event") in protocol.TERMINAL_EVENTS:
+                            break
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at "
+                f"{self.address[0]}:{self.address[1]}: {exc}",
+                code="RPR-V006") from None
+        if not reply.events:
+            raise ServeError(
+                "daemon closed the connection without replying "
+                "(it may be draining)", code="RPR-V006")
+        return reply
+
+    # -- verbs ----------------------------------------------------------------
+
+    def submit(self, kind: str, params: dict,
+               timeout: float | None = None) -> SubmitReply:
+        """Submit one job and block until its terminal event."""
+        return self._roundtrip(
+            protocol.submit_request(kind, params, client=self.client_id,
+                                    timeout=timeout),
+            timeout=timeout)
+
+    def stats(self) -> dict:
+        return self._roundtrip({"op": "stats"}).terminal
+
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping"}).terminal
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit."""
+        return self._roundtrip({"op": "shutdown"}).terminal

@@ -23,7 +23,7 @@ from repro.errors import SimCompileError
 from repro.hls.cyclemodel import ProcessExec
 from repro.rtl.sim import RtlSim
 
-from .codecache import cached_source, clear_memo, compile_source
+from .codecache import cached_source, clear_memo, compile_source, memo_stats
 from .rtlgen import CompiledRtlSim, generate_rtl_source, rtl_sim_source
 from .schedgen import (
     CompiledProcessExec,
@@ -44,6 +44,7 @@ __all__ = [
     "generate_sched_source",
     "make_process_exec",
     "make_rtl_sim",
+    "memo_stats",
     "resolve_backend",
     "rtl_sim_source",
     "sched_exec_source",

@@ -1,0 +1,86 @@
+"""Admission control: budgets, rejections, drain mode."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import AdmissionController
+
+
+def test_global_capacity_is_running_plus_queued():
+    adm = AdmissionController(max_inflight=2, queue_depth=1)
+    assert adm.capacity == 3
+    for _ in range(3):
+        adm.acquire_global()
+    with pytest.raises(ServeError) as exc:
+        adm.acquire_global()
+    assert exc.value.code == "RPR-V002"
+    assert adm.stats.admitted == 3
+    assert adm.stats.rejected_capacity == 1
+
+
+def test_release_global_frees_a_slot():
+    adm = AdmissionController(max_inflight=1, queue_depth=0)
+    adm.acquire_global()
+    with pytest.raises(ServeError):
+        adm.acquire_global()
+    adm.release_global()
+    adm.acquire_global()  # does not raise
+
+
+def test_per_client_budget_is_independent_per_client():
+    adm = AdmissionController(per_client=2)
+    adm.acquire_client("alice")
+    adm.acquire_client("alice")
+    with pytest.raises(ServeError) as exc:
+        adm.acquire_client("alice")
+    assert exc.value.code == "RPR-V003"
+    adm.acquire_client("bob")  # a different client is unaffected
+    adm.release_client("alice")
+    adm.acquire_client("alice")
+
+
+def test_release_client_below_zero_is_harmless():
+    adm = AdmissionController()
+    adm.release_client("ghost")
+    adm.acquire_client("ghost")
+    assert adm.snapshot()["clients"] == {"ghost": 1}
+
+
+def test_drain_rejects_everything_new():
+    adm = AdmissionController()
+    adm.acquire_client("c")
+    adm.acquire_global()
+    adm.start_drain()
+    with pytest.raises(ServeError) as exc:
+        adm.acquire_client("d")
+    assert exc.value.code == "RPR-V004"
+    with pytest.raises(ServeError) as exc:
+        adm.acquire_global()
+    assert exc.value.code == "RPR-V004"
+    # already-admitted work still releases cleanly
+    adm.release_global()
+    adm.release_client("c")
+    assert adm.stats.rejected_draining == 2
+
+
+def test_snapshot_reports_every_budget():
+    adm = AdmissionController(max_inflight=3, queue_depth=5, per_client=7)
+    adm.acquire_client("c")
+    adm.acquire_global()
+    snap = adm.snapshot()
+    assert snap["inflight"] == 1
+    assert snap["capacity"] == 8
+    assert snap["per_client"] == 7
+    assert snap["clients"] == {"c": 1}
+    assert snap["draining"] is False
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_inflight": 0},
+    {"queue_depth": -1},
+    {"per_client": 0},
+])
+def test_nonsense_budgets_are_refused(kwargs):
+    with pytest.raises(ServeError) as exc:
+        AdmissionController(**kwargs)
+    assert exc.value.code == "RPR-V005"

@@ -96,3 +96,56 @@ def test_cached_construction_still_executes_correctly(tmp_path, cp):
     clear_memo()
     assert run() == first == [4, 7, 10]
     assert cache.stats.hits >= 1
+
+
+def test_memo_stats_rise_across_repeated_jobs(tmp_path, cp):
+    """Warm-process observability (serve daemon): repeated identical jobs
+    in one process raise the memo hit counters while misses stay flat."""
+    from repro.simc import memo_stats
+
+    cache = SynthesisCache(tmp_path / "c")
+    sched_exec_source(cp.schedule, cache=cache)
+    assert memo_stats.source_misses == 1
+    assert memo_stats.source_hits == 0
+    for expect_hits in (1, 2, 3):
+        sched_exec_source(cp.schedule, cache=cache)
+        assert memo_stats.source_hits == expect_hits
+    assert memo_stats.source_misses == 1  # never regenerated
+
+
+def test_code_memo_counters_track_compiles(tmp_path, cp):
+    from repro.simc import memo_stats
+    from repro.simc.codecache import compile_source
+
+    src = sched_exec_source(cp.schedule,
+                            cache=SynthesisCache(tmp_path / "c"))
+    compile_source(src, "<gen>")
+    assert memo_stats.code_misses == 1 and memo_stats.code_hits == 0
+    compile_source(src, "<gen>")
+    compile_source(src, "<gen>")
+    assert memo_stats.code_misses == 1 and memo_stats.code_hits == 2
+
+
+def test_clear_memo_resets_stats(tmp_path, cp):
+    from repro.simc import memo_stats
+
+    sched_exec_source(cp.schedule, cache=SynthesisCache(tmp_path / "c"))
+    assert memo_stats.as_dict() != {
+        "source_hits": 0, "source_misses": 0,
+        "code_hits": 0, "code_misses": 0}
+    clear_memo()
+    assert memo_stats.as_dict() == {
+        "source_hits": 0, "source_misses": 0,
+        "code_hits": 0, "code_misses": 0}
+
+
+def test_memo_reuse_is_bit_identical_across_jobs(tmp_path, cp):
+    """The warm path must return the exact bytes the cold path generated
+    — a memo hit is an optimization, never a different artifact."""
+    cache = SynthesisCache(tmp_path / "c")
+    cold = sched_exec_source(cp.schedule, cache=cache)
+    warm = sched_exec_source(cp.schedule, cache=cache)
+    assert warm == cold
+    clear_memo()  # fresh process, same disk cache
+    disk = sched_exec_source(cp.schedule, cache=cache)
+    assert disk == cold
