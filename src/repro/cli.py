@@ -321,6 +321,7 @@ def cmd_campaign(args) -> int:
         retry=_retry_arg(args),
         timeout=args.timeout,
         hedge=args.hedge,
+        batch_lanes=args.batch_lanes,
     )
     if args.json:
         import json as _json
@@ -384,6 +385,7 @@ def cmd_sweep(args) -> int:
             shard=_shard_arg(args),
             retry=_retry_arg(args),
             hedge=args.hedge,
+            validate_lanes=args.validate_lanes,
         )
     except KeyboardInterrupt:
         print("sweep interrupted; rerun the same command to resume",
@@ -439,6 +441,7 @@ def cmd_difftest(args) -> int:
         max_cycles=args.max_cycles,
         reduce=not args.no_reduce,
         sim_backend=args.sim_backend,
+        batch_lanes=args.batch_lanes,
     )
     try:
         result = run_difftest_campaign(
@@ -504,7 +507,11 @@ def cmd_bench(args) -> int:
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
-        problems = compare_bench(doc, baseline, threshold=args.threshold)
+        notes: list[str] = []
+        problems = compare_bench(doc, baseline, threshold=args.threshold,
+                                 notes=notes)
+        for msg in notes:
+            print(f"note: {msg}", file=sys.stderr)
         if problems:
             for msg in problems:
                 print(f"REGRESSION: {msg}", file=sys.stderr)
@@ -742,6 +749,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sim-backend", default="compiled",
                    choices=("interp", "compiled"),
                    help="simulation backend for scenario execution")
+    p.add_argument("--batch-lanes", type=int, default=1, metavar="N",
+                   help="run up to N scenarios of one image as lanes of "
+                        "the batched simulator (in-process; ignores "
+                        "--jobs); 1 keeps the scalar path")
     p.add_argument("--store", default=None, metavar="DIR",
                    help="journal cells into this resumable result store")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -779,6 +790,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-point timeout")
     p.add_argument("--no-resume", action="store_true",
                    help="discard previous results for this sweep")
+    p.add_argument("--validate-lanes", type=int, default=0, metavar="N",
+                   help="execute every point with N batched replication "
+                        "lanes and check them bit-for-bit against a "
+                        "scalar run (journaled as lane_check)")
     p.add_argument("--json", action="store_true",
                    help="print one JSON summary object (manifest + stats + "
                         "records) instead of the table — the serve "
@@ -819,6 +834,10 @@ def main(argv: list[str] | None = None) -> int:
                    choices=("interp", "compiled"),
                    help="'compiled' adds the repro.simc specialized "
                         "simulators as strict lockstep legs")
+    p.add_argument("--batch-lanes", type=int, default=0, metavar="N",
+                   help="append a scalar-vs-batched phase running N feed "
+                        "variants per seed program through the batched "
+                        "executor (0 disables)")
     _fabric_flags(p)
     p.set_defaults(func=cmd_difftest)
 

@@ -562,6 +562,97 @@ def _run_one(args: tuple) -> RunOutcome:
     )
 
 
+def _batched_outcomes(
+    target: CampaignTarget,
+    app: Application,
+    pending: list[tuple[Scenario, str]],
+    golden: dict,
+    nabort: bool,
+    options: SynthesisOptions | None,
+    cache_root: str | None,
+    batch_lanes: int,
+    sim_backend: str | None = None,
+) -> list[RunOutcome]:
+    """Execute pending (scenario, level) cells lane-parallel.
+
+    Cells are grouped by (level, translation faults) — every group shares
+    one synthesized image, and the group's scenarios become lanes of one
+    :func:`repro.runtime.hwexec.execute_batch` call (chunked to
+    ``batch_lanes``). Per-lane fault injection, watchdog classification
+    and quarantine are bit-identical to the scalar path, so the returned
+    outcomes (aligned with ``pending``) match a ``jobs=1`` scalar run.
+    """
+    from repro.runtime.hwexec import LaneSpec, execute_batch
+
+    outcomes: dict[int, RunOutcome] = {}
+    groups: dict[tuple[str, str], list[int]] = {}
+    for idx, (sc, lv) in enumerate(pending):
+        key = (lv, repr(sorted(sc.ir_faults.items())))
+        groups.setdefault(key, []).append(idx)
+
+    def harness_error(idx: int, exc: Exception) -> RunOutcome:
+        from repro.diagnostics.core import Diagnostic
+
+        sc, lv = pending[idx]
+        diag = Diagnostic(
+            code="RPR-G010",
+            severity="error",
+            message=f"batched campaign cell failed: "
+                    f"{type(exc).__name__}: {exc}",
+        ).to_dict()
+        return RunOutcome(
+            scenario=sc.name, level=lv, classification=HARNESS_ERROR,
+            reason=f"{type(exc).__name__}: {exc}", cycles=0,
+            diagnostics=(diag,),
+        )
+
+    for idxs in groups.values():
+        first_sc, level = pending[idxs[0]]
+        try:
+            image = _synthesize_cached(app, level, first_sc, nabort,
+                                       options, cache_root)
+        except FaultError:
+            for idx in idxs:
+                sc, lv = pending[idx]
+                outcomes[idx] = RunOutcome(
+                    scenario=sc.name, level=lv, classification=BENIGN,
+                    reason="not-injected", cycles=0,
+                )
+            continue
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            for idx in idxs:
+                outcomes[idx] = harness_error(idx, exc)
+            continue
+        for start in range(0, len(idxs), batch_lanes):
+            chunk = idxs[start:start + batch_lanes]
+            specs = [LaneSpec(faults=pending[i][0].runtime_faults)
+                     for i in chunk]
+            try:
+                results = execute_batch(
+                    image, specs, watchdog=target.watchdog,
+                    sim_backend=sim_backend,
+                )
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                for i in chunk:
+                    outcomes[i] = harness_error(i, exc)
+                continue
+            for i, result in zip(chunk, results):
+                sc, lv = pending[i]
+                classification, latency = classify_outcome(result, golden)
+                outcomes[i] = RunOutcome(
+                    scenario=sc.name,
+                    level=lv,
+                    classification=classification,
+                    reason=result.reason,
+                    cycles=result.cycles,
+                    detection_latency=latency,
+                    failures=len(result.failures),
+                    quarantined=tuple(result.quarantined),
+                    events=tuple(result.fault_events),
+                )
+    return [outcomes[i] for i in range(len(pending))]
+
+
 def run_campaign(
     target: str | CampaignTarget = "loopback",
     levels: tuple[str, ...] = ("none", "optimized"),
@@ -579,6 +670,7 @@ def run_campaign(
     retry=None,
     timeout: float | None = None,
     hedge: bool = False,
+    batch_lanes: int = 1,
 ) -> CampaignResult:
     """Sweep ``count`` seeded scenarios across assertion ``levels``.
 
@@ -605,6 +697,15 @@ def run_campaign(
     deterministic K/N slice of the grid, journaled to its own run
     directory; ``repro merge`` folds the slices back together.
     ``retry``/``timeout``/``hedge`` configure executor fault tolerance.
+
+    ``batch_lanes > 1`` switches execution to the in-process batched
+    simulator: cells sharing an image (same level and translation faults)
+    run as lanes of one :func:`repro.runtime.hwexec.execute_batch` call —
+    one structure-of-arrays tick function advances every scenario of a
+    level in lockstep — instead of fanning out across ``jobs`` workers
+    (``jobs``/``retry``/``timeout``/``hedge`` are ignored in this mode).
+    Classification, journaling and resume semantics are unchanged and the
+    matrix is bit-identical to a scalar run of the same seed.
     """
     import dataclasses as _dc
     import sys
@@ -649,6 +750,7 @@ def run_campaign(
         "nabort": nabort,
         "options": _dc.asdict(options) if options is not None else None,
         "scenarios": [sc.name for sc in scenarios],
+        "batch_lanes": batch_lanes,
     }
     run = None
     resumed: dict[str, RunOutcome] = {}
@@ -709,14 +811,11 @@ def run_campaign(
         run.write_manifest(manifest("running"))
 
     by_id: dict[str, RunOutcome] = dict(resumed)
-    for oc in executor.map(_run_one, grid):
-        scenario, level = pending[oc.index]
-        if not oc.ok:
-            outcome = RunOutcome(
-                scenario=scenario.name, level=level,
-                classification=HARNESS_ERROR, reason=oc.error, cycles=0,
-                diagnostics=tuple(oc.diagnostics),
-            )
+
+    def settle(scenario: Scenario, level: str, outcome: RunOutcome,
+               attempts: int) -> None:
+        if outcome.classification == HARNESS_ERROR:
+            counters["failed"] += 1
             # the cell is replayable only when its scenario can be
             # regenerated from (target name, seed); custom targets and
             # explicit scenario lists still get the outcome, just no bundle
@@ -724,7 +823,7 @@ def run_campaign(
                 write_bundle(
                     Path(bundle_dir)
                     / bundle_name(f"{scenario.name}@{level}"),
-                    "campaign", list(oc.diagnostics),
+                    "campaign", list(outcome.diagnostics),
                     context={
                         "target": requested,
                         "seed": seed,
@@ -737,16 +836,30 @@ def run_campaign(
                     },
                 )
         else:
-            outcome = oc.value
-        if outcome.classification == HARNESS_ERROR:
-            counters["failed"] += 1
-        else:
             counters["done"] += 1
         by_id[f"{scenario.name}@{level}"] = outcome
         if run is not None:
             record = record_from_outcome(outcome)
-            record["attempts"] = oc.attempts
+            record["attempts"] = attempts
             run.append(record)
+
+    if batch_lanes > 1:
+        batched = _batched_outcomes(target, app, pending, golden, nabort,
+                                    options, cache_root, batch_lanes)
+        for (scenario, level), outcome in zip(pending, batched):
+            settle(scenario, level, outcome, 1)
+    else:
+        for oc in executor.map(_run_one, grid):
+            scenario, level = pending[oc.index]
+            if not oc.ok:
+                outcome = RunOutcome(
+                    scenario=scenario.name, level=level,
+                    classification=HARNESS_ERROR, reason=oc.error, cycles=0,
+                    diagnostics=tuple(oc.diagnostics),
+                )
+            else:
+                outcome = oc.value
+            settle(scenario, level, outcome, oc.attempts)
 
     if run is not None:
         counters["retried"] = executor.stats.retries

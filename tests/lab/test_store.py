@@ -68,6 +68,50 @@ def test_append_heals_torn_tail_before_writing(tmp_path):
     assert resumed.stats.corrupt == 1  # the fragment, isolated
 
 
+def test_torn_batched_record_heals_to_last_complete_record(tmp_path):
+    """Batched execution packs N lane results into ONE journal line, so a
+    mid-write kill now tears a much bigger record. The torn multi-lane
+    line must be isolated exactly like a scalar one: every *complete*
+    record before it survives (including earlier full batches), the torn
+    batch is counted corrupt, and resume re-appends it cleanly."""
+
+    def batch_record(pid, n_lanes, status="ok"):
+        return {
+            "point_id": pid, "status": status, "batch_lanes": n_lanes,
+            "lanes": [
+                {"lane": i, "reason": "COMPLETED", "cycles": 40 + i,
+                 "outputs": {"drain": list(range(16))}}
+                for i in range(n_lanes)
+            ],
+        }
+
+    store = ResultStore(tmp_path)
+    run = store.open_run("r1")
+    run.append({"point_id": "scalar", "status": "ok"})
+    run.append(batch_record("batch-a", 8))
+    # kill mid-write: the 64-lane record is torn inside lane 3's payload
+    torn = json.dumps(batch_record("batch-b", 64), sort_keys=True)
+    with open(run.results_path, "a") as fh:
+        fh.write(torn[:len(torn) // 3])  # no newline, invalid JSON
+    recs = run.records()
+    # heals to the last complete record — the full 8-lane batch, with
+    # every lane intact — not to an empty or truncated journal
+    assert [r["point_id"] for r in recs] == ["scalar", "batch-a"]
+    assert len(recs[1]["lanes"]) == 8
+    assert recs[1]["lanes"][7]["cycles"] == 47
+    assert run.stats.corrupt == 1
+    assert run.completed_ids() == {"scalar", "batch-a"}
+
+    # resume: a fresh handle re-appends the lost batch without fusing it
+    # onto the torn fragment
+    resumed = store.open_run("r1")
+    resumed.append(batch_record("batch-b", 64))
+    recs = resumed.records()
+    assert [r["point_id"] for r in recs] == ["scalar", "batch-a", "batch-b"]
+    assert len(recs[2]["lanes"]) == 64
+    assert resumed.stats.corrupt == 1  # the fragment stays isolated
+
+
 def test_completed_ids_only_counts_ok(tmp_path):
     run = ResultStore(tmp_path).open_run("r1")
     run.append({"point_id": "a", "status": "ok"})

@@ -139,6 +139,102 @@ def test_clear_memo_resets_stats(tmp_path, cp):
         "code_hits": 0, "code_misses": 0}
 
 
+def test_scalar_and_batched_sched_keys_do_not_alias(tmp_path, cp):
+    """Scalar and batched (SoA) source are keyed by the *same* schedule
+    digest; only the kind namespace separates them. A collision would
+    hand a scalar executor N-lane source (or vice versa) — in the serve
+    daemon, across every thread sharing the memo."""
+    from repro.simc import batched_sched_source
+
+    cache = SynthesisCache(tmp_path / "c")
+    scalar = sched_exec_source(cp.schedule, cache=cache)
+    batched = batched_sched_source(cp.schedule, cache=cache)
+    assert scalar != batched
+    assert cache.stats.stores == 2  # two distinct disk keys
+    clear_memo()  # fresh process, same disk cache: still no aliasing
+    assert sched_exec_source(cp.schedule, cache=cache) == scalar
+    assert batched_sched_source(cp.schedule, cache=cache) == batched
+
+
+def test_scalar_and_batched_rtl_keys_do_not_alias(tmp_path, cp):
+    from repro.simc import batched_rtl_source
+
+    cache = SynthesisCache(tmp_path / "c")
+    scalar = rtl_sim_source(cp.rtl, ("input",), ("output",), cache=cache)
+    batched = batched_rtl_source(cp.rtl, ("input",), ("output",),
+                                 cache=cache)
+    assert scalar != batched
+    assert cache.stats.stores == 2
+    clear_memo()
+    assert rtl_sim_source(cp.rtl, ("input",), ("output",),
+                          cache=cache) == scalar
+    assert batched_rtl_source(cp.rtl, ("input",), ("output",),
+                              cache=cache) == batched
+
+
+def test_memo_keys_embed_the_backend_kind(tmp_path, cp):
+    """The memo key string carries the kind (``simc-sched-…`` vs
+    ``simc-sched-batch-…``) *in addition to* the kind's slot in the
+    fingerprint — aliasing would need both to collide at once."""
+    from repro.simc import batched_sched_source
+    from repro.simc.codecache import _SOURCE_MEMO
+
+    cache = SynthesisCache(tmp_path / "c")
+    sched_exec_source(cp.schedule, cache=cache)
+    batched_sched_source(cp.schedule, cache=cache)
+    kinds = sorted(k.rsplit("-", 1)[0] for k in _SOURCE_MEMO)
+    assert kinds == ["simc-sched", "simc-sched-batch"]
+
+
+def test_memo_safe_under_concurrent_mixed_backend_codegen(tmp_path, cp):
+    """Serve-daemon shape: many threads generating scalar *and* batched
+    source for the same design through one shared memo. Every thread
+    must get the bytes its backend asked for — never the sibling
+    backend's — and the memo must settle to one entry per kind."""
+    import threading
+
+    from repro.simc import batched_rtl_source, batched_sched_source
+    from repro.simc.codecache import _SOURCE_MEMO
+
+    cache = SynthesisCache(tmp_path / "c")
+    refs = {
+        "sched": sched_exec_source(cp.schedule, cache=cache),
+        "sched-batch": batched_sched_source(cp.schedule, cache=cache),
+        "rtl": rtl_sim_source(cp.rtl, ("input",), ("output",),
+                              cache=cache),
+        "rtl-batch": batched_rtl_source(cp.rtl, ("input",), ("output",),
+                                        cache=cache),
+    }
+    clear_memo()  # hammer from a cold memo so threads race the misses
+    errors: list[str] = []
+    start = threading.Barrier(16)
+
+    def hammer(tid: int) -> None:
+        start.wait()
+        for _ in range(20):
+            got = {
+                "sched": sched_exec_source(cp.schedule, cache=cache),
+                "sched-batch": batched_sched_source(cp.schedule,
+                                                    cache=cache),
+                "rtl": rtl_sim_source(cp.rtl, ("input",), ("output",),
+                                      cache=cache),
+                "rtl-batch": batched_rtl_source(
+                    cp.rtl, ("input",), ("output",), cache=cache),
+            }
+            for kind, src in got.items():
+                if src != refs[kind]:
+                    errors.append(f"t{tid}: {kind} got foreign source")
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]
+    assert len(_SOURCE_MEMO) == 4  # one entry per kind, no dupes
+
+
 def test_memo_reuse_is_bit_identical_across_jobs(tmp_path, cp):
     """The warm path must return the exact bytes the cold path generated
     — a memo hit is an optimization, never a different artifact."""
