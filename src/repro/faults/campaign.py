@@ -139,6 +139,9 @@ class CampaignResult:
     levels: tuple[str, ...]
     scenarios: list[Scenario]
     outcomes: list[RunOutcome]
+    #: the journaled store run this campaign wrote (None when it ran
+    #: without a ``store_root``); shard-suffixed for ``--shard`` slices
+    run_id: str | None = None
 
     def outcome(self, scenario: str, level: str) -> RunOutcome:
         oc = self.find(scenario, level)
@@ -873,4 +876,5 @@ def run_campaign(
         levels=tuple(levels),
         scenarios=scenarios,
         outcomes=outcomes,
+        run_id=run.run_id if run is not None else None,
     )

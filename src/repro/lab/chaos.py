@@ -7,7 +7,7 @@ to prove that the executor/retry/store/shard stack survives its own
 failure modes. Same philosophy, one layer down: the verification
 infrastructure is itself a system under test.
 
-Three fault kinds, mirroring what real million-point campaigns see:
+Seven fault kinds, mirroring what real million-point campaigns see:
 
 ``crash``
     the worker process dies mid-point (``os._exit``), exactly like a
@@ -21,6 +21,26 @@ Three fault kinds, mirroring what real million-point campaigns see:
     fsyncing it, leaving a torn JSONL line — exercises
     :class:`repro.lab.store.StoreStats` corruption counting and
     resume-to-identical-results semantics.
+
+Four network-layer kinds aim the same philosophy at the serve fabric
+(the multi-node daemon mesh of :mod:`repro.serve`):
+
+``connect_refuse``
+    the client's connect attempt raises ``ConnectionRefusedError`` —
+    exercises the client's bounded reconnect retries (RPR-V006);
+``stream_cut``
+    the daemon closes the connection after streaming ``accepted`` but
+    before the terminal event — exercises truncated-stream RPR-V007
+    classification and fabric re-routing;
+``reply_delay``
+    the daemon sleeps ``delay_s`` before the terminal event — exercises
+    client deadlines and straggler behavior;
+``daemon_kill``
+    the daemon SIGKILLs itself as it starts executing a job — the
+    hardest fault the fabric must survive: clients see a dead peer,
+    the write-ahead journal sees an orphaned job, and the fabric
+    router must re-route the shard. **Never arm this in-process** (it
+    kills the whole interpreter); it is meant for subprocess daemons.
 
 Determinism: whether a fault fires for a given token is a pure function
 of ``(seed, kind, token)`` via :func:`stable_fingerprint` — no RNG state,
@@ -71,6 +91,12 @@ class ChaosSpec:
     torn_write: float = 0.0
     hang_s: float = 3600.0
     torn_style: str = "partial"   # 'partial' line or 'afterwrite' kill
+    # network-layer faults (serve fabric)
+    connect_refuse: float = 0.0
+    stream_cut: float = 0.0
+    reply_delay: float = 0.0
+    delay_s: float = 0.05
+    daemon_kill: float = 0.0
     only: tuple[str, ...] = field(default_factory=tuple)
 
     def to_env(self) -> str:
@@ -153,6 +179,38 @@ class ChaosMonkey:
             fh.write(line[: max(1, len(line) // 2)])
             fh.flush()
         os._exit(TORN_EXIT)
+
+    # ---- network-layer injection (serve fabric) -------------------------
+
+    def injure_connect(self, token: str) -> None:
+        """Called from :meth:`repro.serve.client.ServeClient` before a
+        connect attempt; raises the same error a dead peer produces."""
+        if self.should_fire("connect_refuse", self.spec.connect_refuse,
+                            token):
+            raise ConnectionRefusedError(
+                f"chaos: connection refused ({token})")
+
+    def cut_stream(self, token: str) -> bool:
+        """Called from the daemon after streaming ``accepted``; True
+        tells the handler to drop the connection without a terminal
+        event (the client sees a truncated stream)."""
+        return self.should_fire("stream_cut", self.spec.stream_cut, token)
+
+    def delay_reply(self, token: str) -> None:
+        """Called from the daemon before the terminal event; sleeps
+        ``delay_s`` when the fault fires."""
+        if self.should_fire("reply_delay", self.spec.reply_delay, token):
+            time.sleep(self.spec.delay_s)
+
+    def injure_daemon(self, token: str) -> None:
+        """Called from the daemon as a job starts executing; SIGKILLs the
+        whole daemon process when the fault fires — the crash the
+        write-ahead journal and fabric failover exist for. Only arm in
+        subprocess daemons."""
+        if self.should_fire("daemon_kill", self.spec.daemon_kill, token):
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 _cache: dict[str, ChaosMonkey | None] = {}

@@ -85,6 +85,13 @@ class ShardSpec:
                 f"bad --shard {text!r}: want K/N (e.g. 2/8)", code="RPR-W011")
         return cls(int(m.group(1)), int(m.group(2)))
 
+    @classmethod
+    def partition(cls, total: int) -> list["ShardSpec"]:
+        """All ``total`` slices of a K/N split, in order — together they
+        cover every point exactly once (the fabric router assigns one
+        slice per serve peer)."""
+        return [cls(k, total) for k in range(1, total + 1)]
+
     def contains(self, token: object) -> bool:
         """Does the point with this stable token land in this shard?"""
         return stable_fingerprint("shard", token) % self.total == \

@@ -13,8 +13,10 @@ Rejection is immediate and explicit — a structured ``rejected`` event
 with an RPR-V code — rather than unbounded queueing; the client's retry
 policy (:mod:`repro.lab.retry` classifies capacity rejections as
 transient) decides what to do next. ``start_drain`` flips the controller
-into shutdown mode: everything new is refused with RPR-V004 while
-already-admitted work runs to completion.
+into shutdown mode: new *work* is refused with RPR-V004 while
+already-admitted work runs to completion — but coalescing followers
+(``rider=True``) are still admitted, because riding a flight that was
+admitted before the drain costs nothing and ends with the flight.
 """
 
 from __future__ import annotations
@@ -81,10 +83,17 @@ class AdmissionController:
 
     # -- per-client slots (every request) -------------------------------------
 
-    def acquire_client(self, client: str) -> None:
-        """Charge one per-client slot; raises RPR-V003/RPR-V004."""
+    def acquire_client(self, client: str, rider: bool = False) -> None:
+        """Charge one per-client slot; raises RPR-V003/RPR-V004.
+
+        ``rider=True`` marks a request that would ride an existing
+        in-flight execution (a coalescing follower): riders cost the
+        daemon nothing but a waiting connection, so they are still
+        admitted during drain — the leader they follow was admitted
+        before the drain began and will resolve their flight.
+        """
         with self._lock:
-            if self._draining:
+            if self._draining and not rider:
                 self.stats.rejected_draining += 1
                 raise ServeError(
                     "daemon is draining; not accepting new jobs",

@@ -153,6 +153,36 @@ class Coalescer:
             if self._flights.get(flight.key) is flight:
                 del self._flights[flight.key]
 
+    def flight_info(self, key: str) -> tuple[bool, int]:
+        """The ``lookup`` verb's answer for ``key``: is a flight live
+        right now, and how many followers ride it (leader excluded)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None or flight.done:
+                return False, 0
+            return True, flight.waiters
+
+    def abort_all(self, value=None,
+                  error: BaseException | None = None) -> int:
+        """Drain-time last rites: resolve (or reject) every still-open
+        flight so no follower is left waiting on a leader that will
+        never report. Returns the number of flights aborted."""
+        with self._lock:
+            flights = [f for f in self._flights.values() if not f.done]
+        aborted = 0
+        for flight in flights:
+            if error is not None:
+                first = flight.reject(error)
+            else:
+                first = flight.resolve(value)
+            if first:
+                aborted += 1
+        with self._lock:
+            for flight in flights:
+                if self._flights.get(flight.key) is flight:
+                    del self._flights[flight.key]
+        return aborted
+
     @property
     def inflight(self) -> int:
         with self._lock:

@@ -1,0 +1,281 @@
+"""The fabric router: one campaign, N daemons, any one allowed to die.
+
+This is the client-side half of the multi-node serve fabric. Given a set
+of peer daemons (all sharing one ``--store`` root on a common
+filesystem), the router:
+
+1. **Shards** the job space with :meth:`repro.lab.shard.ShardSpec.partition`
+   — the same deterministic point-fingerprint partitioning CI matrix legs
+   use, so shard membership depends only on content, never on which peer
+   runs it;
+2. **Submits** one shard per routable peer, concurrently, each as an
+   ordinary submit with a ``shard: "K/N"`` param (the daemon's drivers
+   journal into ``<base>.sKofN`` run directories);
+3. **Re-routes** on failure: a transient outcome (dead peer RPR-V006,
+   truncated stream RPR-V007, capacity/drain rejection RPR-V002/V004,
+   timeout) moves the *same* shard spec to the next surviving peer in
+   deterministic cyclic order, after a deterministic
+   :class:`repro.lab.retry.RetryPolicy` backoff. Nothing is recomputed:
+   the failed peer already journaled its completed points into the
+   shard's run directory, and the survivor's driver resumes past them
+   (torn tails from a SIGKILL heal on first append). A *permanent*
+   failure (the job itself is broken) fails the shard immediately —
+   re-routing deterministic failures would just fail N times;
+4. **Merges** the per-shard run directories with
+   :func:`repro.lab.shard.merge_runs` into the canonical run, which is
+   byte-identical to a clean unsharded (or 1-node) run of the same spec —
+   the invariant the chaos suite asserts across daemon SIGKILLs.
+
+Retry/backoff and transience classification come from
+:mod:`repro.lab.retry` — the fabric adds routing on top, never a second
+retry implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.lab.retry import (
+    TRANSIENT_CODES,
+    RetryPolicy,
+    is_transient_exception,
+)
+from repro.lab.shard import ShardSpec, base_run_id, merge_runs
+from repro.serve.peers import PeerRegistry
+
+__all__ = ["FabricResult", "FabricRouter", "ShardOutcome"]
+
+#: default ceiling on re-routes per shard (beyond the first attempt)
+MAX_REROUTES = 4
+
+
+def _default_client_factory(address: str):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(address, client_id="fabric-router")
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's journey through the fabric."""
+
+    shard: str                       # "K/N"
+    status: str = "pending"          # ok | failed | timeout | rejected | lost
+    peer: str | None = None          # who finally produced the outcome
+    record: dict | None = None
+    diagnostics: list = field(default_factory=list)
+    #: every (peer, what-happened) hop, in order — the failover audit trail
+    attempts: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def rerouted(self) -> bool:
+        return len(self.attempts) > 1
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "status": self.status,
+            "peer": self.peer,
+            "attempts": list(self.attempts),
+            "rerouted": self.rerouted,
+        }
+
+
+@dataclass
+class FabricResult:
+    """A sharded, failover-capable run: per-shard outcomes plus the
+    canonical merge."""
+
+    kind: str
+    shards: list[ShardOutcome]
+    base_run_id: str | None = None
+    merge: object | None = None      # MergeResult when every shard landed
+    peers: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.shards) and all(s.ok for s in self.shards)
+
+    @property
+    def rerouted_shards(self) -> int:
+        return sum(1 for s in self.shards if s.rerouted)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ok": self.ok,
+            "base_run_id": self.base_run_id,
+            "merged_dir": str(self.merge.run.dir) if self.merge else None,
+            "merged_records": len(self.merge.records) if self.merge else 0,
+            "rerouted_shards": self.rerouted_shards,
+            "shards": [s.as_dict() for s in self.shards],
+            "peers": self.peers,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class FabricRouter:
+    """Routes one sharded job across a :class:`PeerRegistry`.
+
+    ``client_factory(address)`` is injectable for tests; ``retry``
+    supplies the *backoff schedule* for re-route attempts (transience
+    classification is :func:`repro.lab.retry.is_transient_exception` and
+    :data:`TRANSIENT_CODES` — shared with every other layer).
+    """
+
+    def __init__(self, registry: PeerRegistry, store_root: str,
+                 client_factory=None, retry: RetryPolicy | None = None,
+                 max_reroutes: int = MAX_REROUTES,
+                 timeout: float | None = None, progress=None) -> None:
+        self.registry = registry
+        self.store_root = store_root
+        self.client_factory = client_factory or _default_client_factory
+        self.retry = retry or RetryPolicy(
+            max_attempts=max(1, max_reroutes + 1),
+            base_delay=0.1, max_delay=5.0, breaker=None)
+        self.max_reroutes = max_reroutes
+        self.timeout = timeout
+        self.progress = progress
+        self._lock = threading.Lock()
+        self._run_ids: list[str] = []
+
+    def _say(self, msg: str) -> None:
+        if self.progress:
+            print(f"[fabric] {msg}", file=self.progress, flush=True)
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self, kind: str, params: dict,
+            shards: int | None = None) -> FabricResult:
+        """Shard ``params`` over the routable peers, submit, re-route,
+        merge. ``shards`` defaults to the number of routable peers."""
+        t0 = time.monotonic()
+        peers = self.registry.routable()
+        if not peers:
+            raise ServeError(
+                "no routable peers in the fabric (all down?)",
+                code="RPR-V006")
+        total = shards or len(peers)
+        specs = ShardSpec.partition(total)
+        self._say(f"{kind}: {total} shard(s) over {len(peers)} peer(s) "
+                  f"{peers}")
+        outcomes = [ShardOutcome(shard=f"{s.index}/{s.total}")
+                    for s in specs]
+        threads = []
+        for i, spec in enumerate(specs):
+            # deterministic initial assignment: shard k -> k-th routable
+            # peer (wrapping); failover walks the sorted order from there
+            home = peers[i % len(peers)]
+            t = threading.Thread(
+                target=self._run_shard,
+                args=(kind, params, spec, home, outcomes[i]),
+                name=f"fabric-shard-{spec.label}", daemon=True)
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+
+        result = FabricResult(kind=kind, shards=outcomes,
+                              peers=self.registry.snapshot())
+        with self._lock:
+            run_ids = list(self._run_ids)
+        if run_ids:
+            result.base_run_id = base_run_id(run_ids[0])
+        if result.ok and result.base_run_id:
+            result.merge = merge_runs(self.store_root, result.base_run_id,
+                                      progress=self.progress or None)
+            self._say(f"merged -> {result.merge.run.dir}")
+        result.elapsed_s = time.monotonic() - t0
+        return result
+
+    def _run_shard(self, kind: str, params: dict, spec: ShardSpec,
+                   home: str, out: ShardOutcome) -> None:
+        """Drive one shard to a terminal outcome, re-routing across
+        surviving peers on transient failures."""
+        shard_text = f"{spec.index}/{spec.total}"
+        job_params = dict(params)
+        job_params["shard"] = shard_text
+        peer = home
+        for attempt in range(1, self.max_reroutes + 2):
+            if peer is None:
+                out.status = "lost"
+                out.attempts.append(
+                    {"peer": None, "outcome": "no-routable-peer"})
+                self._say(f"shard {shard_text}: no surviving peer left")
+                return
+            if attempt > 1:
+                # deterministic backoff before hammering the survivor
+                time.sleep(self.retry.delay(
+                    attempt, f"{spec.label}@{peer}"))
+            hop = {"peer": peer, "outcome": "?"}
+            out.attempts.append(hop)
+            try:
+                reply = self.client_factory(peer).submit(
+                    kind, job_params, timeout=self.timeout)
+            except ServeError as exc:
+                self.registry.record_failure(peer, exc)
+                hop["outcome"] = f"error:{exc.code}"
+                if not is_transient_exception(exc):
+                    out.status = "failed"
+                    out.peer = peer
+                    out.diagnostics = [{"code": exc.code,
+                                        "message": exc.message}]
+                    return
+                self._say(f"shard {shard_text}: {peer} failed "
+                          f"({exc.code}); re-routing")
+                peer = self.registry.survivor_after(peer)
+                continue
+
+            terminal = reply.terminal
+            event = terminal.get("event")
+            if event == "result" and terminal.get("status") == "ok":
+                self.registry.record_success(peer)
+                out.status = "ok"
+                out.peer = peer
+                out.record = terminal.get("record")
+                hop["outcome"] = "ok"
+                rid = (out.record or {}).get("run_id")
+                if rid:
+                    with self._lock:
+                        self._run_ids.append(rid)
+                return
+
+            # a non-ok terminal: decide re-route vs final failure
+            code = terminal.get("code")
+            status = terminal.get("status", event)
+            transient = bool(terminal.get("transient")) or \
+                (code in TRANSIENT_CODES) or status == "timeout"
+            hop["outcome"] = f"{status}:{code or '-'}"
+            if transient:
+                # the peer answered, so it is not dead — but it cannot
+                # take this work (draining, at capacity, timing out);
+                # treat like a soft failure for routing purposes
+                self.registry.record_failure(
+                    peer, f"{status} ({code or 'transient'})")
+                self._say(f"shard {shard_text}: {peer} answered "
+                          f"{status}; re-routing")
+                peer = self.registry.survivor_after(peer)
+                continue
+            self.registry.record_success(peer)
+            out.status = "rejected" if event == "rejected" else str(status)
+            out.peer = peer
+            out.diagnostics = list(terminal.get("diagnostics", ()))
+            return
+        out.status = out.status if out.status != "pending" else "lost"
+        self._say(f"shard {shard_text}: re-route budget exhausted")
+
+    # -- observability --------------------------------------------------------
+
+    def status(self) -> dict:
+        """Ping every peer once and return the fabric's health view
+        (the ``repro fabric status`` payload)."""
+        self.registry.sweep()
+        return self.registry.snapshot()

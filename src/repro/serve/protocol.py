@@ -11,10 +11,19 @@ handler thread per request) and makes every client — shell scripts with
 Requests (``op`` field)::
 
     {"op": "submit", "job": {"kind": "synth", "params": {...}},
-     "client": "bench-3", "timeout": 120.0}
+     "client": "bench-3", "timeout": 120.0, "relay": false}
+    {"op": "lookup", "fingerprint": "..."}
     {"op": "stats"}
     {"op": "ping"}
     {"op": "shutdown"}
+
+``relay`` marks a submit a *peer daemon* forwarded on behalf of its own
+client (cross-node coalescing); a relayed job is never forwarded again,
+so hints cannot loop between peers. ``lookup`` is the fingerprint-keyed
+peer-hint verb: it answers whether this daemon has the job in flight
+right now (``inflight`` + follower count) or already completed/cached
+(``known``) — a peer daemon consults it before leading a duplicate
+flight.
 
 Events (``event`` field)::
 
@@ -54,6 +63,8 @@ __all__ = [
     "difftest_summary",
     "encode",
     "error_event",
+    "lookup_event",
+    "lookup_request",
     "parse_request",
     "rejected_event",
     "result_event",
@@ -67,11 +78,11 @@ PROTOCOL_VERSION = 1
 #: admission/timeout tests (it holds a worker slot and does nothing else)
 JOB_KINDS = ("synth", "sweep", "campaign", "difftest", "sleep")
 
-OPS = ("submit", "stats", "ping", "shutdown")
+OPS = ("submit", "lookup", "stats", "ping", "shutdown")
 
 #: events that end a request's stream (the server closes after one)
 TERMINAL_EVENTS = ("result", "rejected", "error", "stats", "pong",
-                   "shutdown")
+                   "shutdown", "lookup")
 
 #: record fields that legitimately differ between a fresh synthesis, a
 #: cache hit and a coalesced reply for the *same* design point — strip
@@ -111,13 +122,24 @@ def decode_line(line: str | bytes) -> dict:
 
 
 def submit_request(kind: str, params: dict, client: str | None = None,
-                   timeout: float | None = None) -> dict:
+                   timeout: float | None = None,
+                   relay: bool = False) -> dict:
     """Build a submit request (the client module's one constructor)."""
     req = {"op": "submit", "job": {"kind": kind, "params": dict(params)}}
     if client is not None:
         req["client"] = client
     if timeout is not None:
         req["timeout"] = float(timeout)
+    if relay:
+        req["relay"] = True
+    return req
+
+
+def lookup_request(fingerprint: str, client: str | None = None) -> dict:
+    """Build a fingerprint-keyed peer-hint lookup."""
+    req = {"op": "lookup", "fingerprint": str(fingerprint)}
+    if client is not None:
+        req["client"] = client
     return req
 
 
@@ -131,7 +153,8 @@ def parse_request(msg: dict) -> dict:
     if op not in OPS:
         raise ServeError(
             f"unknown op {op!r}; have {', '.join(OPS)}", code="RPR-V001")
-    out = {"op": op, "client": str(msg.get("client") or "anon")}
+    out = {"op": op, "client": str(msg.get("client") or "anon"),
+           "relay": bool(msg.get("relay"))}
     timeout = msg.get("timeout")
     if timeout is not None:
         try:
@@ -157,6 +180,12 @@ def parse_request(msg: dict) -> dict:
             raise ServeError("job params must be an object",
                              code="RPR-V001")
         out["job"] = {"kind": kind, "params": params}
+    if op == "lookup":
+        fingerprint = msg.get("fingerprint")
+        if not fingerprint or not isinstance(fingerprint, str):
+            raise ServeError("lookup needs a fingerprint string",
+                             code="RPR-V001")
+        out["fingerprint"] = fingerprint
     return out
 
 
@@ -195,6 +224,16 @@ def result_event(
         ev["diagnostics"] = diagnostic_records(diagnostics or [])
         ev["transient"] = bool(transient)
     return ev
+
+
+def lookup_event(fingerprint: str, inflight: bool, waiters: int,
+                 known: bool) -> dict:
+    """The peer-hint answer: is ``fingerprint`` in flight here right now
+    (``inflight``, with the follower count), or already completed /
+    cached on this node (``known``)?"""
+    return _event("lookup", fingerprint=fingerprint,
+                  inflight=bool(inflight), waiters=int(waiters),
+                  known=bool(known))
 
 
 def rejected_event(code: str, message: str, **extra) -> dict:
@@ -248,6 +287,7 @@ def campaign_summary(result) -> dict:
         "kind": "campaign",
         "app": result.app,
         "seed": result.seed,
+        "run_id": result.run_id,
         "levels": list(result.levels),
         "ok": not result.harness_errors,
         "scenarios": [{"name": sc.name, "description": sc.description}

@@ -21,8 +21,23 @@ The submit path, end to end::
 
 Shutdown is drain-first: SIGTERM (via :meth:`ReproServer.request_shutdown`,
 which is signal-safe) flips admission into draining, closes the listener,
-lets in-flight work finish up to ``drain_timeout`` seconds, then tears the
-pool down and reports whether the drain was clean.
+lets in-flight work finish up to ``drain_timeout`` seconds, aborts any
+still-open flight with a transient RPR-V004 failure (so every waiting
+follower receives a terminal event), then tears the pool down and reports
+whether the drain was clean.
+
+Two fabric-facing layers ride on top (see :mod:`repro.serve.fabric`):
+
+* every accepted job is logged to a crash-recoverable **write-ahead
+  journal** (:mod:`repro.serve.journal`) before execution, so a SIGKILL
+  between acceptance and completion surfaces as an *orphaned job* in the
+  restarted daemon's ``/stats`` instead of vanishing;
+* with ``--peers`` configured, a :class:`~repro.serve.peers.PeerRegistry`
+  plus health checker tracks the other daemons, the ``lookup`` verb
+  answers their coalescing hints, and a would-be leader first asks the
+  fabric whether a peer is already flying the same fingerprint — if so
+  it relays the submit and follows remotely rather than duplicating the
+  computation.
 """
 
 from __future__ import annotations
@@ -38,12 +53,15 @@ from repro.diagnostics.bridge import diagnostics_from_exception
 from repro.diagnostics.core import Diagnostic
 from repro.errors import ReproError, ServeError
 from repro.lab.cache import SynthesisCache
+from repro.lab.chaos import active_chaos
 from repro.lab.executor import ExecStats, PointOutcome
 from repro.lab.retry import is_transient
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import Coalescer
 from repro.serve.jobs import JobContext, job_fingerprint, parse_job, run_job
+from repro.serve.journal import JobJournal
+from repro.serve.peers import HealthChecker, PeerRegistry
 from repro.simc.codecache import memo_stats
 
 __all__ = ["JobResult", "ReproServer", "ServeConfig"]
@@ -70,6 +88,14 @@ class ServeConfig:
     #: default per-job timeout (seconds); a request's own timeout wins
     job_timeout: float | None = None
     drain_timeout: float = 30.0
+    #: stable daemon name — keys the write-ahead job journal across
+    #: restarts; defaults to host-port once the listener is bound
+    name: str = ""
+    #: peer daemon addresses ("host:port") forming the serve fabric;
+    #: enables the health checker and cross-node coalescing hints
+    peers: tuple[str, ...] = ()
+    #: seconds between peer health sweeps
+    health_interval: float = 1.0
 
 
 @dataclass
@@ -140,6 +166,21 @@ class ReproServer:
         self._listener.settimeout(0.2)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
 
+        #: stable identity for the write-ahead journal (and peer logs)
+        self.name = cfg.name or f"{self.address[0]}-{self.address[1]}"
+        self.journal = JobJournal(cfg.store_root, self.name)
+        #: fabric layer: peer health + cross-node coalescing hints
+        self.registry: PeerRegistry | None = None
+        self.health: HealthChecker | None = None
+        if cfg.peers:
+            self.registry = PeerRegistry(cfg.peers)
+            self.health = HealthChecker(self.registry,
+                                        interval_s=cfg.health_interval)
+        self._fabric = {
+            "lookups_answered": 0, "peer_lookups": 0,
+            "remote_followed": 0, "remote_fallback": 0, "relayed_in": 0,
+        }
+
     # -- lifecycle ------------------------------------------------------------
 
     def request_shutdown(self) -> None:
@@ -150,6 +191,8 @@ class ReproServer:
     def serve_forever(self) -> dict:
         """Accept until :meth:`request_shutdown`, then drain; returns the
         shutdown report (``{"drained": bool, ...}``)."""
+        if self.health is not None:
+            self.health.start()
         try:
             while not self._stop.is_set():
                 try:
@@ -173,6 +216,8 @@ class ReproServer:
     def _drain(self) -> dict:
         """Stop accepting, let in-flight jobs finish, tear down."""
         self.admission.start_drain()
+        if self.health is not None:
+            self.health.stop()
         try:
             self._listener.close()
         except OSError:
@@ -187,12 +232,22 @@ class ReproServer:
         with self._lock:
             abandoned = self._active_jobs
             threads = list(self._conn_threads)
+        # last rites: any flight still open (a leader that will never
+        # report, or a job the drain deadline abandoned) is resolved with
+        # a transient RPR-V004 failure so every waiting follower receives
+        # a terminal event instead of hanging on a dead daemon
+        aborted = self.coalescer.abort_all(JobResult(
+            status="failed",
+            diagnostics=diagnostics_from_exception(ServeError(
+                "job abandoned by daemon shutdown", code="RPR-V004")),
+            transient=True))
         self.pool.shutdown(wait=abandoned == 0, cancel_futures=True)
         for t in threads:
             t.join(timeout=1.0)
         return {
             "drained": abandoned == 0,
             "abandoned_jobs": abandoned,
+            "aborted_flights": aborted,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "jobs": self.job_counters(),
         }
@@ -237,6 +292,14 @@ class ReproServer:
                                 "draining": self.admission.draining})
         elif op == "stats":
             self._send(stream, self.stats())
+        elif op == "lookup":
+            fingerprint = request["fingerprint"]
+            inflight, waiters = self.coalescer.flight_info(fingerprint)
+            with self._lock:
+                self._fabric["lookups_answered"] += 1
+            self._send(stream, protocol.lookup_event(
+                fingerprint, inflight=inflight, waiters=waiters,
+                known=self.journal.known(fingerprint)))
         elif op == "shutdown":
             self._send(stream, {"schema": protocol.PROTOCOL_VERSION,
                                 "event": "shutdown"})
@@ -259,8 +322,15 @@ class ReproServer:
             self._send(stream, protocol.error_event(exc.code, exc.message))
             return
 
+        if request.get("relay"):
+            with self._lock:
+                self._fabric["relayed_in"] += 1
+
         try:
-            self.admission.acquire_client(client)
+            # a request that can ride an existing flight is a "rider":
+            # admitted even during drain (its leader predates the drain)
+            self.admission.acquire_client(
+                client, rider=self.coalescer.flight_info(fingerprint)[0])
         except ServeError as exc:
             with self._lock:
                 self._counters["rejected"] += 1
@@ -291,7 +361,10 @@ class ReproServer:
 
             t0 = time.monotonic()
             if is_leader:
-                result = self._lead(spec, fingerprint, flight, timeout)
+                result = self._lead(spec, fingerprint, flight, timeout,
+                                    job_id=job_id,
+                                    relay=bool(request.get("relay")),
+                                    client=client)
             else:
                 result = self._follow(fingerprint, flight, timeout, t0)
             with self._lock:
@@ -299,6 +372,11 @@ class ReproServer:
                     "completed" if result.status == "ok"
                     else result.status if result.status in self._counters
                     else "failed"] += 1
+            chaos = active_chaos()
+            if chaos is not None:
+                if chaos.cut_stream(f"serve-stream:{fingerprint}"):
+                    return  # handler exits; client sees a truncated stream
+                chaos.delay_reply(f"serve-reply:{fingerprint}")
             self._send(stream, protocol.result_event(
                 job_id, spec.kind, result.status, record=result.record,
                 diagnostics=result.diagnostics, transient=result.transient,
@@ -307,13 +385,40 @@ class ReproServer:
             self.admission.release_client(client)
 
     def _lead(self, spec, fingerprint: str, flight,
-              timeout: float | None) -> JobResult:
-        """Run the job on the pool, publish its outcome to the flight."""
+              timeout: float | None, job_id: str = "j0",
+              relay: bool = False, client: str = "anon") -> JobResult:
+        """Run the job (locally or by following a peer's in-flight
+        execution), publish its outcome to the flight.
+
+        The accepted record hits the write-ahead journal *before* any
+        execution: if the daemon dies past this point, the next epoch
+        reports the job as orphaned instead of forgetting it.
+        """
+        self.journal.accepted(job_id, fingerprint, spec.kind, client)
+        result = self._lead_inner(spec, fingerprint, flight, timeout,
+                                  relay)
+        self.journal.done(job_id, fingerprint, result.status)
+        return result
+
+    def _lead_inner(self, spec, fingerprint: str, flight,
+                    timeout: float | None, relay: bool) -> JobResult:
+        # cross-node coalescing: before spending a local worker, ask the
+        # fabric whether a peer is already flying this fingerprint — if
+        # so, follow remotely (relay) instead of duplicating the work.
+        # The leader keeps its global slot while waiting, exactly as a
+        # local execution would.
+        if self.registry is not None and not relay:
+            result = self._remote_follow(spec, fingerprint, timeout)
+            if result is not None:
+                self.admission.release_global()
+                self.coalescer.complete(flight, result)
+                return result
+
         with self._lock:
             self._active_jobs += 1
         t0 = time.monotonic()
         try:
-            future = self.pool.submit(self._execute, spec, t0)
+            future = self.pool.submit(self._execute, spec, fingerprint, t0)
         except RuntimeError as exc:  # pool torn down mid-submit
             with self._lock:
                 self._active_jobs -= 1
@@ -349,6 +454,50 @@ class ReproServer:
         self.coalescer.complete(flight, result)
         return result
 
+    def _remote_follow(self, spec, fingerprint: str,
+                       timeout: float | None) -> JobResult | None:
+        """Ask healthy peers whether ``fingerprint`` is in flight there;
+        if one says yes, relay the submit and ride its execution. None
+        means "no peer hint (or the follow failed) — run it locally"."""
+        from repro.serve.client import ServeClient
+
+        found_hint = False
+        for peer in self.registry.routable():
+            with self._lock:
+                self._fabric["peer_lookups"] += 1
+            peer_client = ServeClient(peer, client_id=f"peer:{self.name}",
+                                      connect_attempts=1)
+            try:
+                hint = peer_client.lookup(fingerprint, timeout=2.0)
+            except (ReproError, OSError) as exc:
+                self.registry.record_failure(peer, exc)
+                continue
+            self.registry.record_success(peer)
+            if not hint.get("inflight"):
+                continue
+            found_hint = True
+            try:
+                reply = peer_client.submit(spec.kind, dict(spec.params),
+                                           timeout=timeout, relay=True)
+            except (ReproError, OSError) as exc:
+                self.registry.record_failure(peer, exc)
+                break  # the flight we meant to ride died; run locally
+            terminal = reply.terminal
+            if terminal.get("event") != "result":
+                break  # rejected/error over there; run locally
+            with self._lock:
+                self._fabric["remote_followed"] += 1
+            return JobResult(
+                status=terminal.get("status", "failed"),
+                record=terminal.get("record"),
+                diagnostics=list(terminal.get("diagnostics", ())),
+                transient=bool(terminal.get("transient")),
+                elapsed_s=float(terminal.get("elapsed_s", 0.0)))
+        if found_hint:
+            with self._lock:
+                self._fabric["remote_fallback"] += 1
+        return None
+
     def _follow(self, fingerprint: str, flight, timeout: float | None,
                 t0: float) -> JobResult:
         """Wait out the leader; the result is shared verbatim except for
@@ -363,9 +512,14 @@ class ReproServer:
             diagnostics=result.diagnostics, transient=result.transient,
             elapsed_s=round(time.monotonic() - t0, 4))
 
-    def _execute(self, spec, t0: float) -> JobResult:
+    def _execute(self, spec, fingerprint: str, t0: float) -> JobResult:
         """Worker-thread body: run the job, classify any failure."""
         try:
+            chaos = active_chaos()
+            if chaos is not None:
+                # the hardest fault in the chaos menu: SIGKILL the whole
+                # daemon as execution starts (subprocess daemons only)
+                chaos.injure_daemon(f"serve-exec:{fingerprint}")
             record = run_job(spec, self.context)
         except BaseException as exc:  # noqa: BLE001 - classified below
             diags = diagnostics_from_exception(exc)
@@ -406,15 +560,21 @@ class ReproServer:
         cfg = self.config
         with self._lock:
             exec_block = self.exec_stats.as_dict()
+            fabric_block = dict(self._fabric)
         return {
             "schema": protocol.PROTOCOL_VERSION,
             "event": "stats",
             "address": list(self.address),
+            "name": self.name,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "draining": self.admission.draining,
             "jobs": self.job_counters(),
             "coalesce": self.coalescer.snapshot(),
             "admission": self.admission.snapshot(),
+            "journal": self.journal.snapshot(),
+            "fabric": fabric_block,
+            "peers": (self.registry.snapshot()
+                      if self.registry is not None else None),
             "cache": self.cache.stats.as_dict(),
             "executor": exec_block,
             "codecache": memo_stats.as_dict(),
@@ -427,5 +587,7 @@ class ReproServer:
                 "store_root": cfg.store_root,
                 "job_timeout": cfg.job_timeout,
                 "drain_timeout": cfg.drain_timeout,
+                "name": self.name,
+                "peers": list(cfg.peers),
             },
         }

@@ -50,6 +50,7 @@ def test_parse_request_normalizes_submit():
     req = protocol.parse_request(protocol.submit_request(
         "synth", {"level": "none"}, client="c1", timeout=5))
     assert req == {"op": "submit", "client": "c1", "timeout": 5.0,
+                   "relay": False,
                    "job": {"kind": "synth", "params": {"level": "none"}}}
 
 

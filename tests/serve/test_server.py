@@ -351,3 +351,117 @@ def test_cli_daemon_sigterm_drains_cleanly(tmp_path):
         if proc.poll() is None:
             proc.kill()
             proc.communicate(timeout=10)
+
+
+# ---- drain with coalesced followers -----------------------------------------
+
+
+def _submit_async(srv, name, params):
+    return ThreadPoolExecutor(1).submit(
+        lambda: ServeClient(srv.address, client_id=name).submit(
+            "sleep", params, timeout=30))
+
+
+def _sleep_fingerprint(params):
+    from repro.serve.jobs import JobSpec, job_fingerprint
+
+    return job_fingerprint(JobSpec(kind="sleep", params=params))
+
+
+def _wait_for(predicate, what, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+def test_drain_delivers_results_to_waiting_followers(tmp_path):
+    """SIGTERM with riders on board: a drain must hold the connection
+    open until the leader finishes, so every coalesced follower receives
+    its terminal event over the wire — never a silent hangup."""
+    srv = ReproServer(ServeConfig(
+        max_inflight=2, cache_root=str(tmp_path / "cache"),
+        store_root=str(tmp_path / "runs"), drain_timeout=10.0))
+    report = {}
+    thread = threading.Thread(
+        target=lambda: report.update(srv.serve_forever()), daemon=True)
+    thread.start()
+
+    params = {"seconds": 1.2, "token": "drain-followers"}
+    fp = _sleep_fingerprint(params)
+    leader = _submit_async(srv, "lead", params)
+    _wait_for(lambda: srv.coalescer.flight_info(fp)[0], "leader flight")
+    followers = [_submit_async(srv, f"f{i}", params) for i in range(2)]
+    _wait_for(lambda: srv.coalescer.flight_info(fp)[1] == 2, "followers")
+
+    srv.request_shutdown()
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+    assert report["drained"] is True
+    assert report["aborted_flights"] == 0  # nobody needed last rites
+
+    for fut in [leader, *followers]:
+        reply = fut.result(timeout=10)
+        assert reply.ok
+        assert reply.terminal["event"] == "result"
+    # exactly one execution happened for all three clients
+    assert srv.job_counters()["coalesced"] == 2
+
+
+def test_abandoned_drain_aborts_followers_with_terminal_failure(tmp_path):
+    """When the drain deadline abandons a job, waiting followers must
+    still get a terminal event — a transient RPR-V004 failure they can
+    re-route — instead of hanging on a dead daemon."""
+    srv = ReproServer(ServeConfig(
+        max_inflight=2, cache_root=str(tmp_path / "cache"),
+        store_root=str(tmp_path / "runs"), drain_timeout=0.3))
+    report = {}
+    thread = threading.Thread(
+        target=lambda: report.update(srv.serve_forever()), daemon=True)
+    thread.start()
+
+    params = {"seconds": 3.0, "token": "abandoned"}
+    fp = _sleep_fingerprint(params)
+    leader = _submit_async(srv, "lead", params)
+    _wait_for(lambda: srv.coalescer.flight_info(fp)[0], "leader flight")
+    follower = _submit_async(srv, "follower", params)
+    _wait_for(lambda: srv.coalescer.flight_info(fp)[1] == 1, "follower")
+
+    srv.request_shutdown()
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+    assert report["drained"] is False
+    assert report["abandoned_jobs"] == 1
+    assert report["aborted_flights"] >= 1
+
+    reply = follower.result(timeout=10)
+    term = reply.terminal
+    assert term["event"] == "result" and term["status"] == "failed"
+    assert term["transient"] is True
+    assert any(d["code"] == "RPR-V004" for d in term["diagnostics"])
+    # the leader's worker finishes anyway; its client gets the real result
+    assert leader.result(timeout=15).ok
+
+
+def test_riders_join_during_drain_but_new_work_is_rejected(server):
+    """The accept/drain race window: a request for an already-flying
+    fingerprint is a rider (its leader predates the drain) and is
+    admitted; genuinely new work is refused with RPR-V004."""
+    params = {"seconds": 1.0, "token": "rider"}
+    fp = _sleep_fingerprint(params)
+    leader = _submit_async(server, "lead", params)
+    _wait_for(lambda: server.coalescer.flight_info(fp)[0], "leader flight")
+
+    server.admission.start_drain()
+    rider = client_for(server, "rider").submit("sleep", params, timeout=30)
+    assert rider.ok and rider.coalesced
+
+    fresh = client_for(server, "fresh").submit(
+        "sleep", {"seconds": 0.1, "token": "new-work"}, timeout=30)
+    assert fresh.rejected
+    assert fresh.terminal["code"] == "RPR-V004"
+    assert leader.result(timeout=10).ok

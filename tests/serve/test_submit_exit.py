@@ -1,0 +1,67 @@
+"""``repro submit`` exit codes: one per terminal outcome, so scripts
+and CI can branch on *why* a job did not succeed without parsing
+output."""
+
+import threading
+
+import pytest
+
+from repro.cli import SUBMIT_EXIT, main
+from repro.serve.server import ReproServer, ServeConfig
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(ServeConfig(
+        max_inflight=2, cache_root=str(tmp_path / "cache"),
+        store_root=str(tmp_path / "runs"), drain_timeout=10.0))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.request_shutdown()
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+
+
+def _addr(srv):
+    return f"{srv.address[0]}:{srv.address[1]}"
+
+
+def test_exit_map_covers_every_terminal_outcome():
+    assert SUBMIT_EXIT == {"ok": 0, "failed": 1, "timeout": 2,
+                           "rejected": 3, "error": 4}
+
+
+def test_ok_exits_zero(server, capsys):
+    rc = main(["submit", "--address", _addr(server),
+               "synth", "--app", "loopback:3", "--level", "none"])
+    assert rc == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_failed_job_exits_one(server, capsys):
+    # the campaign fingerprint is a params hash, so the bad target is
+    # only discovered at run time -> a failed result, not a refusal
+    rc = main(["submit", "--address", _addr(server),
+               "campaign", "--app", "no-such-target", "--count", "2"])
+    assert rc == 1
+
+
+def test_timeout_exits_two(server, capsys):
+    rc = main(["submit", "--address", _addr(server),
+               "--timeout", "0.001", "synth", "--app", "loopback:5"])
+    assert rc == 2
+
+
+def test_rejected_exits_three(server, capsys):
+    server.admission.start_drain()
+    rc = main(["submit", "--address", _addr(server),
+               "synth", "--app", "loopback:3"])
+    assert rc == 3
+
+
+def test_refused_job_exits_four(server, capsys):
+    # an empty apps list is refused before admission: an error event
+    rc = main(["submit", "--address", _addr(server),
+               "sweep", "--apps", ""])
+    assert rc == 4
