@@ -42,6 +42,8 @@ JOBS = int(os.environ.get("REPRO_LAB_JOBS")
            or min(4, os.cpu_count() or 1))
 
 _SESSION_TABLES: list[str] = []
+# seeded with the classic five; any newer CacheStats fields (the
+# per-process/lease counters) merge in on first sight
 _SESSION_STATS = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0,
                   "errors": 0}
 _SESSION_T0 = time.monotonic()
@@ -77,7 +79,7 @@ def lab_map(fn, items):
             )
         value, stats_delta = oc.value
         for key, delta in stats_delta.items():
-            _SESSION_STATS[key] += delta
+            _SESSION_STATS[key] = _SESSION_STATS.get(key, 0) + delta
         results.append(value)
     return results
 

@@ -1,0 +1,69 @@
+"""Editable multi-stage pipeline — the incremental-synthesis workload.
+
+Like the loopback (Section 5.3) this chains ``stages`` FPGA processes,
+but every stage embeds a per-stage ``delta`` constant in its C source
+(``y = x + delta``) and asserts ``y > delta``. Changing one stage's delta
+is the canonical "edit one process of an N-process app": exactly one
+process's canonical IR text changes, so incremental synthesis
+(:mod:`repro.lab.incremental`) must rebuild exactly one artifact while
+the other ``stages - 1`` hit the cache. Each stage carries exactly one
+assertion, which keeps the global error-code bases of *later* stages
+stable under edits (an edit never shifts a neighbor's ``code_base``).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.taskgraph import Application
+
+_STAGE_TEMPLATE = """
+void {name}(co_stream input, co_stream output) {{
+  uint32 x;
+  uint32 y;
+  uint32 acc[16];
+  uint32 i;
+  i = 0;
+  while (co_stream_read(input, &x)) {{
+    y = x + {delta};
+    acc[i & 15] = y;
+    assert(acc[i & 15] > {delta});
+    co_stream_write(output, acc[i & 15]);
+    i = i + 1;
+  }}
+  co_stream_close(output);
+}}
+"""
+
+
+def stage_source(name: str, delta: int = 0) -> str:
+    """The C source of one pipeline stage with its edit constant."""
+    return _STAGE_TEMPLATE.format(name=name, delta=int(delta))
+
+
+def build_pipeline(
+    stages: int,
+    deltas: dict[int, int] | None = None,
+    data: list[int] | None = None,
+) -> Application:
+    """Build a ``stages``-process pipeline; ``deltas`` maps stage index to
+    that stage's add-constant (default 0 — the unedited baseline)."""
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    deltas = deltas or {}
+    data = data if data is not None else list(range(1, 33))
+    app = Application(f"pipeline{stages}")
+    for i in range(stages):
+        name = f"stage{i}"
+        app.add_c_process(stage_source(name, deltas.get(i, 0)),
+                          name=name, filename=f"{name}.c")
+    app.feed("feed", "stage0.input", data=data)
+    for i in range(stages - 1):
+        app.connect(f"link{i}", f"stage{i}.output", f"stage{i + 1}.input")
+    app.sink("drain", f"stage{stages - 1}.output")
+    return app
+
+
+def expected_output(data: list[int], stages: int,
+                    deltas: dict[int, int] | None = None) -> list[int]:
+    """Each word gains the sum of all stage deltas."""
+    total = sum((deltas or {}).get(i, 0) for i in range(stages))
+    return [x + total for x in data]

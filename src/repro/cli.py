@@ -337,12 +337,28 @@ def cmd_campaign(args) -> int:
 
 def _parse_app_token(token: str):
     """Parse one --apps token: ``loopback:4``, ``edge:16x8``,
-    ``tripledes`` or ``tripledes:SomeText``."""
+    ``tripledes``, ``tripledes:SomeText`` or ``pipeline:N`` with optional
+    per-stage edits ``pipeline:N@STAGE=DELTA[@STAGE=DELTA...]`` (the
+    incremental-synthesis workload: an edit changes exactly one stage's
+    IR, so only that stage resynthesizes)."""
     from repro.lab.sweep import AppSpec, SweepError
 
     kind, _, arg = token.partition(":")
     if kind == "loopback":
         return AppSpec.make("loopback", n=int(arg) if arg else 4)
+    if kind == "pipeline":
+        stages_text, *edit_texts = arg.split("@") if arg else ["3"]
+        edits = []
+        for et in edit_texts:
+            stage, eq, delta = et.partition("=")
+            if not eq:
+                raise SystemExit(
+                    f"--apps pipeline edit wants STAGE=DELTA, got {token!r}")
+            edits.append((int(stage), int(delta)))
+        params = {"stages": int(stages_text or 3)}
+        if edits:
+            params["edits"] = tuple(sorted(edits))
+        return AppSpec.make("pipeline", **params)
     if kind == "edge":
         if arg:
             w, _, h = arg.partition("x")
@@ -357,7 +373,7 @@ def _parse_app_token(token: str):
                             **({"text": arg} if arg else {}))
     raise SweepError(
         f"unknown app {kind!r}; have loopback[:N], edge[:WxH], "
-        f"tripledes[:TEXT]", code="RPR-W005")
+        f"tripledes[:TEXT], pipeline[:N[@STAGE=DELTA...]]", code="RPR-W005")
 
 
 def cmd_sweep(args) -> int:
@@ -497,8 +513,14 @@ def cmd_bench(args) -> int:
 
     from repro.simc.bench import compare_bench, render_bench, run_bench
 
-    doc = run_bench(quick=args.quick)
-    print(render_bench(doc))
+    if args.suite == "synth":
+        from repro.lab.bench import render_synth_bench, run_synth_bench
+
+        doc = run_synth_bench(quick=args.quick)
+        print(render_synth_bench(doc))
+    else:
+        doc = run_bench(quick=args.quick)
+        print(render_bench(doc))
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(doc, fh, indent=2)
@@ -1070,8 +1092,13 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "bench",
-        help="interp-vs-compiled simulation perf bench with baseline gate",
+        help="perf benches (simulation backends, incremental synthesis) "
+             "with baseline gate",
     )
+    p.add_argument("--suite", choices=("sim", "synth"), default="sim",
+                   help="which bench suite to run: interp-vs-compiled "
+                        "simulation (sim, default) or cold-vs-warm/edit "
+                        "incremental synthesis (synth)")
     p.add_argument("--quick", action="store_true",
                    help="single timing repeat per leg (same workloads)")
     p.add_argument("--out", default=None, metavar="JSON",

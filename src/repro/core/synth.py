@@ -13,15 +13,34 @@ hardware-compiles every process:
   pipelined loops (Section 3.2), and shared failure channels packing 32
   assertions per 32-bit stream (Sections 3.3/4.2). Each optimization can be
   disabled individually for ablation studies.
+
+The pipeline is split at a per-process seam so synthesis can be
+*incremental* (:mod:`repro.lab.incremental`):
+
+* :func:`synth_process` instruments and hardware-compiles ONE process in
+  isolation, producing a :class:`ProcessArtifact` — a self-contained,
+  picklable unit addressed by :func:`repro.lab.cache.process_cache_key`;
+* :func:`assemble_image` replays the app-level wiring (registry codes,
+  checker taps, multichecker merging, shared failure collectors) over a
+  set of artifacts, producing a :class:`HardwareImage` identical to a
+  monolithic run;
+* :func:`synthesize` is now exactly ``synth_process`` per process followed
+  by ``assemble_image`` — full and incremental synthesis share one code
+  path, so their outputs cannot drift apart.
+
+The only cross-process coupling is the error-code numbering: the
+:class:`AssertionRegistry` assigns globally sequential codes in process
+iteration order, so each artifact is keyed and built with an explicit
+``code_base`` (the first code its assertions receive).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.instrument import FAIL_PARAM, instrument_unoptimized, strip_assertions
-from repro.core.parallelize import CHECK_FAIL_PARAM, parallelize_function
+from repro.core.parallelize import CHECK_FAIL_PARAM, CheckerPlan, parallelize_function
 from repro.core.registry import AssertionRegistry
 from repro.core.replicate import replicate_arrays
 from repro.core.share import build_collectors
@@ -31,12 +50,13 @@ from repro.core.timing_assert import (
     strip_latency_markers,
 )
 from repro.errors import AssertionSynthesisError
-from repro.hls.compiler import compile_process
+from repro.hls.compiler import CompiledProcess, compile_process
 from repro.hls.constraints import HLSConfig
+from repro.ir.instr import AssertionSite
 from repro.ir.transform import eliminate_dead_code
 from repro.ir.verify import verify_function
 from repro.runtime.hwexec import FailStreamDecode, HardwareImage
-from repro.runtime.taskgraph import Application
+from repro.runtime.taskgraph import Application, ProcessDef
 
 LEVELS = ("none", "unoptimized", "optimized")
 
@@ -67,90 +87,224 @@ class SynthesisOptions:
         """
         return tuple(sorted(dataclasses.asdict(self).items()))
 
+    #: fields that change what :func:`synth_process` produces for ONE
+    #: process. Everything else is app-assembly-level (``share_word_width``
+    #: groups collectors, ``multichecker*`` merges checkers across
+    #: processes) or execution-level (``sim_backend``) and deliberately
+    #: excluded so per-process artifacts are reused across those variants.
+    PROCESS_KEY_FIELDS = ("parallelize", "replicate", "share")
 
-def synthesize(
-    app: Application,
+    def process_key_parts(self) -> tuple:
+        """The :meth:`key_parts` subset that affects a single process."""
+        return tuple(
+            (name, getattr(self, name)) for name in self.PROCESS_KEY_FIELDS
+        )
+
+
+@dataclass
+class ProcessArtifact:
+    """Everything :func:`synth_process` produces for ONE process.
+
+    Self-contained and picklable: :mod:`repro.lab.cache` stores these
+    under :func:`repro.lab.cache.process_cache_key` so an app rebuild only
+    re-synthesizes the processes whose IR (or options slice) changed.
+    """
+
+    name: str
+    #: effective assertion level this artifact was built at
+    level: str
+    #: the instrumented process IR (assertions stripped/converted/tapped)
+    func: object
+    #: hardware compilation of ``func``
+    compiled: CompiledProcess
+    #: checker plans with *absolute* error codes (``code_base`` applied)
+    plans: list[CheckerPlan] = field(default_factory=list)
+    #: per-plan checker compilations under the default
+    #: :class:`HLSConfig` — :func:`assemble_image` recompiles a checker
+    #: only when a config/fault override names it
+    compiled_checkers: dict[str, CompiledProcess] = field(default_factory=dict)
+    #: (code, site) pairs in registration order; replayed into the
+    #: app-level :class:`AssertionRegistry` at assembly time
+    codes: list[tuple[int, AssertionSite]] = field(default_factory=list)
+    #: per-process failure stream name ("unoptimized" level only)
+    fail_stream: str | None = None
+    #: latency-monitor regions extracted from timing assertions
+    latency_regions: list = field(default_factory=list)
+
+    @property
+    def n_codes(self) -> int:
+        """How many error codes this process consumed (the next process's
+        ``code_base`` is ``code_base + n_codes``)."""
+        return len(self.codes)
+
+
+def effective_level(assertions: str, options: SynthesisOptions) -> str:
+    """The level actually synthesized after degeneration rules.
+
+    Without parallelization the "optimized" level degenerates to the
+    if-statement conversion: replication and sharing both require detached
+    checker processes to act on.
+    """
+    if assertions not in LEVELS:
+        raise AssertionSynthesisError(
+            f"assertions={assertions!r}; expected one of {LEVELS}", code="RPR-A002")
+    if assertions == "optimized" and not options.parallelize:
+        return "unoptimized"
+    return assertions
+
+
+def synth_process(
+    pd: ProcessDef,
     assertions: str = "optimized",
+    options: SynthesisOptions | None = None,
+    code_base: int = 1,
+    config: HLSConfig | None = None,
+    fault_spec: tuple | None = None,
+) -> ProcessArtifact:
+    """Instrument and hardware-compile ONE process in isolation.
+
+    ``code_base`` is the first error code this process's assertions
+    receive; codes are assigned sequentially in site-registration order,
+    mirroring :class:`AssertionRegistry` (dedup by site ordinal), so
+    assembling artifacts with contiguous bases reproduces the exact global
+    numbering of a monolithic :func:`synthesize` run.
+
+    ``config``/``fault_spec`` are this process's resolved HLS-config
+    override and translation-fault tuple (both key-relevant: the cache
+    layer folds them into :func:`repro.lab.cache.process_cache_key`).
+    """
+    options = options or SynthesisOptions()
+    level = effective_level(assertions, options)
+    func = pd.func.clone()
+
+    codes: list[tuple[int, AssertionSite]] = []
+    by_ordinal: dict[int, int] = {}
+
+    def code_for(site: AssertionSite) -> int:
+        if site.ordinal in by_ordinal:
+            return by_ordinal[site.ordinal]
+        code = code_base + len(codes)
+        by_ordinal[site.ordinal] = code
+        codes.append((code, site))
+        return code
+
+    # timing assertions (future-work extension): extract the latency
+    # monitor at any level except 'none'
+    latency_regions: list = []
+    if has_latency_markers(func):
+        if level == "none":
+            strip_latency_markers(func)
+        else:
+            spec = extract_latency_regions(func, pd.name)
+            latency_regions.extend(spec.regions)
+
+    plans: list[CheckerPlan] = []
+    fail_stream: str | None = None
+    if level == "none":
+        strip_assertions(func)
+    elif level == "unoptimized":
+        n = instrument_unoptimized(func, code_for)
+        if n:
+            fail_stream = f"{pd.name}__afail"
+    else:  # optimized
+        res = parallelize_function(func, pd.name, code_for, share=options.share)
+        # DCE must precede replication: the inline condition logic that
+        # parallelization orphaned still consumes the extract loads, and
+        # replication targets loads whose only consumers are taps
+        eliminate_dead_code(func)
+        if options.replicate:
+            replicate_arrays(func)
+        plans = list(res.checkers)
+    eliminate_dead_code(func)
+    verify_function(func)
+
+    cfg = config or pd.config or HLSConfig()
+    if fault_spec:
+        cfg = HLSConfig(schedule=cfg.schedule, faults=tuple(fault_spec))
+    compiled = compile_process(func, cfg)
+    compiled_checkers = {
+        plan.checker.name: compile_process(plan.checker, HLSConfig())
+        for plan in plans
+    }
+    return ProcessArtifact(
+        name=pd.name,
+        level=level,
+        func=func,
+        compiled=compiled,
+        plans=plans,
+        compiled_checkers=compiled_checkers,
+        codes=codes,
+        fail_stream=fail_stream,
+        latency_regions=latency_regions,
+    )
+
+
+def assemble_image(
+    app: Application,
+    artifacts: dict[str, ProcessArtifact],
+    assertions: str,
     options: SynthesisOptions | None = None,
     nabort: bool | None = None,
     faults: dict[str, tuple] | None = None,
     configs: dict[str, HLSConfig] | None = None,
 ) -> HardwareImage:
-    """Synthesize ``app`` into a :class:`HardwareImage`.
+    """Assemble per-process artifacts into a :class:`HardwareImage`.
 
-    ``faults`` maps process names to translation-fault tuples
-    (:mod:`repro.hls.faults`), injected into the hardware side only.
-    ``configs`` overrides per-process HLS configuration.
+    Replays the app-level wiring — failure sinks, checker taps,
+    multichecker merging, shared-failure collectors, registry codes —
+    exactly as the monolithic pipeline did, so the result is independent
+    of which artifacts came from cache and which were just built.
+
+    ``artifacts`` must cover every FPGA process of ``app`` and have been
+    built with contiguous ``code_base`` values in process iteration order
+    (a mismatch raises ``RPR-A005``).
     """
-    if assertions not in LEVELS:
-        raise AssertionSynthesisError(
-            f"assertions={assertions!r}; expected one of {LEVELS}", code="RPR-A002")
     options = options or SynthesisOptions()
-    if assertions == "optimized" and not options.parallelize:
-        # without parallelization the "optimized" level degenerates to the
-        # if-statement conversion; replication/sharing need checker processes
-        assertions = "unoptimized"
+    level = effective_level(assertions, options)
 
-    hw_app = app.clone(f"{app.name}@{assertions}")
+    hw_app = app.clone(f"{app.name}@{level}")
     if nabort is not None:
         hw_app.nabort = nabort
+
     registry = AssertionRegistry()
     decode: dict[str, FailStreamDecode] = {}
-    plans = []
+    plans: list[CheckerPlan] = []
+    latency_regions: list = []
 
-    latency_regions = []
     for pd in list(hw_app.fpga_processes()):
-        func = pd.func
-        # timing assertions (future-work extension): extract the latency
-        # monitor at any level except 'none'
-        if has_latency_markers(func):
-            if assertions == "none":
-                strip_latency_markers(func)
-            else:
-                spec = extract_latency_regions(func, pd.name)
-                for region in spec.regions:
-                    hw_app.add_tap(region.start_channel, pd.name,
-                                   "__latmon", (1,))
-                    hw_app.add_tap(region.end_channel, pd.name,
-                                   "__latmon", (1,))
-                    latency_regions.append(region)
-        if assertions == "none":
-            strip_assertions(func)
-        elif assertions == "unoptimized":
-            n = instrument_unoptimized(
-                func, lambda site: registry.register(pd.name, site)
-            )
-            if n:
-                stream_name = f"{pd.name}__afail"
-                hw_app.sink(stream_name, f"{pd.name}.{FAIL_PARAM}",
-                            role="assert_code")
-                table = FailStreamDecode(mode="code")
-                for code, (proc, site) in registry.codes.items():
-                    if proc == pd.name:
-                        table.table[code] = (proc, site)
-                decode[stream_name] = table
-        else:  # optimized
-            res = parallelize_function(
-                func,
-                pd.name,
-                lambda site: registry.register(pd.name, site),
-                share=options.share,
-            )
-            # DCE must precede replication: the inline condition logic that
-            # parallelization orphaned still consumes the extract loads, and
-            # replication targets loads whose only consumers are taps
-            eliminate_dead_code(func)
-            if options.replicate:
-                replicate_arrays(func)
-            plans.extend(res.checkers)
-        eliminate_dead_code(func)
-        verify_function(func)
+        art = artifacts.get(pd.name)
+        if art is None:
+            raise AssertionSynthesisError(
+                f"no artifact for process {pd.name!r}", code="RPR-A005")
+        # splice in a private copy: artifacts may be shared (cache handle,
+        # repeated assemblies), and downstream holds mutable references
+        func = art.func.clone()
+        pd.func = func
+        for region in art.latency_regions:
+            hw_app.add_tap(region.start_channel, pd.name, "__latmon", (1,))
+            hw_app.add_tap(region.end_channel, pd.name, "__latmon", (1,))
+            latency_regions.append(region)
+        for code, site in art.codes:
+            got = registry.register(pd.name, site)
+            if got != code:
+                raise AssertionSynthesisError(
+                    f"artifact for {pd.name!r} was built with code base "
+                    f"{art.codes[0][0]} but assembly assigned {got}; "
+                    "artifacts must be keyed with contiguous code bases "
+                    "in process order", code="RPR-A005")
+        if art.fail_stream is not None:
+            hw_app.sink(art.fail_stream, f"{pd.name}.{FAIL_PARAM}",
+                        role="assert_code")
+            table = FailStreamDecode(mode="code")
+            for code, site in art.codes:
+                table.table[code] = (pd.name, site)
+            decode[art.fail_stream] = table
+        plans.extend(art.plans)
 
     # wire checker processes into the graph
     merged_plans: set[str] = set()
     if plans and options.multichecker and options.share:
         from repro.core.multichecker import build_multichecker, partition_plans
-        from repro.runtime.taskgraph import ProcessDef
 
         mergeable, _individual = partition_plans(plans)
         for gi in range(0, len(mergeable), options.multichecker_group):
@@ -193,9 +347,24 @@ def synthesize(
         )
         decode.update(share_res.fail_streams)
 
-    # hardware-compile every process
-    compiled = {}
+    # hardware-compile every process, preferring artifact precompilations;
+    # a config/fault override naming a checker forces a fresh compile (the
+    # artifact compiled it under the default config)
+    checker_pre: dict[str, CompiledProcess] = {}
+    for art in artifacts.values():
+        checker_pre.update(art.compiled_checkers)
+    compiled: dict[str, CompiledProcess] = {}
     for pd in hw_app.fpga_processes():
+        art = artifacts.get(pd.name)
+        if art is not None:
+            compiled[pd.name] = art.compiled
+            continue
+        overridden = bool((configs or {}).get(pd.name)) or bool(
+            faults and pd.name in faults)
+        pre = checker_pre.get(pd.name)
+        if pre is not None and not overridden:
+            compiled[pd.name] = pre
+            continue
         config = (configs or {}).get(pd.name) or pd.config or HLSConfig()
         if faults and pd.name in faults:
             config = HLSConfig(schedule=config.schedule,
@@ -207,9 +376,45 @@ def synthesize(
         compiled=compiled,
         assert_decode=decode,
         nabort=hw_app.nabort,
-        assertion_level=assertions,
+        assertion_level=level,
         latency_regions=latency_regions,
         sim_backend=options.sim_backend,
     )
     image.registry = registry  # type: ignore[attr-defined]
     return image
+
+
+def synthesize(
+    app: Application,
+    assertions: str = "optimized",
+    options: SynthesisOptions | None = None,
+    nabort: bool | None = None,
+    faults: dict[str, tuple] | None = None,
+    configs: dict[str, HLSConfig] | None = None,
+) -> HardwareImage:
+    """Synthesize ``app`` into a :class:`HardwareImage`.
+
+    ``faults`` maps process names to translation-fault tuples
+    (:mod:`repro.hls.faults`), injected into the hardware side only.
+    ``configs`` overrides per-process HLS configuration.
+
+    Implemented as :func:`synth_process` per FPGA process followed by
+    :func:`assemble_image`; :func:`repro.lab.incremental.synthesize_incremental`
+    runs the same two steps with a cache lookup in between, so the
+    incremental path cannot diverge from this one.
+    """
+    options = options or SynthesisOptions()
+    level = effective_level(assertions, options)
+
+    artifacts: dict[str, ProcessArtifact] = {}
+    code_base = 1
+    for pd in app.fpga_processes():
+        art = synth_process(
+            pd, level, options, code_base,
+            config=(configs or {}).get(pd.name),
+            fault_spec=(faults or {}).get(pd.name),
+        )
+        artifacts[pd.name] = art
+        code_base += art.n_codes
+    return assemble_image(app, artifacts, level, options, nabort=nabort,
+                          faults=faults, configs=configs)

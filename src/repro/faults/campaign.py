@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.synth import SynthesisOptions, synthesize
+from repro.core.synth import SynthesisOptions
 from repro.errors import CampaignError, FaultError
 from repro.faults.ir import NarrowCompare, ReadForWrite
 from repro.faults.runtime import (
@@ -511,8 +511,14 @@ def _synthesize_cached(
     multi-scenario campaign synthesizes each level once and every other
     scenario at that level is a cache hit (runtime faults are injected at
     execute time and do not key the image).
+
+    Misses fill under the cache's lease (one fill per key across all
+    concurrent workers *and* nodes sharing the cache directory) and
+    reuse per-process artifacts incrementally, so N campaign shards
+    cold-starting the same levels no longer synthesize them N times.
     """
     from repro.lab.cache import SynthesisCache, cache_key
+    from repro.lab.incremental import synthesize_incremental
 
     cache = SynthesisCache(cache_root)
     key = cache_key(
@@ -520,16 +526,19 @@ def _synthesize_cached(
         extra=("campaign", nabort,
                tuple(sorted(scenario.ir_faults.items()))),
     )
-    image = cache.get(key)
-    if image is None:
-        image = synthesize(
+
+    def produce():
+        image, _info = synthesize_incremental(
             app,
-            assertions=level,
+            level,
+            options=options,
+            cache=cache,
             faults=scenario.ir_faults or None,
             nabort=True if nabort else None,
-            options=options,
         )
-        cache.put(key, image)
+        return image
+
+    image, _filled = cache.get_or_fill(key, produce)
     return image
 
 

@@ -57,6 +57,16 @@ class CompiledProcess:
 
         return emit_module(self.rtl)
 
+    def __getstate__(self):
+        """Drop the lazily generated RTL when pickled (cache entries,
+        executor transfers): it regenerates deterministically on first
+        access, and excluding it keeps per-process cache artifacts
+        byte-stable regardless of whether RTL was materialized before
+        the store."""
+        state = self.__dict__.copy()
+        state["_rtl"] = None
+        return state
+
 
 def compile_process(
     func: IRFunction, config: HLSConfig | None = None

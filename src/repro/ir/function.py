@@ -134,7 +134,16 @@ class IRFunction:
             if i.op in (OpKind.LOAD, OpKind.STORE) and i.attrs.get("array") == array
         ]
 
-    def __str__(self) -> str:
+    def canonical_text(self) -> str:
+        """The canonical printed form of this function.
+
+        This text is the function's *identity* for content addressing:
+        :func:`repro.lab.cache.process_cache_key` fingerprints it to
+        decide whether a cached per-process synthesis artifact is still
+        valid, so it must be a pure function of the IR (no ids, memory
+        addresses or interpreter state) and must change whenever anything
+        synthesis consumes changes.
+        """
         header = (
             f"func {self.name}("
             + ", ".join(map(str, self.streams))
@@ -146,6 +155,9 @@ class IRFunction:
         for block in self.blocks.values():
             parts.append(str(block))
         return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.canonical_text()
 
 
 @dataclass

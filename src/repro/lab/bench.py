@@ -11,7 +11,11 @@ synthesizing the same design points on every run. This module gives it
 * :func:`call_with_stats` — wraps a worker function so it returns
   ``(result, cache_stats_delta)``; the conftest aggregates the deltas from
   every worker into the session manifest, which is how a warm-cache rerun
-  can *prove* it performed zero re-synthesis.
+  can *prove* it performed zero re-synthesis;
+* :func:`run_synth_bench` — the incremental-synthesis perf bench (cold
+  app vs warm app vs edit-one-process), emitting the same JSON document
+  shape as :func:`repro.simc.bench.run_bench` so the ``repro bench``
+  baseline gate works on both suites unchanged.
 
 Cache statistics are per-process counters; aggregation across pool
 workers happens via the returned deltas, never via shared state.
@@ -19,13 +23,19 @@ workers happens via the returned deltas, never via shared state.
 
 from __future__ import annotations
 
+import math
 import os
+import tempfile
+import time
 
 from repro.core.synth import SynthesisOptions, synthesize
 from repro.lab.cache import SynthesisCache, cache_key
 from repro.platform.device import EP2S180, DeviceModel
 
-__all__ = ["session_cache", "synth", "call_with_stats", "CACHE_ENV"]
+__all__ = [
+    "session_cache", "synth", "call_with_stats", "CACHE_ENV",
+    "run_synth_bench", "render_synth_bench",
+]
 
 CACHE_ENV = "REPRO_LAB_CACHE"
 
@@ -76,3 +86,156 @@ def call_with_stats(packed: tuple) -> tuple:
     before = session_cache().stats.snapshot()
     result = fn(item)
     return result, session_cache().stats.delta(before)
+
+
+# ---- incremental-synthesis perf bench ------------------------------------
+
+def _report_signature(image) -> tuple:
+    """Everything the warm/edit legs must reproduce bit-for-bit before
+    their timings can be trusted: the full point summary (resources +
+    timing) and the assertion decode table."""
+    from repro.platform.report import point_summary
+
+    return (
+        point_summary(image, EP2S180),
+        tuple(sorted(
+            (stream, dec.mode, word, name, site.ordinal, site.expr_text)
+            for stream, dec in image.assert_decode.items()
+            for word, (name, site) in dec.table.items())),
+    )
+
+
+def _bench_synth_app(stages: int, repeats: int) -> list[dict]:
+    """Bench one pipeline app through the incremental seam.
+
+    Three legs, each best-of-``repeats`` under a fresh cache root:
+
+    * **cold** — empty cache, every process synthesized (the
+      denominator: what a non-incremental toolchain pays every time);
+    * **warm** — identical resubmission, every artifact a hit
+      (``synth_warm`` speedup = cold / warm);
+    * **edit** — one stage's delta constant changed, exactly one
+      process rebuilt (``synth_edit`` speedup = cold / edit).
+
+    Before any timing is recorded, the warm and edited images are
+    checked against fresh full resyntheses (resource/timing summary and
+    assertion decode table), mirroring the bit-identity discipline of
+    the simulation bench.
+    """
+    from repro.apps.pipeline import build_pipeline
+    from repro.lab.incremental import synthesize_incremental
+    from repro.simc.bench import BenchMismatchError
+
+    name = f"pipeline{stages}"
+    edited = {stages // 2: 5}
+
+    def expect(info: dict, resyntheses: int, leg: str) -> None:
+        if info["resyntheses"] != resyntheses:
+            raise BenchMismatchError(
+                f"{name}/{leg}: expected {resyntheses} resyntheses, "
+                f"measured {info['resyntheses']}", code="RPR-M006")
+
+    # correctness first: incremental warm/edit output must match a full
+    # resynthesis of the same source
+    with tempfile.TemporaryDirectory() as root:
+        cache = SynthesisCache(root)
+        _, info = synthesize_incremental(build_pipeline(stages),
+                                         cache=cache)
+        expect(info, stages, "cold")
+        warm_img, info = synthesize_incremental(build_pipeline(stages),
+                                                cache=cache)
+        expect(info, 0, "warm")
+        edit_img, info = synthesize_incremental(
+            build_pipeline(stages, deltas=edited), cache=cache)
+        expect(info, 1, "edit")
+        for img, app in ((warm_img, build_pipeline(stages)),
+                         (edit_img, build_pipeline(stages, deltas=edited))):
+            full = synthesize(app)
+            if _report_signature(img) != _report_signature(full):
+                raise BenchMismatchError(
+                    f"{name}: incremental image diverges from full "
+                    "resynthesis", code="RPR-M007")
+
+    # the apps are built (C parsed) outside the timed regions: every leg
+    # pays that cost identically, and it is not what incremental
+    # synthesis changes (synth_process clones, never mutates, app IR)
+    base_app = build_pipeline(stages)
+    edit_app = build_pipeline(stages, deltas=edited)
+    cold_s = warm_s = edit_s = math.inf
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as root:
+            cache = SynthesisCache(root)
+            t0 = time.perf_counter()
+            synthesize_incremental(base_app, cache=cache)
+            cold_s = min(cold_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            synthesize_incremental(base_app, cache=cache)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            synthesize_incremental(edit_app, cache=cache)
+            edit_s = min(edit_s, time.perf_counter() - t0)
+
+    return [
+        {
+            "name": name,
+            "kind": "synth_warm",
+            "processes": stages,
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "speedup": round(cold_s / warm_s, 3),
+        },
+        {
+            "name": name,
+            "kind": "synth_edit",
+            "processes": stages,
+            "cold_s": round(cold_s, 6),
+            "edit_s": round(edit_s, 6),
+            "resyntheses": 1,
+            "speedup": round(cold_s / edit_s, 3),
+        },
+    ]
+
+
+def run_synth_bench(quick: bool = False) -> dict:
+    """Run the incremental-synthesis bench suite.
+
+    Returns the same document shape as
+    :func:`repro.simc.bench.run_bench` (``schema``/``quick``/``entries``/
+    ``geomean_speedup``) so ``compare_bench`` and the committed-baseline
+    CI gate apply unchanged; entries are keyed ``(name, kind)`` with
+    kinds ``synth_warm`` and ``synth_edit``. Quick mode trades timing
+    stability (fewer repeats), not workload size, keeping the speedup
+    ratios comparable to a full-mode baseline.
+    """
+    from repro.simc.bench import BENCH_SCHEMA
+
+    repeats = 1 if quick else 3
+    entries = []
+    for stages in (4, 8):
+        entries.extend(_bench_synth_app(stages, repeats))
+    speedups = [e["speedup"] for e in entries]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "entries": entries,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def render_synth_bench(doc: dict) -> str:
+    """Human-readable table for a :func:`run_synth_bench` document."""
+    lines = [
+        "INCREMENTAL SYNTHESIS BENCH (cold vs warm/edit)"
+        + ("  [quick]" if doc.get("quick") else ""),
+        f"{'name':<12} {'kind':<11} {'procs':>5} "
+        f"{'cold_s':>9} {'leg_s':>9} {'speedup':>8}",
+    ]
+    for e in doc["entries"]:
+        leg_s = e.get("warm_s", e.get("edit_s", 0.0))
+        lines.append(
+            f"{e['name']:<12} {e['kind']:<11} {e['processes']:>5} "
+            f"{e['cold_s']:>9.4f} {leg_s:>9.4f} "
+            f"{e['speedup']:>7.2f}x")
+    lines.append(f"geomean speedup: {doc['geomean_speedup']:.2f}x")
+    return "\n".join(lines)

@@ -24,30 +24,71 @@ Properties:
   beyond ``max_entries``;
 * **observable** — hit/miss/store/eviction counters are kept per handle
   and surfaced in sweep manifests and progress lines.
+
+Two cache granularities share the store:
+
+* **app-level** entries (:func:`cache_key`) memoize a whole synthesis
+  point — ``(image, resources, fmax)``;
+* **process-level** entries (:func:`process_cache_key`) memoize one
+  :class:`repro.core.synth.ProcessArtifact`, so editing one process of a
+  multi-process app rebuilds only that process
+  (:mod:`repro.lab.incremental`). Process lookups keep their own
+  ``proc_hits``/``proc_misses`` counters so app-level hit-rate assertions
+  stay meaningful.
+
+**Fill leases** dedupe *concurrent first-touch fills*: the on-disk store
+already dedupes across time (second run hits), but N daemons cold-starting
+the same campaign used to synthesize the same points N times in parallel.
+:meth:`SynthesisCache.acquire_fill` claims a fingerprint-keyed lease file
+(claimed by atomic hard link of a fully written payload: owner pid +
+takeover epoch inside) so exactly
+one process fills while the rest wait on the shared
+:class:`~repro.lab.retry.RetryPolicy` backoff and then read the filled
+entry. Leases held by dead owners (worker SIGKILL) are taken over via an
+atomic rename, eviction never removes an entry whose key has a live lease,
+and a bounded wall-clock wait means a wedged owner degrades to a duplicate
+fill — availability over strict dedup.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.synth import SynthesisOptions
+from repro.hls.constraints import HLSConfig
 from repro.platform.device import EP2S180, DeviceModel
 from repro.utils.idgen import stable_fingerprint
 
 __all__ = [
     "CacheStats",
+    "FillLease",
     "SynthesisCache",
     "app_key_parts",
     "cache_key",
+    "process_cache_key",
 ]
 
 #: bump to invalidate every cached artifact on a format change
 CACHE_SCHEMA = 1
+
+#: bump to invalidate process-level artifacts only
+PROC_SCHEMA = 1
+
+#: a lease older than this is presumed wedged even if its owner pid is
+#: alive (e.g. the owner is stuck in an unrelated syscall) — waiters take
+#: it over; real fills are seconds, so five minutes is generous
+LEASE_STALE_S = 300.0
+
+#: default bounded wait for a lease-protected fill before degrading to a
+#: duplicate (unleased) fill — availability over strict dedup
+LEASE_WAIT_S = 120.0
 
 
 def _stable(part: object) -> object:
@@ -117,6 +158,49 @@ def cache_key(
     return f"{fp:016x}"
 
 
+def process_cache_key(
+    name: str,
+    ir_text: str,
+    assertions: str,
+    options: SynthesisOptions | None = None,
+    code_base: int = 1,
+    device: DeviceModel = EP2S180,
+    config: HLSConfig | None = None,
+    fault_spec: tuple | None = None,
+) -> str:
+    """Hex cache key for ONE process's synthesis artifact.
+
+    Keyed on everything :func:`repro.core.synth.synth_process` consumes:
+    the process's canonical IR text (the source), the
+    :meth:`~repro.core.synth.SynthesisOptions.process_key_parts` options
+    slice (app-assembly and execution options are deliberately excluded so
+    artifacts are shared across those variants), the effective assertion
+    level, the error-code base (registry numbering is global and
+    sequential, so a process's codes shift when an *earlier* process gains
+    or loses assertions), the HLS config override, the translation-fault
+    tuple, the device model, the package version and the schemas. The
+    ``"p"`` prefix keeps the namespace disjoint from app-level keys.
+    """
+    from repro import __version__
+
+    options = options or SynthesisOptions()
+    fp = stable_fingerprint(
+        "proc",
+        CACHE_SCHEMA,
+        PROC_SCHEMA,
+        __version__,
+        assertions,
+        options.process_key_parts(),
+        repr(device),
+        name,
+        ir_text,
+        code_base,
+        repr(config),
+        repr(tuple(fault_spec)) if fault_spec else None,
+    )
+    return f"p{fp:015x}"
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache handle (not persisted; per-process)."""
@@ -130,37 +214,75 @@ class CacheStats:
     #: a sweep can surface "the cache directory is rotting" loudly rather
     #: than silently re-synthesizing forever
     corrupt: int = 0
+    #: process-level artifact lookups (kept apart from hits/misses so
+    #: app-level hit-rate assertions are not diluted by the per-process
+    #: lookups an app miss fans out into)
+    proc_hits: int = 0
+    proc_misses: int = 0
+    #: fill-lease contention: acquires that had to wait on another
+    #: owner's fill (counted once per waiting acquire)
+    lease_waits: int = 0
+    #: stale leases (dead or wedged owner) taken over
+    lease_takeovers: int = 0
+    #: app syntheses that reused at least one cached process artifact and
+    #: rebuilt at least one — the incremental win the counters exist for
+    partial_rebuilds: int = 0
+
+    _FIELDS = ("hits", "misses", "stores", "evictions", "errors", "corrupt",
+               "proc_hits", "proc_misses", "lease_waits", "lease_takeovers",
+               "partial_rebuilds")
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "errors": self.errors,
-            "corrupt": self.corrupt,
-        }
+        return {name: getattr(self, name) for name in self._FIELDS}
 
     def snapshot(self) -> tuple[int, ...]:
-        return (self.hits, self.misses, self.stores, self.evictions,
-                self.errors, self.corrupt)
+        return tuple(getattr(self, name) for name in self._FIELDS)
 
     def delta(self, before: tuple[int, ...]) -> dict[str, int]:
         now = self.snapshot()
-        keys = ("hits", "misses", "stores", "evictions", "errors", "corrupt")
-        return {k: now[i] - before[i] for i, k in enumerate(keys)}
+        return {k: now[i] - before[i] for i, k in enumerate(self._FIELDS)}
 
     def merge(self, other: dict[str, int]) -> None:
-        self.hits += other.get("hits", 0)
-        self.misses += other.get("misses", 0)
-        self.stores += other.get("stores", 0)
-        self.evictions += other.get("evictions", 0)
-        self.errors += other.get("errors", 0)
-        self.corrupt += other.get("corrupt", 0)
+        for name in self._FIELDS:
+            setattr(self, name, getattr(self, name) + other.get(name, 0))
 
     def __str__(self) -> str:
         return (f"cache hits={self.hits} misses={self.misses} "
-                f"stores={self.stores} evictions={self.evictions}")
+                f"stores={self.stores} evictions={self.evictions} "
+                f"proc={self.proc_hits}/{self.proc_hits + self.proc_misses}")
+
+
+def _active_chaos():
+    """Late import: chaos is an optional test harness, and the hook must
+    cost one env lookup when unarmed."""
+    from repro.lab.chaos import active_chaos
+
+    return active_chaos()
+
+
+@dataclass
+class FillLease:
+    """A held (or degraded) claim on filling one cache key.
+
+    ``owned=False`` marks the degraded cases — disabled cache, or a
+    bounded wait that timed out and fell back to a duplicate fill — where
+    there is no lease file to release.
+    """
+
+    key: str
+    path: Path | None
+    pid: int
+    epoch: int
+    owned: bool = True
+
+    def release(self) -> None:
+        """Drop the claim (idempotent; no-op for degraded leases)."""
+        if self.owned and self.path is not None:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self.owned = False
 
 
 class SynthesisCache:
@@ -171,9 +293,13 @@ class SynthesisCache:
     """
 
     def __init__(self, root: str | os.PathLike | None,
-                 max_entries: int = 512) -> None:
+                 max_entries: int = 512,
+                 lease_stale_s: float = LEASE_STALE_S,
+                 lease_wait_s: float = LEASE_WAIT_S) -> None:
         self.root = Path(root) if root is not None else None
         self.max_entries = max_entries
+        self.lease_stale_s = lease_stale_s
+        self.lease_wait_s = lease_wait_s
         self.stats = CacheStats()
         # the on-disk format is cross-process safe via atomic replaces,
         # but one *handle* (stats counters + get/put/evict sequences) is
@@ -182,6 +308,7 @@ class SynthesisCache:
         self._lock = threading.RLock()
         if self.root is not None:
             (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            (self.root / "leases").mkdir(parents=True, exist_ok=True)
 
     @property
     def enabled(self) -> bool:
@@ -190,31 +317,46 @@ class SynthesisCache:
     def _path(self, key: str) -> Path:
         return self.root / "objects" / f"{key}.pkl"
 
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "leases" / f"{key}.lease"
+
     def get(self, key: str):
         """Return the cached object for ``key`` or None on a miss."""
+        return self._get(key, "hits", "misses")
+
+    def get_process(self, key: str):
+        """Process-artifact lookup (counts ``proc_hits``/``proc_misses``
+        instead of the app-level hit/miss counters)."""
+        return self._get(key, "proc_hits", "proc_misses")
+
+    def _get(self, key: str, hit_field: str, miss_field: str):
         with self._lock:
             if self.root is None:
-                self.stats.misses += 1
+                setattr(self.stats, miss_field,
+                        getattr(self.stats, miss_field) + 1)
                 return None
             path = self._path(key)
             try:
                 with open(path, "rb") as fh:
                     obj = pickle.load(fh)
             except FileNotFoundError:
-                self.stats.misses += 1
+                setattr(self.stats, miss_field,
+                        getattr(self.stats, miss_field) + 1)
                 return None
             except Exception:
                 # truncated/corrupt entry (e.g. version skew): treat as a
                 # miss and drop it so the slot heals on the next put
                 self.stats.errors += 1
                 self.stats.corrupt += 1
-                self.stats.misses += 1
+                setattr(self.stats, miss_field,
+                        getattr(self.stats, miss_field) + 1)
                 try:
                     os.unlink(path)
                 except OSError:
                     pass
                 return None
-            self.stats.hits += 1
+            setattr(self.stats, hit_field,
+                    getattr(self.stats, hit_field) + 1)
             try:
                 os.utime(path)  # LRU touch
             except OSError:
@@ -241,21 +383,232 @@ class SynthesisCache:
             self.stats.stores += 1
             self._evict()
 
+    def put_process(self, key: str, artifact) -> None:
+        """Store one process artifact (same atomic path as :meth:`put`)."""
+        self.put(key, artifact)
+
+    # ---- fill leases -----------------------------------------------------
+
+    @staticmethod
+    def _unlink_quietly(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _read_lease(self, path: Path) -> dict | None:
+        try:
+            with open(path) as fh:
+                return json.loads(fh.read())
+        except (OSError, ValueError):
+            return None
+
+    def _lease_live(self, info: dict | None) -> bool:
+        """Is this lease held by a live, non-wedged owner?"""
+        if info is None:
+            # Unreadable/corrupt lease: claimable. Leases are claimed by
+            # hard-linking a fully written payload, so this is never a
+            # live owner caught mid-write.
+            return False
+        if time.time() - info.get("t", 0) > self.lease_stale_s:
+            return False
+        pid = info.get("pid")
+        if not isinstance(pid, int):
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False  # owner died (SIGKILL leaks land here)
+        except OSError:
+            pass  # e.g. EPERM: someone else's live process
+        return True
+
+    def _takeover(self, path: Path) -> bool:
+        """Atomically remove a stale lease; False when another waiter won
+        the race (rename is the compare-and-swap: only one succeeds)."""
+        doomed = path.with_suffix(f".stale{os.getpid()}")
+        try:
+            os.rename(path, doomed)
+        except OSError:
+            return False
+        try:
+            os.unlink(doomed)
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.lease_takeovers += 1
+        return True
+
+    def acquire_fill(self, key: str, retry=None,
+                     timeout: float | None = None) -> FillLease | None:
+        """Claim the right to fill ``key``; block while someone else has it.
+
+        Returns a :class:`FillLease` when the caller must produce and
+        :meth:`put` the entry (release the lease in a ``finally``), or
+        ``None`` when the entry appeared while waiting (the caller should
+        simply :meth:`get` it). While another live owner holds the lease,
+        this polls on the shared :class:`~repro.lab.retry.RetryPolicy`
+        backoff shape; a dead or wedged owner is taken over (epoch + 1);
+        after ``timeout`` seconds the wait degrades to an *unleased* fill
+        so a stuck fleet never deadlocks on one wedged filler.
+        """
+        pid = os.getpid()
+        if self.root is None:
+            return FillLease(key=key, path=None, pid=pid, epoch=0, owned=False)
+        if retry is None:
+            from repro.lab.retry import RetryPolicy
+            retry = RetryPolicy(base_delay=0.02, max_delay=0.25, jitter=0.5)
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.lease_wait_s)
+        path = self._lease_path(key)
+        epoch = 1
+        attempt = 2  # RetryPolicy.delay() is 2-based (first retry)
+        waited = False
+        # unique per thread too: a pid-only name would alias the claim
+        # file across threads, and re-opening it after a sibling's link
+        # would truncate the canonical lease through the shared inode
+        claim = path.with_suffix(f".claim{pid}-{threading.get_ident()}")
+        while True:
+            if self._path(key).exists():
+                return None  # filled while we were waiting
+            try:
+                # Write the payload to a private file first, then claim
+                # with an atomic hard link: the canonical lease path never
+                # exists without its full JSON, so a concurrent waiter can
+                # never misread a mid-write lease as torn and steal it.
+                with open(claim, "w") as fh:
+                    fh.write(json.dumps(
+                        {"key": key, "pid": pid, "epoch": epoch,
+                         "t": time.time()}))
+                os.link(claim, path)
+            except FileExistsError:
+                self._unlink_quietly(claim)
+                info = self._read_lease(path)
+                if not self._lease_live(info):
+                    if self._takeover(path):
+                        epoch = (info or {}).get("epoch", 0) + 1
+                    continue
+                if not waited:
+                    waited = True
+                    with self._lock:
+                        self.stats.lease_waits += 1
+                if time.monotonic() > deadline:
+                    # bounded wait expired: duplicate the fill rather than
+                    # hang on a wedged owner
+                    return FillLease(key=key, path=None, pid=pid,
+                                     epoch=(info or {}).get("epoch", 0),
+                                     owned=False)
+                time.sleep(min(retry.delay(attempt, token=key),
+                               max(0.0, deadline - time.monotonic())))
+                attempt += 1
+                continue
+            except OSError:
+                # lease dir unwritable (read-only cache): fill unleased
+                self._unlink_quietly(claim)
+                return FillLease(key=key, path=None, pid=pid, epoch=0,
+                                 owned=False)
+            self._unlink_quietly(claim)
+            lease = FillLease(key=key, path=path, pid=pid, epoch=epoch)
+            chaos = _active_chaos()
+            if chaos is not None:
+                chaos.injure_lease_holder(f"lease-fill:{key}")
+            return lease
+
+    def get_or_fill(self, key: str, producer, retry=None,
+                    timeout: float | None = None, kind: str = "point"):
+        """Lease-deduplicated read-through: ``(object, filled_by_us)``.
+
+        A hit (including one that appeared while waiting on another
+        owner's fill) returns ``(obj, False)``; a miss runs ``producer()``
+        under the fill lease, stores the result and returns
+        ``(obj, True)``. ``kind="process"`` routes the lookups through the
+        ``proc_hits``/``proc_misses`` counters.
+        """
+        fetch = self.get_process if kind == "process" else self.get
+        obj = fetch(key)
+        if obj is not None:
+            return obj, False
+        while True:
+            lease = self.acquire_fill(key, retry=retry, timeout=timeout)
+            if lease is None:
+                obj = fetch(key)
+                if obj is not None:
+                    return obj, False
+                continue  # filled entry evicted before we read it: reclaim
+            try:
+                # Re-check under the lease: the previous owner stores the
+                # entry *before* releasing, so a lease won in the gap
+                # between its put and our claim means the entry is there.
+                if self.root is not None and self._path(key).exists():
+                    obj = fetch(key)
+                    if obj is not None:
+                        return obj, False
+                obj = producer()
+                self.put(key, obj)
+                return obj, True
+            finally:
+                lease.release()
+
+    def get_or_fill_process(self, key: str, producer, retry=None,
+                            timeout: float | None = None):
+        """:meth:`get_or_fill` for process artifacts."""
+        return self.get_or_fill(key, producer, retry=retry, timeout=timeout,
+                                kind="process")
+
+    def note_partial_rebuild(self) -> None:
+        """Record one app synthesis that mixed cached and rebuilt
+        process artifacts (:mod:`repro.lab.incremental`)."""
+        with self._lock:
+            self.stats.partial_rebuilds += 1
+
+    def _live_lease_keys(self) -> set[str]:
+        """Keys protected from eviction by a live fill lease. Dead leases
+        found along the way are collected (same takeover CAS as waiters
+        use), so leaked lease files do not accumulate."""
+        live: set[str] = set()
+        for lp in self.root.glob("leases/*.lease"):
+            info = self._read_lease(lp)
+            if self._lease_live(info):
+                live.add(lp.stem)
+            else:
+                self._takeover(lp)
+        for orphan in self.root.glob("leases/*.stale*"):
+            # a takeover that crashed between rename and unlink
+            self._unlink_quietly(orphan)
+        for orphan in self.root.glob("leases/*.claim*"):
+            # a claimer that crashed between payload write and link; leave
+            # young ones alone (their owner is about to link or unlink)
+            try:
+                if time.time() - orphan.stat().st_mtime > self.lease_stale_s:
+                    os.unlink(orphan)
+            except OSError:
+                pass
+        return live
+
     def _evict(self) -> None:
         entries = []
+        protected = self._live_lease_keys()
         for p in self.root.glob("objects/*.pkl"):
             try:
                 entries.append((p.stat().st_mtime, p))
             except OSError:
                 continue  # concurrently evicted by another handle
         entries.sort()
-        while len(entries) > self.max_entries:
-            _, victim = entries.pop(0)
+        over = len(entries) - self.max_entries
+        for _, victim in list(entries):
+            if over <= 0:
+                break
+            if victim.stem in protected:
+                # a concurrent filler just wrote (or is about to reread)
+                # this entry; evicting it would turn its waiters' reads
+                # into duplicate fills
+                continue
             try:
                 os.unlink(victim)
                 self.stats.evictions += 1
             except OSError:
                 pass
+            over -= 1
 
     def __len__(self) -> int:
         with self._lock:

@@ -42,6 +42,13 @@ Four network-layer kinds aim the same philosophy at the serve fabric
     router must re-route the shard. **Never arm this in-process** (it
     kills the whole interpreter); it is meant for subprocess daemons.
 
+``lease_kill``
+    the worker SIGKILLs itself right after claiming a cache fill lease
+    (:meth:`repro.lab.cache.SynthesisCache.acquire_fill`) — exercises
+    stale-lease detection by owner pid and atomic takeover, the property
+    that keeps a crashed filler from wedging every waiter. **Never arm
+    in-process.**
+
 Determinism: whether a fault fires for a given token is a pure function
 of ``(seed, kind, token)`` via :func:`stable_fingerprint` — no RNG state,
 no clock. Each (kind, token) fires **once**: the first execution to roll
@@ -97,6 +104,10 @@ class ChaosSpec:
     reply_delay: float = 0.0
     delay_s: float = 0.05
     daemon_kill: float = 0.0
+    #: SIGKILL the process right after it claims a cache fill lease —
+    #: proves leases never leak (waiters detect the dead owner pid and
+    #: take the lease over instead of waiting out the stale window)
+    lease_kill: float = 0.0
     only: tuple[str, ...] = field(default_factory=tuple)
 
     def to_env(self) -> str:
@@ -208,6 +219,16 @@ class ChaosMonkey:
         write-ahead journal and fabric failover exist for. Only arm in
         subprocess daemons."""
         if self.should_fire("daemon_kill", self.spec.daemon_kill, token):
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def injure_lease_holder(self, token: str) -> None:
+        """Called from :meth:`repro.lab.cache.SynthesisCache.acquire_fill`
+        right after the lease file is created; SIGKILLs the holder so the
+        lease leaks — the stale-takeover path other fillers must survive.
+        Only arm in subprocess workers."""
+        if self.should_fire("lease_kill", self.spec.lease_kill, token):
             import signal
 
             os.kill(os.getpid(), signal.SIGKILL)

@@ -52,6 +52,9 @@ MERGE_SCHEMA = 1
 #: canonical output is bit-identical either way
 VOLATILE_RECORD_FIELDS = frozenset({
     "elapsed_s", "cache_hit", "cache_stats", "attempts", "bundle", "detail",
+    # incremental-synthesis accounting: which processes were rebuilt vs
+    # read from cache depends on run interleaving, not on the point
+    "resyntheses", "proc_hits", "proc_misses", "partial_rebuild",
 })
 
 _SHARD_SUFFIX = re.compile(r"\.s(\d+)of(\d+)$")

@@ -17,10 +17,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.synth import LEVELS, SynthesisOptions, synthesize
+from repro.core.synth import LEVELS, SynthesisOptions
 from repro.diagnostics.bundle import bundle_name, write_bundle
 from repro.errors import ReproError
 from repro.lab.cache import SynthesisCache, cache_key
+from repro.lab.incremental import synthesize_incremental
 from repro.lab.executor import LabExecutor, PointOutcome
 from repro.lab.retry import RetryPolicy
 from repro.lab.shard import ShardSpec
@@ -77,6 +78,14 @@ def _build_tripledes(params: dict):
     return build_tdes_app(text=text)
 
 
+def _build_pipeline(params: dict):
+    from repro.apps.pipeline import build_pipeline
+
+    deltas = {int(i): int(d) for i, d in dict(params.get("edits", ())).items()}
+    return build_pipeline(int(params.get("stages", 3)), deltas=deltas,
+                          data=params.get("data"))
+
+
 def _build_csource(params: dict):
     from repro.runtime.taskgraph import Application
 
@@ -99,6 +108,7 @@ APP_BUILDERS: dict[str, Callable[[dict], object]] = {
     "loopback": _build_loopback,
     "edge": _build_edge,
     "tripledes": _build_tripledes,
+    "pipeline": _build_pipeline,
     "csource": _build_csource,
 }
 
@@ -252,27 +262,44 @@ def evaluate_point_cached(point: SweepPoint, cache: SynthesisCache,
     once scalar and once through :func:`repro.runtime.hwexec.execute_batch`
     with that many replicated lanes, recording ``lane_check`` = ``"ok"``
     only when every lane reproduces the scalar run bit-for-bit.
+
+    An app-level miss is filled *incrementally*
+    (:func:`repro.lab.incremental.synthesize_incremental` — only the
+    processes whose per-process fingerprints miss are resynthesized) and
+    under a fill lease (concurrent workers/daemons cold-starting the same
+    point perform exactly one fill; the rest wait and read it). The
+    record reports ``resyntheses``/``proc_hits``/``proc_misses``/
+    ``partial_rebuild`` for the incremental work and counts a
+    lease-followed fill as a ``cache_hit`` (the point was not
+    synthesized here).
     """
     app = build_app(point.app)
     key = cache_key(app, point.level, point.options, point.device)
     t0 = time.monotonic()
     before = cache.stats.snapshot()
-    cached = cache.get(key)
-    if cached is not None:
-        image, resources, fmax = cached
-    else:
-        image = synthesize(app, assertions=point.level,
-                           options=point.options)
+    inc_info: dict = {}
+
+    def _produce():
+        image, info = synthesize_incremental(
+            app, point.level, options=point.options, cache=cache,
+            device=point.device)
+        inc_info.update(info)
         resources = estimate_image(image, point.device)
         fmax = estimate_fmax(image, point.device, resources=resources)
-        cache.put(key, (image, resources, fmax))
+        return (image, resources, fmax)
+
+    (image, resources, fmax), filled = cache.get_or_fill(key, _produce)
     record = {
         "point_id": point.point_id,
         "app": point.app.label,
         "level": point.level,
         "variant": point.variant,
         "key": key,
-        "cache_hit": cached is not None,
+        "cache_hit": not filled,
+        "resyntheses": inc_info.get("resyntheses", 0),
+        "proc_hits": inc_info.get("proc_hits", 0),
+        "proc_misses": inc_info.get("proc_misses", 0),
+        "partial_rebuild": inc_info.get("partial_rebuild", False),
         "cache_stats": cache.stats.delta(before),
         "elapsed_s": round(time.monotonic() - t0, 4),
     }
@@ -440,6 +467,14 @@ def run_sweep(
         "cache_misses": 0,
         "cache_corrupt": 0,
         "journal_corrupt": journal_corrupt,
+        # incremental-synthesis work: processes actually rebuilt vs
+        # per-process artifacts reused, and fill-lease contention
+        "resyntheses": 0,
+        "proc_hits": 0,
+        "proc_misses": 0,
+        "partial_rebuilds": 0,
+        "lease_waits": 0,
+        "lease_takeovers": 0,
     }
     bundle_paths: list[str] = []
     executor = LabExecutor(jobs=jobs, timeout=timeout, retry=retry,
@@ -499,8 +534,16 @@ def run_sweep(
                 counters["cache_hits"] += 1
             else:
                 counters["cache_misses"] += 1
-            corrupt = (record.get("cache_stats") or {}).get("corrupt", 0)
+            cs = record.get("cache_stats") or {}
+            corrupt = cs.get("corrupt", 0)
             counters["cache_corrupt"] += corrupt
+            counters["resyntheses"] += record.get("resyntheses", 0)
+            counters["proc_hits"] += record.get("proc_hits", 0)
+            counters["proc_misses"] += record.get("proc_misses", 0)
+            if record.get("partial_rebuild"):
+                counters["partial_rebuilds"] += 1
+            counters["lease_waits"] += cs.get("lease_waits", 0)
+            counters["lease_takeovers"] += cs.get("lease_takeovers", 0)
             note = "hit" if record.get("cache_hit") else "miss"
             if corrupt:
                 note += f", {corrupt} corrupt cache entr" \
@@ -547,6 +590,12 @@ def run_sweep(
         f"skipped={counters['skipped_resume']}, cache "
         f"hits={counters['cache_hits']} misses={counters['cache_misses']}, "
         f"wall time {wall:.2f}s")
+    say(f"sweep {spec.name}: incremental resyntheses="
+        f"{counters['resyntheses']} proc_hits={counters['proc_hits']} "
+        f"proc_misses={counters['proc_misses']} "
+        f"partial_rebuilds={counters['partial_rebuilds']} "
+        f"lease_waits={counters['lease_waits']} "
+        f"lease_takeovers={counters['lease_takeovers']}")
     if counters["cache_corrupt"]:
         say(f"sweep {spec.name}: WARNING: evicted "
             f"{counters['cache_corrupt']} corrupt cache "

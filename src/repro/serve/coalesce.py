@@ -8,11 +8,24 @@ arrive while the leader is still running become **followers** and simply
 wait on the leader's :class:`Flight`. When the leader finishes, every
 follower is released with the same value (or the same failure).
 
-This composes with the on-disk cache rather than replacing it: the cache
-dedupes *across time* (a result computed yesterday), the coalescer
-dedupes *across concurrency* (a result currently being computed). A
-follower never touches the worker pool at all, which is why the daemon's
-admission control only charges global capacity to leaders.
+This is one of three dedup layers, ordered by scope:
+
+* **in-node** — this coalescer: identical jobs inside one daemon share
+  one flight (zero extra worker slots);
+* **cross-node** — the fabric's ``lookup`` verb + relay-follow
+  (:mod:`repro.serve.server`): a daemon about to lead first asks its
+  peers whether the fingerprint is already flying elsewhere;
+* **cross-process** — the cache's fill lease
+  (:meth:`repro.lab.cache.SynthesisCache.acquire_fill`): the backstop
+  for writers that share only the cache directory (daemons that cannot
+  see each other, sweep workers, plain CLI runs). Whatever slips past
+  the first two layers still costs exactly one synthesis fill.
+
+Each layer composes with the on-disk cache rather than replacing it: the
+cache dedupes *across time* (a result computed yesterday), the
+coalescing layers dedupe *across concurrency* (a result currently being
+computed). A follower never touches the worker pool at all, which is why
+the daemon's admission control only charges global capacity to leaders.
 """
 
 from __future__ import annotations

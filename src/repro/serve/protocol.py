@@ -87,7 +87,9 @@ TERMINAL_EVENTS = ("result", "rejected", "error", "stats", "pong",
 #: record fields that legitimately differ between a fresh synthesis, a
 #: cache hit and a coalesced reply for the *same* design point — strip
 #: them before comparing payloads for identity
-VOLATILE_RECORD_KEYS = ("elapsed_s", "cache_hit", "cache_stats", "attempts")
+VOLATILE_RECORD_KEYS = ("elapsed_s", "cache_hit", "cache_stats", "attempts",
+                        "resyntheses", "proc_hits", "proc_misses",
+                        "partial_rebuild")
 
 
 # ---- framing ----------------------------------------------------------------

@@ -151,6 +151,13 @@ class ReproServer:
             "submitted": 0, "completed": 0, "failed": 0, "timeout": 0,
             "rejected": 0, "coalesced": 0,
         }
+        #: incremental-synthesis work done by this daemon's synth jobs:
+        #: how many process rebuilds cold submissions actually cost, and
+        #: how many were warm partial rebuilds (the edited-app fast path)
+        self._incremental = {
+            "synth_jobs": 0, "resyntheses": 0, "proc_hits": 0,
+            "proc_misses": 0, "partial_rebuilds": 0,
+        }
         self._by_kind: dict[str, int] = {}
         self._active_jobs = 0
         self._job_seq = 0
@@ -533,6 +540,15 @@ class ReproServer:
                 self._active_jobs -= 1
             self.admission.release_global()
         self._merge_exec_stats(record)
+        if spec.kind == "synth" and isinstance(record, dict):
+            with self._lock:
+                inc = self._incremental
+                inc["synth_jobs"] += 1
+                inc["resyntheses"] += record.get("resyntheses", 0)
+                inc["proc_hits"] += record.get("proc_hits", 0)
+                inc["proc_misses"] += record.get("proc_misses", 0)
+                if record.get("partial_rebuild"):
+                    inc["partial_rebuilds"] += 1
         return JobResult(status="ok", record=record,
                          elapsed_s=round(time.monotonic() - t0, 4))
 
@@ -555,6 +571,10 @@ class ReproServer:
             counters["by_kind"] = dict(self._by_kind)
         return counters
 
+    def incremental_counters(self) -> dict:
+        with self._lock:
+            return dict(self._incremental)
+
     def stats(self) -> dict:
         """The ``/stats`` verb's payload — every layer's counters."""
         cfg = self.config
@@ -576,6 +596,7 @@ class ReproServer:
             "peers": (self.registry.snapshot()
                       if self.registry is not None else None),
             "cache": self.cache.stats.as_dict(),
+            "incremental": self.incremental_counters(),
             "executor": exec_block,
             "codecache": memo_stats.as_dict(),
             "config": {

@@ -139,7 +139,8 @@ def test_cache_roundtrip_and_stats(tmp_path):
     assert cache.get("deadbeef") == {"x": 1}
     assert cache.stats.as_dict() == {
         "hits": 1, "misses": 1, "stores": 1, "evictions": 0, "errors": 0,
-        "corrupt": 0,
+        "corrupt": 0, "proc_hits": 0, "proc_misses": 0, "lease_waits": 0,
+        "lease_takeovers": 0, "partial_rebuilds": 0,
     }
 
 

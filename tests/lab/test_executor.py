@@ -199,10 +199,11 @@ def test_crash_retry_recovers_in_pool(tmp_path):
     outcomes = ex.map(crash_once, [(i, marker) for i in range(5)])
     assert [oc.status for oc in outcomes] == ["ok"] * 5
     assert outcomes[2].value == 20
-    assert outcomes[2].attempts >= 2       # journaled retry count
+    # Pool-break blame is a heuristic: when another point is still in
+    # flight at crash time it may absorb the retry instead of point 2.
+    # What IS deterministic: exactly one crash, one journaled retry.
+    assert sorted(oc.attempts for oc in outcomes) == [1, 1, 1, 1, 2]
     assert ex.stats.retries >= 1
-    assert all(oc.attempts == 1 for oc in outcomes
-               if oc.index != 2)
 
 
 def test_timeout_retry_recovers_inline(tmp_path):

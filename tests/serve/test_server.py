@@ -99,9 +99,11 @@ def test_n_identical_concurrent_jobs_cost_one_synthesis(server):
 
     assert all(r.ok for r in replies)
     stats = client_for(server).stats()
-    # exactly one actual synthesis: one miss, one store, zero failures
+    # exactly one actual synthesis: one app-level miss filled once (the
+    # fill stores one artifact per process plus the app-level entry)
     assert stats["cache"]["misses"] == 1
-    assert stats["cache"]["stores"] == 1
+    assert stats["cache"]["stores"] == 1 + 4
+    assert stats["cache"]["proc_misses"] == 4
     # every non-leader either coalesced onto the flight or (if it arrived
     # after the leader finished) was served from the warm cache
     coalesced = sum(1 for r in replies if r.coalesced)
